@@ -1,0 +1,27 @@
+# Convenience targets for the CANELy reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples demo clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+demo:
+	$(PYTHON) -m repro demo --timeline
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,67 @@
+"""ABL-4 — the wired-AND clustering of identical remote frames.
+
+The FDA/membership design leans on CAN's wired-AND physical layer: the
+simultaneous, identical failure-sign echoes of all recipients merge into a
+single physical frame. This ablation disables clustering in the simulated
+bus (counterfactual hardware) and measures the frame and bandwidth blow-up
+of a failure-sign dissemination storm.
+"""
+
+from conftest import emit
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.core.fda import FdaProtocol
+from repro.sim.kernel import Simulator
+from repro.util.tables import render_table
+
+FAILURES = (17, 18, 19, 20)
+
+
+def run(node_count: int, clustering: bool):
+    sim = Simulator()
+    bus = CanBus(sim, clustering=clustering)
+    protocols = {}
+    for node_id in range(node_count):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        protocols[node_id] = FdaProtocol(CanStandardLayer(controller))
+    # Every node detects all four failures simultaneously — the harshest
+    # dissemination storm the model allows (f = 4).
+    for protocol in protocols.values():
+        for failed in FAILURES:
+            protocol.request(failed)
+    sim.run()
+    return bus.stats.physical_frames, bus.stats.busy_bits
+
+
+def bench_abl_clustering(benchmark):
+    def sweep():
+        results = {}
+        for node_count in (4, 8, 16):
+            for clustering in (True, False):
+                results[(node_count, clustering)] = run(node_count, clustering)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for (node_count, clustering), (frames, bits) in sorted(results.items()):
+        rows.append(
+            [node_count, "on" if clustering else "off (counterfactual)", frames, bits]
+        )
+    table = render_table(
+        ["nodes", "wired-AND clustering", "physical frames", "bus bits"],
+        rows,
+        title="ABL-4 — clustering ablation: 4 concurrent failure-sign storms",
+    )
+    emit("abl_clustering", table)
+
+    for node_count in (4, 8, 16):
+        clustered_frames, clustered_bits = results[(node_count, True)]
+        flat_frames, flat_bits = results[(node_count, False)]
+        # With clustering the cost is per *failure*, not per detector.
+        assert clustered_frames <= 2 * len(FAILURES)
+        # Without it, every detector pays its own frame: linear blow-up.
+        assert flat_frames >= node_count * len(FAILURES)
+        assert flat_bits > 2 * clustered_bits

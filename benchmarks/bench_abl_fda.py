@@ -1,0 +1,102 @@
+"""ABL-1 — FDA cost versus the inconsistent omission degree ``j``.
+
+DESIGN.md calls out the FDA design choice: recipients echo the failure-sign
+and keep the request alive until reliability is assured. This ablation
+sweeps the number of inconsistent omissions injected into the failure-sign
+dissemination and measures (a) physical frames consumed and (b) whether
+every correct node was notified — including when the original detector
+crashes mid-protocol.
+"""
+
+from conftest import emit
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageType
+from repro.core.fda import FdaProtocol
+from repro.sim.kernel import Simulator
+from repro.util.tables import render_table
+
+NODES = 8
+FAILED_NODE = 7
+
+
+def run_fda(inconsistencies: int, crash_sender: bool):
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: f.mid.mtype is MessageType.FDA,
+        FaultKind.INCONSISTENT_OMISSION,
+        accepting=[2],
+        crash_sender=crash_sender,
+        count=inconsistencies,
+    )
+    sim = Simulator()
+    bus = CanBus(sim, injector=injector)
+    notified = {}
+    controllers = {}
+    for node_id in range(NODES):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        controllers[node_id] = controller
+        protocol = FdaProtocol(CanStandardLayer(controller))
+        log = []
+        protocol.on_failure_sign(log.append)
+        notified[node_id] = log
+        if node_id == 0:
+            detector = protocol
+    detector.request(FAILED_NODE)
+    sim.run()
+    correct = [
+        n
+        for n in range(NODES)
+        if n != FAILED_NODE and not controllers[n].crashed
+    ]
+    all_notified = all(notified[n] == [FAILED_NODE] for n in correct)
+    return bus.stats.physical_frames, all_notified
+
+
+def bench_abl_fda_vs_inconsistency_degree(benchmark):
+    def sweep():
+        results = {}
+        for j in range(4):
+            for crash in (False, True):
+                if crash and j == 0:
+                    continue  # crash_sender needs a faulty transmission
+                results[(j, crash)] = run_fda(j, crash)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            j,
+            "yes" if crash else "no",
+            frames,
+            "all notified" if consistent else "MISSED",
+        ]
+        for (j, crash), (frames, consistent) in sorted(results.items())
+    ]
+    table = render_table(
+        ["injected inconsistencies", "detector crashes", "physical frames", "outcome"],
+        rows,
+        title="ABL-1 — FDA dissemination cost vs inconsistent omissions (8 nodes)",
+    )
+    table += (
+        "\nNote: the MISSED rows crash *every* holder of the failure-sign "
+        "(each faulty transmission kills its only sender) from a single "
+        "detector's invocation. The full protocol is immune: every node "
+        "monitoring the failed node invokes FDA independently (Fig. 8, "
+        "f10), so the sign has as many sources as surviving detectors."
+    )
+    emit("abl_fda", table)
+
+    # Reliability holds whenever at least one sign holder survives — every
+    # non-crash configuration and the single-crash configuration.
+    for (j, crash), (frames, consistent) in results.items():
+        if not crash or j <= 1:
+            assert consistent, (j, crash)
+    # Fault-free cost: original + one clustered echo.
+    assert results[(0, False)][0] <= 2
+    # Each inconsistency adds at most a couple of extra physical frames.
+    assert results[(3, False)][0] <= 2 + 2 * 3

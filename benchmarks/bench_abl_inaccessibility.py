@@ -1,0 +1,85 @@
+"""ABL-5 — surveillance timers vs network inaccessibility.
+
+MCAN4's transmission-delay bound is ``Ttd = Ttx + Tina``: the worst-case
+queueing delay *plus* the worst-case inaccessibility — periods where the
+network refrains from providing service while remaining operational ([22]).
+Fig. 8 sizes the remote surveillance timers with that ``Ttd``. This
+ablation injects inaccessibility windows of increasing length (up to the
+standard-CAN worst case of 2880 bit-times) into a live CANELy network and
+shows that:
+
+* with ``Ttd`` covering ``Tina``, no live node is ever falsely suspected;
+* with a naive ``Ttd`` that ignores inaccessibility, long windows produce
+  false suspicions — the design error the analysis exists to prevent.
+"""
+
+from conftest import emit
+
+from repro.analysis.inaccessibility import can_inaccessibility_range
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms, us
+from repro.util.tables import render_table
+from repro.workloads.scenarios import bootstrap_network
+
+NODES = 6
+
+
+def run(window_bits: int, ttd_covers_inaccessibility: bool):
+    """Returns the set of falsely suspected nodes (should be empty)."""
+    tina_ticks = us(window_bits)  # 1 bit-time = 1 µs at 1 Mbps
+    ttd = ms(6) + (tina_ticks if ttd_covers_inaccessibility else 0)
+    config = CanelyConfig(
+        capacity=16, tm=ms(50), thb=ms(10), ttd=ttd, tjoin_wait=ms(150)
+    )
+    net = CanelyNetwork(node_count=NODES, config=config)
+    bootstrap_network(net)
+    members_before = set(net.agreed_view())
+    # Inject the window right before the heartbeats are due, repeatedly.
+    for cycle in range(4):
+        net.run_for(config.thb - us(window_bits) // 2)
+        net.bus.inject_inaccessibility(window_bits)
+        net.run_for(us(window_bits))
+    net.run_for(ms(100))
+    assert net.views_agree()
+    return members_before - set(net.agreed_view())
+
+
+def bench_abl_inaccessibility(benchmark):
+    _, worst_can = can_inaccessibility_range()
+    windows = [0, 500, 1500, worst_can, 6000]
+
+    def sweep():
+        results = {}
+        for window in windows:
+            for covered in (True, False):
+                results[(window, covered)] = run(window, covered)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for (window, covered), falsely_suspected in sorted(results.items()):
+        rows.append(
+            [
+                window,
+                "Ttx + Tina (correct)" if covered else "Ttx only (naive)",
+                "none" if not falsely_suspected else sorted(falsely_suspected),
+            ]
+        )
+    table = render_table(
+        ["inaccessibility window (bit-times)", "Ttd sizing", "false suspicions"],
+        rows,
+        title=(
+            "ABL-5 — surveillance timers vs injected inaccessibility "
+            "(6 nodes, Thb=10ms)"
+        ),
+    )
+    emit("abl_inaccessibility", table)
+
+    # With Tina covered: never a false suspicion, up to the worst case.
+    for window in windows:
+        assert results[(window, True)] == set(), window
+    # The naive sizing survives small windows (headroom) but not the
+    # worst-case burst.
+    assert results[(0, False)] == set()
+    assert results[(6000, False)] != set()

@@ -1,0 +1,25 @@
+"""FIG-1 — the TTP vs standard CAN comparison table (paper Fig. 1).
+
+A qualitative table: the reproduction regenerates every row from the
+attribute model in :mod:`repro.analysis.comparison` and asserts the cells
+that motivate the paper (CAN lacks membership, failure handling differs).
+"""
+
+from conftest import emit
+
+from repro.analysis.comparison import fig1_rows
+from repro.util.tables import render_table
+
+
+def bench_fig01_table(benchmark):
+    rows = benchmark(fig1_rows)
+    table = render_table(
+        ["Parameter", "TTP", "Standard CAN"],
+        rows,
+        title="Figure 1 — comparison of TTP and CAN (reproduced)",
+    )
+    emit("fig01_ttp_vs_can", table)
+    cells = {row[0]: row for row in rows}
+    assert cells["Membership service"][2] == "not provided"
+    assert cells["Clock synchronization"][2] == "not provided"
+    assert "masking" in cells["Omission handling"][1]

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Clock synchronization: tens-of-µs precision over CAN (paper ref. [15]).
+
+Six nodes with drifting oscillators (up to ±100 ppm) run the CANELy clock
+synchronization service alongside the membership stack. The script samples
+the network-wide precision every resynchronization round and prints the
+trajectory: free-running clocks would drift apart by ~200 µs/s, while the
+synchronized ensemble stays within the paper's "tens of µs" claim — even
+as one node crashes mid-run.
+
+Run with: python examples/clock_sync_monitor.py
+"""
+
+import random
+
+from repro import CanelyNetwork
+from repro.services.clocksync import ClockSyncService, VirtualClock, precision
+from repro.sim import format_time, ms, us
+
+RESYNC_PERIOD = ms(100)
+
+net = CanelyNetwork(node_count=6)
+net.join_all()
+net.run_for(ms(400))
+print(f"[{format_time(net.sim.now)}] members: {sorted(net.agreed_view())}")
+
+rng = random.Random(7)
+clocks = {}
+for node_id, node in net.nodes.items():
+    drift = rng.uniform(-1e-4, 1e-4)
+    clock = VirtualClock(drift=drift)
+    clocks[node_id] = clock
+    ClockSyncService(
+        node.layer,
+        node.timers,
+        net.sim,
+        clock,
+        resync_period=RESYNC_PERIOD,
+        reception_jitter_rng=random.Random(100 + node_id),
+    ).start()
+    print(f"  node {node_id}: oscillator drift {drift * 1e6:+.0f} ppm")
+
+free_running = {n: VirtualClock(drift=c.drift) for n, c in clocks.items()}
+
+print()
+print("time      synced precision   free-running drift")
+for sample in range(10):
+    net.run_for(RESYNC_PERIOD)
+    if sample == 5:
+        net.node(4).crash()
+        print(f"[{format_time(net.sim.now)}] node 4 crashed "
+              "(excluded from the ensemble)")
+        clocks.pop(4)
+        free_running.pop(4)
+    synced = precision(clocks, net.sim.now)
+    free = precision(free_running, net.sim.now)
+    print(f"{format_time(net.sim.now):>9}  {synced / us(1):>8.1f} us      "
+          f"{free / us(1):>10.1f} us")
+
+final = precision(clocks, net.sim.now)
+assert final < us(60), "precision must stay in the tens of µs"
+print()
+print(f"final ensemble precision: {final / us(1):.1f} us — "
+      "the Fig. 11 claim holds")

@@ -1,0 +1,42 @@
+"""CANELy — node failure detection and site membership for CAN.
+
+A full reproduction of *"Node Failure Detection and Membership in CANELy"*
+(Rufino, Veríssimo, Arroz — DSN 2003): a discrete-event CAN fieldbus
+simulator with the paper's fault model (including inconsistent omissions),
+the CAN standard layer of Fig. 4, the FDA/RHA micro-protocols and the
+failure-detection and site-membership protocols of Figs. 6-9, the companion
+reliable-broadcast and clock-synchronization services, the related-work
+baselines (CAL node guarding, OSEK NM), and the analytical models behind
+the paper's evaluation figures.
+
+Quickstart::
+
+    from repro import CanelyNetwork
+    from repro.sim import ms
+
+    net = CanelyNetwork(node_count=8)
+    net.join_all()
+    net.run_for(ms(400))
+    print(sorted(net.agreed_view()))     # [0, 1, ..., 7]
+
+    net.node(3).crash()
+    net.run_for(ms(100))
+    print(sorted(net.agreed_view()))     # node 3 consistently removed
+"""
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork, CanelyNode
+from repro.core.views import MembershipChange, MembershipView
+from repro.util.sets import NodeSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CanelyConfig",
+    "CanelyNetwork",
+    "CanelyNode",
+    "MembershipChange",
+    "MembershipView",
+    "NodeSet",
+    "__version__",
+]

@@ -1,0 +1,209 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — run the quickstart scenario and print the timeline.
+* ``fig1``      — print the reproduced Fig. 1 comparison table.
+* ``fig10``     — print the Fig. 10 bandwidth curves (analytical model).
+* ``fig11``     — print the Fig. 11 attribute table (analytic cells only;
+  run the benchmark suite for the measured cells).
+* ``inaccessibility`` — print the scenario catalogue and bounds.
+* ``bounds``    — print the latency bounds for a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.bandwidth import BandwidthModel
+from repro.analysis.comparison import fig1_rows, fig11_rows
+from repro.analysis.inaccessibility import (
+    can_inaccessibility_range,
+    canely_inaccessibility_range,
+    scenario_catalogue,
+)
+from repro.analysis.latency import latency_bounds
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import format_time, ms
+from repro.util.tables import render_table
+
+
+def _cmd_demo(args) -> int:
+    net = CanelyNetwork(node_count=8)
+    net.join_all()
+    net.run_for(ms(400))
+    print(f"[{format_time(net.sim.now)}] view: {sorted(net.agreed_view())}")
+    crash_time = net.sim.now
+    net.node(5).crash()
+    print(f"[{format_time(crash_time)}] node 5 crashed")
+    net.run_for(ms(150))
+    print(f"[{format_time(net.sim.now)}] view: {sorted(net.agreed_view())}")
+    print("agreement:", "ok" if net.views_agree() else "VIOLATED")
+    if getattr(args, "timeline", False):
+        from repro.sim.timeline import summarize, timeline
+
+        print("\ntimeline around the crash:")
+        for line in timeline(
+            net.sim.trace, start=crash_time - ms(2), end=crash_time + ms(60)
+        ):
+            print(f"  {line}")
+        summary = summarize(net.sim.trace)
+        print(
+            f"\nsummary: {summary.physical_frames} frames "
+            f"({summary.faulty_frames} faulty), by type "
+            f"{summary.frames_by_type}, crashes {summary.crashes}"
+        )
+    return 0
+
+
+def _cmd_fig1(_args) -> int:
+    print(
+        render_table(
+            ["Parameter", "TTP", "Standard CAN"],
+            fig1_rows(),
+            title="Figure 1 — comparison of TTP and CAN",
+        )
+    )
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    model = BandwidthModel(
+        population=args.nodes,
+        lifesign_nodes=args.lifesigns,
+        crash_failures=args.crashes,
+    )
+    if args.plot:
+        from repro.analysis.figures import fig10_chart
+
+        print(fig10_chart(model))
+        return 0
+    tm_values = list(range(30, 95, 10))
+    curves = model.figure10(tm_values)
+    rows = [
+        [label] + [f"{value * 100:.2f}%" for value in curve]
+        for label, curve in curves.items()
+    ]
+    print(
+        render_table(
+            ["scenario"] + [f"Tm={tm}ms" for tm in tm_values],
+            rows,
+            title=(
+                f"Figure 10 — membership suite bandwidth "
+                f"(n={args.nodes}, b={args.lifesigns}, f={args.crashes})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_fig11(_args) -> int:
+    print(
+        render_table(
+            ["Parameter", "TTP", "CAN", "CANELy"],
+            fig11_rows(),
+            title="Figure 11 — comparison of TTP, CAN and CANELy",
+        )
+    )
+    return 0
+
+
+def _cmd_inaccessibility(_args) -> int:
+    print(
+        render_table(
+            ["scenario", "bit-times", "description"],
+            [
+                [s.name, s.duration_bits, s.description]
+                for s in scenario_catalogue()
+            ],
+            title="Inaccessibility scenarios (standard format)",
+        )
+    )
+    can_lo, can_hi = can_inaccessibility_range()
+    ely_lo, ely_hi = canely_inaccessibility_range()
+    print(f"\nstandard CAN : {can_lo} - {can_hi} bit-times (paper: 14 - 2880)")
+    print(f"CANELy       : {ely_lo} - {ely_hi} bit-times (paper: 14 - 2160)")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    config = CanelyConfig(thb=ms(args.thb), tm=ms(args.tm), tjoin_wait=ms(3 * args.tm))
+    bounds = latency_bounds(config)
+    rows = [
+        ["silence (Thb + Ttd)", format_time(bounds.silence)],
+        ["FDA dissemination", format_time(bounds.dissemination)],
+        ["failure notification", format_time(bounds.notification)],
+        ["consistent view update", format_time(bounds.view_update)],
+    ]
+    print(
+        render_table(
+            ["bound", "worst case"],
+            rows,
+            title=f"Latency bounds (Thb={args.thb}ms, Tm={args.tm}ms)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import json
+
+    from repro.workloads.script import ScenarioSpec, run_scenario
+
+    with open(args.scenario) as handle:
+        spec = ScenarioSpec.from_json(handle.read())
+    report = run_scenario(spec)
+    print(json.dumps(report.to_dict(), indent=2))
+    return 0 if report.views_agree else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CANELy node failure detection and membership (DSN 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser("demo", help="run the quickstart scenario")
+    demo.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the bus timeline around the crash",
+    )
+    demo.set_defaults(func=_cmd_demo)
+    sub.add_parser("fig1", help="print the Fig. 1 table").set_defaults(
+        func=_cmd_fig1
+    )
+    fig10 = sub.add_parser("fig10", help="print the Fig. 10 curves")
+    fig10.add_argument("--nodes", type=int, default=32)
+    fig10.add_argument("--lifesigns", type=int, default=8)
+    fig10.add_argument("--crashes", type=int, default=4)
+    fig10.add_argument(
+        "--plot", action="store_true", help="render an ASCII chart instead"
+    )
+    fig10.set_defaults(func=_cmd_fig10)
+    sub.add_parser("fig11", help="print the Fig. 11 table").set_defaults(
+        func=_cmd_fig11
+    )
+    sub.add_parser(
+        "inaccessibility", help="print the inaccessibility catalogue"
+    ).set_defaults(func=_cmd_inaccessibility)
+    bounds = sub.add_parser("bounds", help="print latency bounds")
+    bounds.add_argument("--thb", type=int, default=10, help="heartbeat period, ms")
+    bounds.add_argument("--tm", type=int, default=50, help="membership cycle, ms")
+    bounds.set_defaults(func=_cmd_bounds)
+    run = sub.add_parser("run", help="execute a JSON scenario script")
+    run.add_argument("scenario", help="path to the scenario JSON file")
+    run.set_defaults(func=_cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

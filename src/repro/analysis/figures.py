@@ -1,0 +1,94 @@
+"""Plain-text chart rendering for the analytical figures.
+
+The CLI and the benchmark reports occasionally want to *see* the Fig. 10
+curves, not just read the numbers. :func:`ascii_chart` renders one or more
+``(x, y)`` series into a fixed-size character grid with axes and a legend —
+no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Plot glyphs assigned to series in order.
+GLYPHS = "*o+x#@"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    y_format: str = "{:.1%}",
+    x_format: str = "{:.0f}",
+    title: str = "",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Points are nearest-neighbour mapped onto a ``width x height`` grid;
+    the y axis starts at zero (these are utilization curves).
+    """
+    if not series:
+        raise ConfigurationError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ConfigurationError(f"chart too small: {width}x{height}")
+    points = [point for curve in series.values() for point in curve]
+    if not points:
+        raise ConfigurationError("series contain no points")
+    x_values = [x for x, _ in points]
+    y_values = [y for _, y in points]
+    x_lo, x_hi = min(x_values), max(x_values)
+    y_lo, y_hi = 0.0, max(y_values) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, curve) in enumerate(series.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in curve:
+            column = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][column] = glyph
+
+    label_width = max(len(y_format.format(y_hi)), len(y_format.format(y_lo)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_format.format(y_hi)
+        elif row_index == height - 1:
+            label = y_format.format(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row)}")
+    lines.append(f"{'':>{label_width}} +{'-' * width}")
+    x_left = x_format.format(x_lo)
+    x_right = x_format.format(x_hi)
+    padding = width - len(x_left) - len(x_right)
+    lines.append(f"{'':>{label_width}}  {x_left}{'' :>{max(0, padding)}}{x_right}")
+    for index, label in enumerate(series):
+        lines.append(
+            f"{'':>{label_width}}  {GLYPHS[index % len(GLYPHS)]} = {label}"
+        )
+    return "\n".join(lines)
+
+
+def fig10_chart(model=None, tm_values=None) -> str:
+    """The Fig. 10 curves as an ASCII chart."""
+    from repro.analysis.bandwidth import BandwidthModel
+
+    model = model if model is not None else BandwidthModel()
+    tm_values = list(tm_values or range(30, 95, 5))
+    curves = model.figure10(tm_values)
+    series = {
+        label: list(zip(tm_values, values)) for label, values in curves.items()
+    }
+    return ascii_chart(
+        series,
+        title=(
+            "Figure 10 — membership suite bandwidth vs Tm (ms), "
+            f"n={model.population}, b={model.lifesign_nodes}, "
+            f"f={model.crash_failures}"
+        ),
+    )

@@ -1,0 +1,117 @@
+"""How often do inconsistent omissions actually happen?
+
+Section 3 of the paper: "However infrequent they may be, the probability of
+its occurrence is high enough to be taken into account for highly
+fault-tolerant applications of CAN." The quantitative backing is in the
+companion FTCS-28 paper [18], which estimates the rate of inconsistent
+message omissions from the bit error rate. This module re-derives that
+estimate so deployments can size the ``j`` bound:
+
+* a frame suffers an *inconsistency-prone* fault when a bit error hits its
+  critical trailing window (the last two bits of the end-of-frame field)
+  at a proper subset of the receivers;
+* with bit error probability ``ber`` per bit and independent per-receiver
+  corruption, the per-frame probability is
+  ``P = P(hit window) * P(subset split)``;
+* at ``load`` frames per second, the expected rate follows.
+
+For the classic example (1 Mbps, 90% load, ber 1e-6 — an aggressive
+environment), the estimate lands in the "a few per hour" band that [18]
+reports — infrequent, but *orders of magnitude* too frequent to ignore for
+safety-critical systems targeting 1e-9/h failure rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.can.bitstream import worst_case_frame_bits
+from repro.errors import ConfigurationError
+
+#: Width of the inconsistency-critical trailing window (last two bits).
+CRITICAL_WINDOW_BITS = 2
+
+
+@dataclass(frozen=True)
+class InconsistencyEstimate:
+    """Expected inconsistent-omission exposure of one deployment.
+
+    Attributes:
+        per_frame_probability: chance one transmission turns inconsistent.
+        per_hour: expected inconsistent omissions per hour.
+        expected_j: suggested LCAN4 bound for a reference interval — the
+            expected count over ``reference_seconds``, with a unit floor.
+    """
+
+    per_frame_probability: float
+    per_hour: float
+    expected_j: int
+
+
+def subset_split_probability(receivers: int) -> float:
+    """Probability that a window hit splits the receiver set.
+
+    A hit produces an inconsistency only when *some but not all* receivers
+    perceive the error. Modelling each receiver's perception of a marginal
+    bus level as an independent coin flip, the split probability is
+    ``1 - 2 * (1/2)^n`` for ``n`` receivers.
+    """
+    if receivers < 2:
+        return 0.0
+    return 1.0 - 2.0 * (0.5**receivers)
+
+
+def inconsistent_omission_rate(
+    ber: float,
+    receivers: int,
+    frames_per_second: float,
+    frame_bits: int = None,
+    reference_seconds: float = 1.0,
+) -> InconsistencyEstimate:
+    """Estimate the inconsistent-omission exposure of a deployment.
+
+    Args:
+        ber: bit error probability per transmitted bit.
+        receivers: number of receiving nodes.
+        frames_per_second: offered frame rate on the bus.
+        frame_bits: frame length (defaults to the worst-case 8-byte
+            standard frame — conservative for the window-hit term).
+        reference_seconds: the interval the suggested ``j`` bound covers.
+    """
+    if not 0.0 <= ber < 1.0:
+        raise ConfigurationError(f"ber must be a probability: {ber}")
+    if frames_per_second < 0:
+        raise ConfigurationError(
+            f"frame rate must be non-negative: {frames_per_second}"
+        )
+    if reference_seconds <= 0:
+        raise ConfigurationError(
+            f"reference interval must be positive: {reference_seconds}"
+        )
+    if frame_bits is None:
+        frame_bits = worst_case_frame_bits(8, extended=False)
+    if frame_bits < CRITICAL_WINDOW_BITS:
+        raise ConfigurationError(f"frame too short: {frame_bits}")
+
+    window_hit = 1.0 - (1.0 - ber) ** CRITICAL_WINDOW_BITS
+    per_frame = window_hit * subset_split_probability(receivers)
+    per_second = per_frame * frames_per_second
+    expected = per_second * reference_seconds
+    return InconsistencyEstimate(
+        per_frame_probability=per_frame,
+        per_hour=per_second * 3600.0,
+        expected_j=max(1, round(expected + 0.5)),
+    )
+
+
+def bus_frame_rate(
+    bit_rate: int = 1_000_000, utilization: float = 0.9, frame_bits: int = None
+) -> float:
+    """Frames per second on a bus at the given utilization."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ConfigurationError(f"utilization must be in [0, 1]: {utilization}")
+    if bit_rate <= 0:
+        raise ConfigurationError(f"bit rate must be positive: {bit_rate}")
+    if frame_bits is None:
+        frame_bits = worst_case_frame_bits(8, extended=False)
+    return bit_rate * utilization / frame_bits

@@ -1,0 +1,120 @@
+"""CAN worst-case response-time analysis (Tindell & Burns [20]).
+
+MCAN4 states that any queued frame is transmitted within a bounded delay
+``Ttd = Ttx + Tina``. ``Ttx`` is the classic fixed-priority non-preemptive
+response-time bound over the traffic set; ``Tina`` the worst-case
+inaccessibility of the network. The CANELy failure detector adds ``Ttd`` to
+remote-node surveillance timers (Fig. 8, line a04), so this analysis is what
+parameterizes a deployment.
+
+The recurrence for message ``m``::
+
+    w(0)   = B_m
+    w(i+1) = B_m + sum_{j in hp(m)} ceil((w(i) + J_j + tau) / T_j) * C_j
+    R_m    = J_m + w + C_m
+
+with ``B_m`` the longest lower-priority frame (non-preemptive blocking),
+``J_j`` queuing jitter, ``tau`` one bit-time, ``C_j`` the worst-case frame
+transmission time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.can.bitstream import worst_case_frame_bits
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """A periodic message stream for the schedulability analysis.
+
+    Attributes:
+        identifier: arbitration identifier (lower = higher priority).
+        period: minimum interarrival time, in bit-times.
+        dlc: payload size in bytes (0-8).
+        jitter: queuing jitter, in bit-times.
+        extended: frame format (CANELy uses the extended format).
+    """
+
+    identifier: int
+    period: int
+    dlc: int = 8
+    jitter: int = 0
+    extended: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be positive: {self.period}")
+        if not 0 <= self.dlc <= 8:
+            raise ConfigurationError(f"DLC out of range: {self.dlc}")
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be non-negative: {self.jitter}")
+
+    @property
+    def transmission_bits(self) -> int:
+        """Worst-case frame transmission time ``C_m`` in bit-times."""
+        return worst_case_frame_bits(self.dlc, extended=self.extended)
+
+
+def _blocking_bits(message: MessageSpec, others: Sequence[MessageSpec]) -> int:
+    lower = [
+        other.transmission_bits
+        for other in others
+        if other.identifier > message.identifier
+    ]
+    return max(lower, default=0)
+
+
+def response_time(
+    message: MessageSpec,
+    traffic: Iterable[MessageSpec],
+    max_iterations: int = 1000,
+) -> Optional[int]:
+    """Worst-case queue-to-delivery response time of ``message`` (bit-times).
+
+    Returns ``None`` when the recurrence exceeds the message period
+    (unschedulable at this priority under the classic model).
+    """
+    others = [spec for spec in traffic if spec is not message]
+    higher = [o for o in others if o.identifier < message.identifier]
+    blocking = _blocking_bits(message, others)
+
+    w = blocking
+    for _ in range(max_iterations):
+        interference = sum(
+            -(-(w + h.jitter + 1) // h.period) * h.transmission_bits
+            for h in higher
+        )
+        w_next = blocking + interference
+        if w_next == w:
+            response = message.jitter + w + message.transmission_bits
+            if response > message.period + message.jitter:
+                return None
+            return response
+        w = w_next
+    return None
+
+
+def transmission_delay_bound(
+    traffic: Sequence[MessageSpec],
+    inaccessibility_bits: int = 0,
+) -> Optional[int]:
+    """The MCAN4 bound ``Ttd = max_m R_m + Tina``, in bit-times.
+
+    Returns ``None`` when any stream is unschedulable.
+    """
+    worst = 0
+    for message in traffic:
+        response = response_time(message, traffic)
+        if response is None:
+            return None
+        worst = max(worst, response)
+    return worst + inaccessibility_bits
+
+
+def utilization(traffic: Sequence[MessageSpec]) -> float:
+    """Long-run bus utilization of the traffic set (must be < 1)."""
+    return sum(m.transmission_bits / m.period for m in traffic)

@@ -1,0 +1,361 @@
+"""The CAN bus: arbitration, clustering, transmission and fault resolution.
+
+The bus is a single broadcast channel. Whenever it goes idle, every attached
+controller offers its highest-priority pending request; the frame with the
+lowest identifier wins (carrier sense multi-access with deterministic
+collision resolution). Requests for *bit-identical* frames — in particular
+identical remote frames, the CANELy control-message encapsulation — are
+transmitted as **one** physical frame thanks to the wired-AND nature of the
+medium; every co-sender sees its own request confirmed. This clustering is
+what lets the FDA and membership protocols pay one frame for n logical
+transmissions.
+
+The fault injector decides the outcome of every physical transmission:
+error-free, consistent omission (globalized error frame, automatic
+retransmission) or inconsistent omission (a subset of recipients accepts
+the frame; everyone else sees the error and the senders retransmit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.can.bitstream import (
+    ERROR_FRAME_BITS,
+    INTERFRAME_BITS,
+    SUSPEND_TRANSMISSION_BITS,
+)
+from repro.can.controller import CanController, ControllerState, TxRequest
+from repro.can.errormodel import FaultInjector, FaultKind, FaultVerdict
+from repro.can.frame import CanFrame
+from repro.can.phy import BitTiming
+from repro.errors import BusError
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class BusStats:
+    """Aggregate bus accounting, all in bit-times.
+
+    ``busy_bits`` counts every bit-time the bus was not idle (frames,
+    interframe spaces, error frames, suspend penalties); ``bits_by_type``
+    attributes frame + overhead bits to the message type that caused them,
+    which is what the Fig. 10 bandwidth benchmark reads out.
+    ``inaccessibility_bits`` counts injected inaccessibility periods —
+    windows where the network refrains from providing service while
+    remaining operational ([22]).
+    """
+
+    physical_frames: int = 0
+    clustered_requests: int = 0
+    error_frames: int = 0
+    busy_bits: int = 0
+    inaccessibility_bits: int = 0
+    bus_off_recoveries: int = 0
+    bits_by_type: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, type_name: str, bits: int) -> None:
+        self.busy_bits += bits
+        self.bits_by_type[type_name] = self.bits_by_type.get(type_name, 0) + bits
+
+
+@dataclass
+class _Transmission:
+    frame: CanFrame
+    senders: List[CanController]
+    requests: List[TxRequest]
+    started_at: int
+
+
+class CanBus:
+    """A single-channel CAN broadcast bus."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timing: Optional[BitTiming] = None,
+        injector: Optional[FaultInjector] = None,
+        clustering: bool = True,
+        bus_off_recovery: bool = False,
+    ) -> None:
+        self._sim = sim
+        self.timing = timing if timing is not None else BitTiming()
+        self.injector = injector if injector is not None else FaultInjector()
+        self.clustering = clustering
+        #: When True, a controller reaching bus-off rejoins after the ISO
+        #: 11898 recovery sequence (128 x 11 recessive bits) instead of
+        #: staying silent. Off by default: permanent bus-off is what
+        #: enforces the system model's weak-fail-silent assumption.
+        self.bus_off_recovery = bus_off_recovery
+        self._controllers: Dict[int, CanController] = {}
+        self._busy = False
+        self._arbitration_pending = False
+        self._inaccessible_until = 0
+        self._current: Optional[_Transmission] = None
+        self._tx_index = 0
+        self.stats = BusStats()
+
+    # -- topology -----------------------------------------------------------
+
+    def attach(self, controller: CanController) -> None:
+        """Connect ``controller`` to the bus."""
+        if controller.node_id in self._controllers:
+            raise BusError(f"node id {controller.node_id} already attached")
+        self._controllers[controller.node_id] = controller
+        controller._bus = self
+
+    def controller(self, node_id: int) -> CanController:
+        """The controller attached as ``node_id``."""
+        return self._controllers[node_id]
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All attached node ids, sorted."""
+        return sorted(self._controllers)
+
+    def alive_controllers(self) -> List[CanController]:
+        """Controllers currently participating in bus traffic."""
+        return [c for c in self._controllers.values() if c.alive]
+
+    # -- scheduling ------------------------------------------------------------
+
+    def kick(self) -> None:
+        """A controller queued a request: start arbitration if idle.
+
+        Arbitration is deferred by a zero-delay event so every request
+        submitted at the same instant (e.g. the echo requests an FDA
+        delivery triggers at all recipients) contends in the same start-of-
+        frame window — which is what lets identical remote frames cluster.
+        """
+        if self._busy or self._arbitration_pending:
+            return
+        self._arbitration_pending = True
+        self._sim.schedule(0, self._arbitrate)
+
+    def _arbitrate(self) -> None:
+        self._arbitration_pending = False
+        if self._busy:
+            return
+        if self._sim.now < self._inaccessible_until:
+            # The network is in an inaccessibility window: service resumes
+            # when it closes.
+            self._arbitration_pending = True
+            self._sim.schedule_at(self._inaccessible_until, self._arbitrate)
+            return
+        self._start_next()
+
+    def inject_inaccessibility(self, bits: int) -> None:
+        """Open an inaccessibility window of ``bits`` bit-times from now.
+
+        Models the aftermath of error signalling ([22]): the network is
+        operational but refrains from starting new transmissions. An
+        ongoing transmission completes normally (its fate is governed by
+        the fault injector); queued requests wait the window out.
+        """
+        until = self._sim.now + self.timing.bits_to_ticks(bits)
+        if until <= self._inaccessible_until:
+            return
+        self._inaccessible_until = until
+        self.stats.inaccessibility_bits += bits
+        self._sim.trace.record(
+            self._sim.now, "bus.inaccessible", bits=bits, until=until
+        )
+        self.kick()
+
+    def _start_next(self) -> None:
+        offers = [
+            request
+            for controller in self._controllers.values()
+            if (request := controller.head_request()) is not None
+        ]
+        if not offers:
+            return
+        offers.sort(key=lambda r: r.priority_key)
+        winner = offers[0]
+
+        # Wired-AND clustering: bit-identical frames transmit as one.
+        requests = [winner]
+        for other in offers[1:]:
+            if other is winner:
+                continue
+            same_id = other.frame.identifier == winner.frame.identifier
+            if not same_id:
+                continue
+            if other.frame == winner.frame:
+                if self.clustering:
+                    requests.append(other)
+                continue
+            if not other.frame.remote and not winner.frame.remote:
+                raise BusError(
+                    f"two different data frames contend with identifier "
+                    f"{winner.frame.identifier:#x}: {winner.frame!r} vs "
+                    f"{other.frame!r}"
+                )
+            # Same identifier, one data / one remote: the data frame's
+            # dominant RTR bit wins; the remote frame just loses arbitration.
+
+        senders = []
+        for request in requests:
+            owner = self._owner_of(request)
+            owner.take(request)
+            senders.append(owner)
+
+        self._busy = True
+        self._current = _Transmission(
+            frame=winner.frame,
+            senders=senders,
+            requests=requests,
+            started_at=self._sim.now,
+        )
+        self.stats.clustered_requests += len(requests) - 1
+        duration = self.timing.bits_to_ticks(
+            winner.frame.wire_bits(with_interframe=False)
+        )
+        self._sim.schedule(duration, self._complete)
+
+    def _owner_of(self, request: TxRequest) -> CanController:
+        for controller in self._controllers.values():
+            if controller.head_request() is request:
+                return controller
+        raise BusError(f"no controller owns request {request.frame!r}")
+
+    # -- completion --------------------------------------------------------------
+
+    def _complete(self) -> None:
+        tx = self._current
+        assert tx is not None
+        self._current = None
+        self._tx_index += 1
+        self.stats.physical_frames += 1
+
+        alive = self.alive_controllers()
+        sender_ids = [c.node_id for c in tx.senders]
+        receiver_ids = [c.node_id for c in alive]
+        verdict = self.injector.verdict(
+            tx.frame, sender_ids, receiver_ids, self._tx_index - 1
+        )
+
+        frame_bits = tx.frame.wire_bits(with_interframe=False)
+        overhead_bits = INTERFRAME_BITS
+        type_name = tx.frame.mid.mtype.name
+
+        if verdict.kind is FaultKind.NONE:
+            self._deliver_all(tx, alive)
+        else:
+            self.stats.error_frames += 1
+            overhead_bits += ERROR_FRAME_BITS
+            if any(
+                s.state is ControllerState.ERROR_PASSIVE and s.alive
+                for s in tx.senders
+            ):
+                overhead_bits += SUSPEND_TRANSMISSION_BITS
+            self._resolve_fault(tx, alive, verdict)
+
+        self.stats.charge(type_name, frame_bits + overhead_bits)
+        self._sim.trace.record(
+            self._sim.now,
+            "bus.tx",
+            node=sender_ids[0] if sender_ids else -1,
+            mid=tx.frame.mid,
+            remote=tx.frame.remote,
+            senders=tuple(sender_ids),
+            bits=frame_bits + overhead_bits,
+            kind=verdict.kind.value,
+            attempt=tx.requests[0].attempts,
+        )
+
+        # Bus stays busy through the interframe space / error frame.
+        self._sim.schedule(
+            self.timing.bits_to_ticks(overhead_bits), self._go_idle
+        )
+
+    def _deliver_all(self, tx: _Transmission, alive: List[CanController]) -> None:
+        for sender, request in zip(tx.senders, tx.requests):
+            if sender.alive:
+                sender.finish_success(request)
+        for controller in alive:
+            # .ind includes own transmissions (paper Fig. 4).
+            if controller.alive:
+                controller.deliver(tx.frame)
+                self._sim.trace.record(
+                    self._sim.now,
+                    "bus.deliver",
+                    node=controller.node_id,
+                    mid=tx.frame.mid,
+                    remote=tx.frame.remote,
+                )
+
+    def _resolve_fault(
+        self,
+        tx: _Transmission,
+        alive: List[CanController],
+        verdict: FaultVerdict,
+    ) -> None:
+        sender_set = {c.node_id for c in tx.senders}
+        for controller in alive:
+            if controller.node_id in sender_set:
+                continue
+            if controller.node_id in verdict.accepting:
+                controller.deliver(tx.frame)
+                self._sim.trace.record(
+                    self._sim.now,
+                    "bus.deliver",
+                    node=controller.node_id,
+                    mid=tx.frame.mid,
+                    remote=tx.frame.remote,
+                    inconsistent=True,
+                )
+            else:
+                controller.rx_error()
+        # Senders see the error and schedule the automatic retransmission.
+        for sender, request in zip(tx.senders, tx.requests):
+            sender.finish_error(request)
+            if (
+                self.bus_off_recovery
+                and not sender.crashed
+                and sender.state is ControllerState.BUS_OFF
+            ):
+                self._schedule_bus_off_recovery(sender)
+        if verdict.crash_sender:
+            # The paper's inconsistent-omission scenario: the sender dies
+            # before the retransmission goes out.
+            for sender in tx.senders:
+                sender.crash()
+                self._sim.trace.record(
+                    self._sim.now, "node.crash", node=sender.node_id
+                )
+
+    def _go_idle(self) -> None:
+        self._busy = False
+        self.kick()
+
+    def _schedule_bus_off_recovery(self, controller: CanController) -> None:
+        recovery_ticks = self.timing.bits_to_ticks(128 * 11)
+
+        def recover() -> None:
+            if controller.crashed:
+                return
+            controller.tec = 0
+            controller.rec = 0
+            self.stats.bus_off_recoveries += 1
+            self._sim.trace.record(
+                self._sim.now, "node.bus_off_recovery", node=controller.node_id
+            )
+            self.kick()
+
+        self._sim.schedule(recovery_ticks, recover)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a frame (or its interframe space) occupies the bus."""
+        return self._busy
+
+    def utilization(self, window_ticks: Optional[int] = None) -> float:
+        """Fraction of bus capacity consumed so far (or over ``window_ticks``)."""
+        elapsed = window_ticks if window_ticks is not None else self._sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self.timing.bits_to_ticks(self.stats.busy_bits) / elapsed

@@ -1,0 +1,181 @@
+"""The CAN controller model.
+
+Each node attaches to the bus through a :class:`CanController` that owns a
+priority-ordered transmit queue, the standard transmit/receive error
+counters (TEC/REC) and the fault-confinement state machine
+(error-active -> error-passive -> bus-off). Bus-off enforces the
+weak-fail-silent assumption of the system model: a controller that exceeds
+its omission degree stops participating.
+
+Frames that lose arbitration or are destroyed by errors are automatically
+scheduled for retransmission (ISO 11898), unless aborted or the node crashed.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.can.frame import CanFrame
+from repro.can.identifiers import MessageId
+from repro.errors import BusError
+
+#: TEC/REC threshold above which the controller goes error-passive.
+ERROR_PASSIVE_THRESHOLD = 127
+#: TEC threshold above which the controller goes bus-off.
+BUS_OFF_THRESHOLD = 255
+#: TEC increment on a transmit error (ISO 11898 rule 3).
+TX_ERROR_INCREMENT = 8
+#: REC increment on a receive error (ISO 11898 rule 1).
+RX_ERROR_INCREMENT = 1
+
+
+class ControllerState(enum.Enum):
+    """Fault-confinement states of a CAN controller."""
+
+    ERROR_ACTIVE = "error-active"
+    ERROR_PASSIVE = "error-passive"
+    BUS_OFF = "bus-off"
+
+
+@dataclass
+class TxRequest:
+    """A queued transmission request.
+
+    Attributes:
+        frame: the frame to transmit.
+        seq: submission order, the FIFO tie-breaker within one priority.
+        attempts: physical transmission attempts made so far.
+    """
+
+    frame: CanFrame
+    seq: int
+    attempts: int = 0
+
+    @property
+    def priority_key(self):
+        """Arbitration order: identifier, then data-before-remote, then FIFO."""
+        return (self.frame.identifier, 1 if self.frame.remote else 0, self.seq)
+
+
+class CanController:
+    """One node's attachment to the CAN bus."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.tec = 0
+        self.rec = 0
+        self.crashed = False
+        self._queue: List[TxRequest] = []
+        self._seq = itertools.count()
+        self._bus = None  # set by CanBus.attach
+        # Delivery hooks, wired by the standard-layer driver.
+        self.on_rx: Optional[Callable[[CanFrame], None]] = None
+        self.on_tx_success: Optional[Callable[[CanFrame], None]] = None
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> ControllerState:
+        """Current fault-confinement state."""
+        if self.tec > BUS_OFF_THRESHOLD:
+            return ControllerState.BUS_OFF
+        if self.tec > ERROR_PASSIVE_THRESHOLD or self.rec > ERROR_PASSIVE_THRESHOLD:
+            return ControllerState.ERROR_PASSIVE
+        return ControllerState.ERROR_ACTIVE
+
+    @property
+    def alive(self) -> bool:
+        """True while the node participates in bus traffic."""
+        return not self.crashed and self.state is not ControllerState.BUS_OFF
+
+    def crash(self) -> None:
+        """Fail silent: stop transmitting and receiving, drop the queue.
+
+        Crashing between a failed transmission attempt and its automatic
+        retransmission is how the paper's *inconsistent message omission*
+        scenario arises.
+        """
+        self.crashed = True
+        self._queue.clear()
+
+    # -- transmit queue --------------------------------------------------------
+
+    def submit(self, frame: CanFrame) -> Optional[TxRequest]:
+        """Queue ``frame`` for transmission; returns the request handle.
+
+        Submissions from a crashed or bus-off controller are silently
+        discarded (fail-silent behaviour) and return ``None``.
+        """
+        if not self.alive:
+            return None
+        request = TxRequest(frame=frame, seq=next(self._seq))
+        self._queue.append(request)
+        self._queue.sort(key=lambda r: r.priority_key)
+        if self._bus is not None:
+            self._bus.kick()
+        return request
+
+    def abort(self, mid: MessageId) -> bool:
+        """Abort pending requests carrying ``mid`` (``can-abort.req``).
+
+        Per the standard-layer semantics, only *pending* requests are
+        affected: a frame already on the wire completes its attempt. Returns
+        True when at least one request was removed.
+        """
+        before = len(self._queue)
+        self._queue = [r for r in self._queue if r.frame.mid != mid]
+        return len(self._queue) != before
+
+    def has_pending(self, mid: MessageId) -> bool:
+        """True while a request for ``mid`` is queued."""
+        return any(r.frame.mid == mid for r in self._queue)
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of pending transmit requests."""
+        return len(self._queue)
+
+    # -- bus-facing interface ----------------------------------------------------
+
+    def head_request(self) -> Optional[TxRequest]:
+        """The highest-priority pending request, or None."""
+        if not self.alive or not self._queue:
+            return None
+        return self._queue[0]
+
+    def take(self, request: TxRequest) -> None:
+        """Remove ``request`` from the queue: it is now in flight."""
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            raise BusError(
+                f"node {self.node_id}: request not pending: {request.frame!r}"
+            ) from None
+
+    def finish_success(self, request: TxRequest) -> None:
+        """Successful transmission: TEC decrement and ``.cnf`` upcall."""
+        self.tec = max(0, self.tec - 1)
+        if self.on_tx_success is not None:
+            self.on_tx_success(request.frame)
+
+    def finish_error(self, request: TxRequest) -> None:
+        """Failed transmission: bump TEC and requeue for automatic retry."""
+        self.tec += TX_ERROR_INCREMENT
+        if not self.alive:
+            return
+        request.attempts += 1
+        self._queue.append(request)
+        self._queue.sort(key=lambda r: r.priority_key)
+
+    def deliver(self, frame: CanFrame) -> None:
+        """A frame was accepted by this controller's receiver."""
+        self.rec = max(0, self.rec - 1)
+        if self.on_rx is not None:
+            self.on_rx(frame)
+
+    def rx_error(self) -> None:
+        """This controller detected an error in a received frame."""
+        self.rec += RX_ERROR_INCREMENT

@@ -1,0 +1,129 @@
+"""The CAN standard layer (paper Fig. 4).
+
+Wraps a :class:`CanController` with the primitive interface the CANELy
+micro-protocols are written against:
+
+==================  ==========================================================
+primitive           semantics
+==================  ==========================================================
+``can-data.req``    queue a data frame (only one node may transmit a given
+                    data frame at a time)
+``can-rtr.req``     queue a remote frame (several nodes may transmit the same
+                    remote frame simultaneously — wired-AND clustering)
+``can-data.cnf`` /  successful transmission of own frame
+``can-rtr.cnf``
+``can-data.ind`` /  arrival of a data/remote frame, own transmissions included
+``can-rtr.ind``
+``can-data.nty``    **extension to the standard**: arrival of a data frame,
+                    own transmissions included, *without* delivering the data
+                    — the hook that lets normal traffic double as life-signs
+``can-abort.req``   abort pending (not in-flight) transmit requests
+==================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.can.controller import CanController
+from repro.can.frame import CanFrame, data_frame, remote_frame
+from repro.can.identifiers import MessageId, MessageType
+
+DataIndListener = Callable[[MessageId, bytes], None]
+RtrIndListener = Callable[[MessageId], None]
+CnfListener = Callable[[MessageId], None]
+NtyListener = Callable[[MessageId], None]
+
+
+class CanStandardLayer:
+    """Per-node standard layer: primitives + listener dispatch."""
+
+    def __init__(self, controller: CanController) -> None:
+        self._controller = controller
+        self._data_ind: List[Tuple[Optional[MessageType], DataIndListener]] = []
+        self._rtr_ind: List[Tuple[Optional[MessageType], RtrIndListener]] = []
+        self._data_cnf: List[Tuple[Optional[MessageType], CnfListener]] = []
+        self._rtr_cnf: List[Tuple[Optional[MessageType], CnfListener]] = []
+        self._data_nty: List[NtyListener] = []
+        controller.on_rx = self._handle_rx
+        controller.on_tx_success = self._handle_cnf
+
+    @property
+    def node_id(self) -> int:
+        """Identifier of the node this layer serves."""
+        return self._controller.node_id
+
+    @property
+    def controller(self) -> CanController:
+        """The underlying CAN controller."""
+        return self._controller
+
+    # -- request primitives -----------------------------------------------------
+
+    def data_req(self, mid: MessageId, data: bytes = b"") -> None:
+        """``can-data.req``: queue a data frame for transmission."""
+        self._controller.submit(data_frame(mid, data))
+
+    def rtr_req(self, mid: MessageId) -> None:
+        """``can-rtr.req``: queue a remote frame for transmission."""
+        self._controller.submit(remote_frame(mid))
+
+    def abort_req(self, mid: MessageId) -> bool:
+        """``can-abort.req``: drop pending requests for ``mid``."""
+        return self._controller.abort(mid)
+
+    def has_pending(self, mid: MessageId) -> bool:
+        """True while a transmit request for ``mid`` is queued locally."""
+        return self._controller.has_pending(mid)
+
+    # -- listener registration -----------------------------------------------------
+
+    def add_data_ind(
+        self, listener: DataIndListener, mtype: Optional[MessageType] = None
+    ) -> None:
+        """Subscribe to ``can-data.ind`` (optionally one message type only)."""
+        self._data_ind.append((mtype, listener))
+
+    def add_rtr_ind(
+        self, listener: RtrIndListener, mtype: Optional[MessageType] = None
+    ) -> None:
+        """Subscribe to ``can-rtr.ind``."""
+        self._rtr_ind.append((mtype, listener))
+
+    def add_data_cnf(
+        self, listener: CnfListener, mtype: Optional[MessageType] = None
+    ) -> None:
+        """Subscribe to ``can-data.cnf``."""
+        self._data_cnf.append((mtype, listener))
+
+    def add_rtr_cnf(
+        self, listener: CnfListener, mtype: Optional[MessageType] = None
+    ) -> None:
+        """Subscribe to ``can-rtr.cnf``."""
+        self._rtr_cnf.append((mtype, listener))
+
+    def add_data_nty(self, listener: NtyListener) -> None:
+        """Subscribe to the ``can-data.nty`` extension (all data frames)."""
+        self._data_nty.append(listener)
+
+    # -- controller upcalls -----------------------------------------------------
+
+    def _handle_rx(self, frame: CanFrame) -> None:
+        if frame.remote:
+            for mtype, listener in list(self._rtr_ind):
+                if mtype is None or frame.mid.mtype is mtype:
+                    listener(frame.mid)
+            return
+        # The .nty extension fires before .ind: it carries no data and is
+        # what the failure-detection protocol taps for implicit life-signs.
+        for listener in list(self._data_nty):
+            listener(frame.mid)
+        for mtype, listener in list(self._data_ind):
+            if mtype is None or frame.mid.mtype is mtype:
+                listener(frame.mid, frame.data)
+
+    def _handle_cnf(self, frame: CanFrame) -> None:
+        listeners = self._rtr_cnf if frame.remote else self._data_cnf
+        for mtype, listener in list(listeners):
+            if mtype is None or frame.mid.mtype is mtype:
+                listener(frame.mid)

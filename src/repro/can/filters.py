@@ -1,0 +1,97 @@
+"""Hardware acceptance filtering.
+
+Real CAN controllers screen incoming frames with code/mask acceptance
+filters so the host CPU only sees identifiers it cares about. The model
+supports them for application realism, with one important caveat the paper
+implies and this module enforces in documentation: **a CANELy node must
+not filter out protocol identifiers** — the failure detector's implicit
+life-sign mechanism taps *every* data frame via ``can-data.nty``, and the
+membership suite needs FDA/ELS/RHA/JOIN/LEAVE traffic. Filters therefore
+apply only to what the application layer sees; see
+:meth:`repro.can.driver.CanStandardLayer.add_data_ind`'s ``mtype``
+parameter for the software-side equivalent.
+
+A frame passes a filter when ``identifier & mask == code & mask`` — mask
+bits set to 1 are "must match", 0 bits are "don't care". A controller with
+no filters accepts everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.can.identifiers import IDENTIFIER_BITS, MessageId, MessageType
+from repro.errors import ConfigurationError
+
+_ID_MASK = (1 << IDENTIFIER_BITS) - 1
+
+
+@dataclass(frozen=True)
+class AcceptanceFilter:
+    """One code/mask acceptance filter.
+
+    Attributes:
+        code: the reference identifier bits.
+        mask: which bits of the identifier must match ``code`` (1 = must
+            match, 0 = don't care).
+    """
+
+    code: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.code <= _ID_MASK:
+            raise ConfigurationError(f"filter code out of range: {self.code:#x}")
+        if not 0 <= self.mask <= _ID_MASK:
+            raise ConfigurationError(f"filter mask out of range: {self.mask:#x}")
+
+    def accepts(self, identifier: int) -> bool:
+        """True when ``identifier`` passes this filter."""
+        return (identifier & self.mask) == (self.code & self.mask)
+
+    @classmethod
+    def for_type(cls, mtype: MessageType) -> "AcceptanceFilter":
+        """A filter accepting every identifier of one message type."""
+        type_shift = IDENTIFIER_BITS - 5
+        return cls(code=int(mtype) << type_shift, mask=0b11111 << type_shift)
+
+    @classmethod
+    def for_sender(cls, node_id: int) -> "AcceptanceFilter":
+        """A filter accepting every identifier from one node."""
+        if not 0 <= node_id <= 0xFF:
+            raise ConfigurationError(f"node id out of range: {node_id}")
+        return cls(code=node_id, mask=0xFF)
+
+    @classmethod
+    def exact(cls, mid: MessageId) -> "AcceptanceFilter":
+        """A filter accepting exactly one identifier."""
+        return cls(code=mid.encode(), mask=_ID_MASK)
+
+
+class FilterBank:
+    """An ordered set of acceptance filters (accept if *any* matches)."""
+
+    def __init__(self, filters: Iterable[AcceptanceFilter] = ()) -> None:
+        self._filters: List[AcceptanceFilter] = list(filters)
+
+    def add(self, acceptance_filter: AcceptanceFilter) -> None:
+        """Install one more filter."""
+        self._filters.append(acceptance_filter)
+
+    def clear(self) -> None:
+        """Remove every filter (back to accept-all)."""
+        self._filters.clear()
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def accepts(self, identifier: int) -> bool:
+        """True when the identifier passes the bank (empty bank = all)."""
+        if not self._filters:
+            return True
+        return any(f.accepts(identifier) for f in self._filters)
+
+    def accepts_mid(self, mid: MessageId) -> bool:
+        """Convenience wrapper over :meth:`accepts`."""
+        return self.accepts(mid.encode())

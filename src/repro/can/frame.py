@@ -1,0 +1,80 @@
+"""The CAN frame model.
+
+A :class:`CanFrame` is the unit of transmission: a message identifier (the
+CANELy MID), an optional data field (data frames) or none (remote frames).
+Wire lengths come from the exact bit-stuffed encoding in
+:mod:`repro.can.bitstream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.can.bitstream import exact_frame_bits, worst_case_frame_bits
+from repro.can.identifiers import MessageId
+from repro.errors import FrameError
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """An immutable CAN 2.0B frame.
+
+    Attributes:
+        mid: the message control field (type, ref, node), also the
+            arbitration identifier.
+        data: 0-8 bytes of payload; must be empty for remote frames.
+        remote: True for remote (RTR) frames — the CANELy control-message
+            encapsulation that enables wired-AND clustering.
+    """
+
+    mid: MessageId
+    data: bytes = b""
+    remote: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.data, bytes):
+            raise FrameError(f"data must be bytes, got {type(self.data).__name__}")
+        if len(self.data) > 8:
+            raise FrameError(f"CAN data field is at most 8 bytes, got {len(self.data)}")
+        if self.remote and self.data:
+            raise FrameError("remote frames carry no data")
+
+    @property
+    def dlc(self) -> int:
+        """Data length code."""
+        return len(self.data)
+
+    @property
+    def identifier(self) -> int:
+        """Encoded 29-bit arbitration identifier."""
+        return self.mid.encode()
+
+    def wire_bits(self, with_interframe: bool = True) -> int:
+        """Exact stuffed wire length of this frame in bit-times."""
+        return exact_frame_bits(
+            self.identifier,
+            self.data,
+            self.remote,
+            extended=True,
+            with_interframe=with_interframe,
+        )
+
+    def worst_case_bits(self, with_interframe: bool = True) -> int:
+        """Worst-case stuffed wire length for this frame's DLC."""
+        return worst_case_frame_bits(
+            self.dlc, extended=True, with_interframe=with_interframe
+        )
+
+    def __repr__(self) -> str:
+        kind = "RTR" if self.remote else f"DATA[{self.dlc}]"
+        return f"CanFrame({self.mid!r}, {kind})"
+
+
+def data_frame(mid: MessageId, data: bytes = b"") -> CanFrame:
+    """Convenience constructor for a data frame."""
+    return CanFrame(mid=mid, data=data, remote=False)
+
+
+def remote_frame(mid: MessageId) -> CanFrame:
+    """Convenience constructor for a remote frame (CANELy control message)."""
+    return CanFrame(mid=mid, remote=True)

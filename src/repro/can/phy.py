@@ -1,0 +1,81 @@
+"""CAN physical-layer timing.
+
+CAN trades bus length for bit rate: the in-frame acknowledgment requires a
+bit time longer than twice the end-to-end propagation delay. The table below
+reproduces the classic rate/length pairs quoted in the paper (Section 3) and
+in CiA DS-102.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import SEC
+
+#: (bit rate in bit/s, maximum bus length in metres) — CiA DS-102 ladder.
+RATE_LENGTH_TABLE = (
+    (1_000_000, 40),
+    (800_000, 50),
+    (500_000, 100),
+    (250_000, 250),
+    (125_000, 500),
+    (50_000, 1000),
+    (20_000, 2500),
+    (10_000, 5000),
+)
+
+#: Nominal signal propagation velocity on twisted pair, m/s (~0.66 c).
+PROPAGATION_VELOCITY = 2.0e8
+
+
+def max_bus_length_m(bit_rate: int) -> int:
+    """Maximum bus length (m) supported at ``bit_rate``, per CiA DS-102.
+
+    Rates between table entries are conservatively mapped to the next
+    *faster* entry's length.
+    """
+    if bit_rate > RATE_LENGTH_TABLE[0][0]:
+        raise ConfigurationError(f"bit rate {bit_rate} exceeds CAN maximum 1 Mbps")
+    for rate, length in RATE_LENGTH_TABLE:
+        if bit_rate >= rate:
+            return length
+    return RATE_LENGTH_TABLE[-1][1]
+
+
+@dataclass(frozen=True)
+class BitTiming:
+    """Converts between bit-times and kernel ticks for one bus.
+
+    Attributes:
+        bit_rate: nominal bit rate in bit/s (default 1 Mbps, 40 m bus).
+    """
+
+    bit_rate: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.bit_rate <= 0:
+            raise ConfigurationError(f"bit rate must be positive: {self.bit_rate}")
+        if SEC % self.bit_rate:
+            raise ConfigurationError(
+                f"bit rate {self.bit_rate} does not divide 1e9 ns evenly; "
+                "pick a rate with an integer bit time"
+            )
+
+    @property
+    def bit_time(self) -> int:
+        """Duration of one bit in kernel ticks."""
+        return SEC // self.bit_rate
+
+    def bits_to_ticks(self, bits: int) -> int:
+        """Duration of ``bits`` bit-times in kernel ticks."""
+        return bits * self.bit_time
+
+    def ticks_to_bits(self, ticks: int) -> float:
+        """Convert kernel ticks to (fractional) bit-times."""
+        return ticks / self.bit_time
+
+    @property
+    def max_length_m(self) -> int:
+        """Maximum bus length for this bit rate."""
+        return max_bus_length_m(self.bit_rate)

@@ -1,0 +1,43 @@
+"""CANELy node failure detection and site membership (the paper's core).
+
+The four protocol machines map one-to-one onto the paper's figures:
+
+* :class:`~repro.core.fda.FdaProtocol` — Failure Detection Agreement
+  (Fig. 6): reliable diffusion of failure-sign remote frames.
+* :class:`~repro.core.rha.RhaProtocol` — Reception History Agreement
+  (Fig. 7): consensus on the reception history vector for join/leave.
+* :class:`~repro.core.failure_detector.FailureDetector` — the node failure
+  detection protocol (Fig. 8): surveillance timers, implicit life-signs via
+  ``can-data.nty``, explicit life-sign (ELS) remote frames.
+* :class:`~repro.core.membership.MembershipProtocol` — the site membership
+  protocol (Fig. 9): membership cycles, join/leave handling, view updates.
+
+:class:`~repro.core.stack.CanelyNode` assembles the full stack on one CAN
+controller and :class:`~repro.core.stack.CanelyNetwork` wires a whole
+simulated network — the entry points most users want.
+"""
+
+from repro.core.config import CanelyConfig
+from repro.core.failure_detector import FailureDetector
+from repro.core.fda import FdaProtocol
+from repro.core.groups import GroupView, ProcessGroupService
+from repro.core.membership import MembershipProtocol
+from repro.core.rha import RhaProtocol
+from repro.core.stack import CanelyNetwork, CanelyNode
+from repro.core.state import MembershipState
+from repro.core.views import MembershipChange, MembershipView
+
+__all__ = [
+    "CanelyConfig",
+    "CanelyNetwork",
+    "CanelyNode",
+    "FailureDetector",
+    "FdaProtocol",
+    "GroupView",
+    "MembershipChange",
+    "MembershipProtocol",
+    "MembershipState",
+    "MembershipView",
+    "ProcessGroupService",
+    "RhaProtocol",
+]

@@ -1,0 +1,169 @@
+"""CANELy protocol configuration.
+
+Gathers every timing and fault-model parameter used by the protocol suite.
+All durations are kernel ticks (nanoseconds); use :func:`repro.sim.ms` /
+:func:`repro.sim.us` to build them. The defaults reflect the operating
+conditions evaluated in the paper's Section 6.5 (1 Mbps bus, membership
+cycle periods of tens of milliseconds, moderately low omission degrees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import ms, us
+
+
+@dataclass(frozen=True)
+class CanelyConfig:
+    """Protocol parameters for one CANELy network.
+
+    Attributes:
+        capacity: maximum node population ``n`` (NodeSet width, <= 64).
+        tm: membership cycle period ``Tm``.
+        thb: heartbeat period ``Thb`` — maximum interval between consecutive
+            life-sign transmit requests of one node.
+        ttd: bounded network transmission delay ``Ttd = Ttx + Tina``
+            (MCAN4); added to remote-node surveillance timers.
+        trha: RHA maximum termination time (the Fig. 7 protocol timer).
+        tjoin_wait: maximum join wait delay — the bootstrap timeout a
+            joining node arms before concluding no full member is active
+            (much longer than ``tm`` by design).
+        omission_degree: the model's ``k`` bound (MCAN3).
+        inconsistent_degree: the model's ``j`` bound (LCAN4); RHA keeps a
+            transmit request alive until more than ``j`` copies circulated.
+        max_crash_failures: the model's ``f`` bound — nodes assumed to crash
+            per reference interval, sizing FDA worst cases.
+        reference_window: the reference time interval ``Trd`` the degree
+            bounds are stated over.
+    """
+
+    capacity: int = 64
+    tm: int = ms(50)
+    thb: int = ms(10)
+    ttd: int = ms(6)
+    trha: int = ms(5)
+    tjoin_wait: int = ms(150)
+    omission_degree: int = 8
+    inconsistent_degree: int = 2
+    max_crash_failures: int = 4
+    reference_window: int = ms(50)
+    #: Section 6.4 assumption: a removed node does not attempt
+    #: reintegration before a period much longer than ``tm`` has elapsed.
+    #: 0 leaves the assumption to the caller; a positive value makes the
+    #: membership layer enforce it (join() raises inside the cooldown).
+    reintegration_cooldown: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.capacity <= 64:
+            raise ConfigurationError(
+                f"capacity must be in 1..64, got {self.capacity}"
+            )
+        for name in ("tm", "thb", "ttd", "trha", "tjoin_wait", "reference_window"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.trha > self.tm:
+            raise ConfigurationError(
+                "the RHA termination time must fit inside one membership "
+                f"cycle: trha={self.trha} > tm={self.tm}"
+            )
+        if self.tjoin_wait <= self.tm:
+            raise ConfigurationError(
+                "tjoin_wait must exceed the membership cycle period "
+                f"(got tjoin_wait={self.tjoin_wait}, tm={self.tm})"
+            )
+        if self.omission_degree < self.inconsistent_degree:
+            raise ConfigurationError(
+                "the omission degree k bounds the inconsistent degree j "
+                f"(k={self.omission_degree} < j={self.inconsistent_degree})"
+            )
+        for name in (
+            "omission_degree",
+            "inconsistent_degree",
+            "max_crash_failures",
+            "reintegration_cooldown",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.reintegration_cooldown and self.reintegration_cooldown <= self.tm:
+            raise ConfigurationError(
+                "the reintegration cooldown must be much longer than the "
+                f"membership cycle (got {self.reintegration_cooldown} <= "
+                f"tm={self.tm})"
+            )
+
+    @classmethod
+    def for_population(
+        cls,
+        node_count: int,
+        bit_rate: int = 1_000_000,
+        **overrides,
+    ) -> "CanelyConfig":
+        """A configuration whose ``Ttd`` is derived for a node population.
+
+        ``Ttd`` must cover the worst-case queue-to-wire delay of a life-sign
+        (MCAN4). The harshest, perfectly legal case is every member's
+        heartbeat expiring in the same instant — a burst of ``n`` explicit
+        life-sign remote frames, all of which must drain before the last
+        node's surveillance deadline. We budget one worst-case remote frame
+        per node, doubled for retransmissions/inaccessibility headroom.
+        """
+        from repro.can.bitstream import worst_case_frame_bits
+        from repro.sim.clock import SEC
+
+        frame_bits = worst_case_frame_bits(0, extended=True)
+        frame_ticks = frame_bits * (SEC // bit_rate)
+        ttd = max(ms(1), 2 * node_count * frame_ticks)
+        capacity = overrides.pop("capacity", max(node_count, 1))
+        return cls(capacity=capacity, ttd=overrides.pop("ttd", ttd), **overrides)
+
+    @classmethod
+    def scaled_to_bit_rate(
+        cls, bit_rate: int, reference: "CanelyConfig" = None, **overrides
+    ) -> "CanelyConfig":
+        """A configuration rescaled from the 1 Mbps defaults.
+
+        CAN trades bit rate for bus length (see :mod:`repro.can.phy`); a
+        250 kbit/s industrial network needs every protocol period stretched
+        by the same 4x factor or the life-sign traffic alone saturates the
+        bus. This helper scales every duration of ``reference`` (default:
+        the class defaults) by ``1 Mbps / bit_rate``.
+        """
+        if bit_rate <= 0:
+            raise ConfigurationError(f"bit rate must be positive: {bit_rate}")
+        reference = reference if reference is not None else cls()
+        factor = 1_000_000 / bit_rate
+        scaled = {
+            name: round(getattr(reference, name) * factor)
+            for name in (
+                "tm",
+                "thb",
+                "ttd",
+                "trha",
+                "tjoin_wait",
+                "reference_window",
+            )
+        }
+        scaled.update(
+            capacity=reference.capacity,
+            omission_degree=reference.omission_degree,
+            inconsistent_degree=reference.inconsistent_degree,
+            max_crash_failures=reference.max_crash_failures,
+        )
+        scaled.update(overrides)
+        return cls(**scaled)
+
+    @property
+    def remote_surveillance(self) -> int:
+        """Surveillance timeout for remote nodes: ``Thb + Ttd`` (Fig. 8, a04)."""
+        return self.thb + self.ttd
+
+    @property
+    def detection_latency_bound(self) -> int:
+        """Worst-case crash detection latency at the detecting node.
+
+        A node may transmit a life-sign right before crashing: the silence
+        is noticed at most ``Thb + Ttd`` later.
+        """
+        return self.thb + self.ttd

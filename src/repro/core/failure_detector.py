@@ -1,0 +1,128 @@
+"""Node failure detection protocol — paper Fig. 8.
+
+One surveillance timer per monitored node. Node activity — *any* data frame
+(tapped via the ``can-data.nty`` extension, own transmissions included) or
+an explicit life-sign (ELS) remote frame — restarts the node's timer, so
+normal traffic implicitly doubles as heartbeats and explicit life-signs are
+only ever transmitted by nodes that stayed silent for a whole heartbeat
+period.
+
+* The timer of the **local** node runs for ``Thb``; its expiry broadcasts an
+  ELS remote frame (which, arriving back as an indication, restarts the
+  timer — Fig. 8 lines f03-f04).
+* The timer of a **remote** node runs for ``Thb + Ttd`` (the transmission
+  delay bound of MCAN4); its expiry signals a node crash, disseminated
+  consistently through the FDA micro-protocol.
+
+Pseudocode correspondence: ``i00`` initialization, ``a00-a06`` the
+``fd-alarm-start`` auxiliary function, ``f00-f19`` the event clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.can.driver import CanStandardLayer
+from repro.can.identifiers import MessageId, MessageType
+from repro.core.config import CanelyConfig
+from repro.core.fda import FdaProtocol
+from repro.sim.timers import Alarm, TimerService
+
+FailureCallback = Callable[[int], None]
+
+
+class FailureDetector:
+    """Per-node failure detection protocol entity."""
+
+    def __init__(
+        self,
+        layer: CanStandardLayer,
+        timers: TimerService,
+        config: CanelyConfig,
+        fda: FdaProtocol,
+    ) -> None:
+        self._layer = layer
+        self._timers = timers
+        self._config = config
+        self._fda = fda
+        # i00: surveillance timer identifiers, kept per monitored node.
+        self._tid: Dict[int, Optional[Alarm]] = {}
+        self._listeners: List[FailureCallback] = []
+        self.els_sent = 0
+        layer.add_data_nty(self._on_activity)  # f03: implicit life-signs
+        layer.add_rtr_ind(self._on_els, mtype=MessageType.ELS)  # f03: explicit
+        fda.on_failure_sign(self._on_failure_sign)  # f13
+
+    # -- upper-layer interface ----------------------------------------------------
+
+    def on_failure(self, callback: FailureCallback) -> None:
+        """Register an ``fd-can.nty`` listener, called with the failed id."""
+        self._listeners.append(callback)
+
+    def start(self, node_id: int) -> None:
+        """``fd-can.req(START, r)``: begin surveillance of ``node_id``."""
+        self._alarm_start(node_id)  # f00-f01
+
+    def stop(self, node_id: int) -> None:
+        """``fd-can.req(STOP, r)``: end surveillance of ``node_id``."""
+        alarm = self._tid.pop(node_id, None)  # f17-f18
+        self._timers.cancel_alarm(alarm)
+
+    def reset(self) -> None:
+        """Stop every surveillance timer (node reboot)."""
+        for node_id in list(self._tid):
+            self.stop(node_id)
+
+    def monitoring(self, node_id: int) -> bool:
+        """True while the service is active for ``node_id``."""
+        return node_id in self._tid
+
+    @property
+    def monitored_nodes(self) -> List[int]:
+        """Nodes currently under surveillance."""
+        return sorted(self._tid)
+
+    # -- fd-alarm-start (a00-a06) ---------------------------------------------------
+
+    def _alarm_start(self, node_id: int) -> None:
+        self._timers.cancel_alarm(self._tid.get(node_id))
+        if node_id == self._layer.node_id:  # a01
+            duration = self._config.thb  # a02: local timer
+        else:
+            duration = self._config.thb + self._config.ttd  # a04: remote
+        self._tid[node_id] = self._timers.start_alarm(
+            duration, lambda: self._on_expire(node_id)
+        )
+
+    # -- event clauses ------------------------------------------------------------------
+
+    def _on_activity(self, mid: MessageId) -> None:
+        # f03-f05: a data frame from some node is implicit node activity.
+        if mid.node in self._tid:
+            self._alarm_start(mid.node)
+
+    def _on_els(self, mid: MessageId) -> None:
+        # f03-f05: explicit life-sign (own transmissions included, which is
+        # how the local heartbeat timer re-arms after an ELS broadcast).
+        if mid.node in self._tid:
+            self._alarm_start(mid.node)
+
+    def _on_expire(self, node_id: int) -> None:
+        if node_id not in self._tid:
+            return
+        if node_id == self._layer.node_id:  # f07
+            # f08: the local node stayed silent for Thb — broadcast an
+            # explicit life-sign. The returning indication restarts the timer.
+            self.els_sent += 1
+            self._layer.rtr_req(MessageId(MessageType.ELS, node=node_id))
+        else:
+            # f10: a remote node stayed silent beyond Thb + Ttd — it failed.
+            self._fda.request(node_id)
+
+    def _on_failure_sign(self, node_id: int) -> None:
+        # f13-f16: a consistent failure-sign arrived: stop surveillance and
+        # notify the companion site membership protocol.
+        alarm = self._tid.pop(node_id, None)  # f14
+        self._timers.cancel_alarm(alarm)
+        for listener in list(self._listeners):  # f15
+            listener(node_id)

@@ -1,0 +1,88 @@
+"""Failure Detection Agreement (FDA) micro-protocol — paper Fig. 6.
+
+A simplified and optimized Eager Diffusion (EDCAN) instance that secures the
+reliable broadcast of a *failure-sign* message. The failure-sign carries
+only control information — the failed node identifier ``r`` and the FDA
+message type — so it travels in a CAN **remote frame**, and identical
+failure-signs issued by several detectors cluster into a single physical
+frame on the wired-AND bus.
+
+Pseudocode correspondence (line numbers from Fig. 6):
+
+* ``i00-i01`` — per-mid duplicate and request counters.
+* ``s00-s05`` — invocation (``fda-can.req``): issue a single transmit
+  request for the failure-sign.
+* ``r00-r09`` — reception: deliver the first copy upward (``fda-can.nty``)
+  and, in the absence of an equivalent transmit request, ask the CAN layer
+  to retransmit the failure-sign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.can.driver import CanStandardLayer
+from repro.can.identifiers import MessageId, MessageType
+
+FailureSignCallback = Callable[[int], None]
+
+
+class FdaProtocol:
+    """Per-node FDA protocol entity."""
+
+    def __init__(self, layer: CanStandardLayer) -> None:
+        self._layer = layer
+        # i00-i01: number of failure-sign duplicates / transmit requests,
+        # kept per message identifier (i.e. per failed-node identifier).
+        self._fs_ndup: Dict[MessageId, int] = {}
+        self._fs_nreq: Dict[MessageId, int] = {}
+        self._listeners: List[FailureSignCallback] = []
+        layer.add_rtr_ind(self._on_rtr_ind, mtype=MessageType.FDA)
+
+    def on_failure_sign(self, callback: FailureSignCallback) -> None:
+        """Register an ``fda-can.nty`` listener, called with the failed id."""
+        self._listeners.append(callback)
+
+    # -- sender side (s00-s05) ----------------------------------------------------
+
+    def request(self, failed_node: int) -> None:
+        """``fda-can.req``: reliably broadcast a failure-sign for ``failed_node``."""
+        mid = MessageId(MessageType.FDA, node=failed_node)
+        self._fs_nreq[mid] = self._fs_nreq.get(mid, 0) + 1  # s01
+        if self._fs_nreq[mid] == 1:  # s02
+            self._layer.rtr_req(mid)  # s03: failure-sign transmit request
+
+    # -- recipient side (r00-r09) -----------------------------------------------------
+
+    def _on_rtr_ind(self, mid: MessageId) -> None:
+        self._fs_ndup[mid] = self._fs_ndup.get(mid, 0) + 1  # r01
+        if self._fs_ndup[mid] != 1:  # r02
+            return
+        for listener in list(self._listeners):  # r03: fda-can.nty upward
+            listener(mid.node)
+        self._fs_nreq[mid] = self._fs_nreq.get(mid, 0) + 1  # r04
+        if self._fs_nreq[mid] == 1:  # r05
+            self._layer.rtr_req(mid)  # r06: failure-sign retransmission
+
+    # -- housekeeping ------------------------------------------------------------------
+
+    def reset(self, failed_node: int) -> None:
+        """Forget the counters for one failed node identifier.
+
+        Called by the membership layer once the failure has been processed
+        in a view; safe because a removed node does not attempt
+        reintegration before a period much longer than the membership cycle
+        (Section 6.4 assumption).
+        """
+        mid = MessageId(MessageType.FDA, node=failed_node)
+        self._fs_ndup.pop(mid, None)
+        self._fs_nreq.pop(mid, None)
+
+    def reset_all(self) -> None:
+        """Forget every counter (node reboot)."""
+        self._fs_ndup.clear()
+        self._fs_nreq.clear()
+
+    def duplicates_seen(self, failed_node: int) -> int:
+        """Physical failure-sign copies observed for ``failed_node``."""
+        return self._fs_ndup.get(MessageId(MessageType.FDA, node=failed_node), 0)

@@ -1,0 +1,57 @@
+"""Life-sign policy (paper Section 6.1).
+
+CANELy signals node activity *implicitly* through normal traffic; explicit
+life-sign (ELS) messages are only required of nodes whose own transmissions
+are less frequent than the heartbeat period — periodic traffic with a period
+above ``Thb``, or sporadic/aperiodic traffic. This module captures that
+policy decision: given the traffic characterization of each node, which
+nodes need explicit life-signs (the paper's parameter ``b``)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class NodeTraffic:
+    """Traffic characterization of one node.
+
+    Attributes:
+        node_id: the node.
+        min_period: smallest period among the node's periodic streams, in
+            kernel ticks; ``None`` when the node only emits sporadic or
+            aperiodic traffic.
+    """
+
+    node_id: int
+    min_period: Optional[int]
+
+    @property
+    def is_sporadic_only(self) -> bool:
+        """True when the node has no periodic stream at all."""
+        return self.min_period is None
+
+
+def needs_explicit_lifesign(traffic: NodeTraffic, thb: int) -> bool:
+    """Does this node have to rely on explicit ELS messages?
+
+    A node transmitting periodic traffic with a period no greater than the
+    heartbeat period never lets its surveillance timers expire; everyone
+    else must be ready to emit explicit life-signs.
+    """
+    if traffic.is_sporadic_only:
+        return True
+    return traffic.min_period > thb
+
+
+def explicit_lifesign_nodes(
+    traffic_map: Iterable[NodeTraffic], thb: int
+) -> List[int]:
+    """The nodes requiring explicit life-signs (the paper's ``b`` count)."""
+    return sorted(
+        traffic.node_id
+        for traffic in traffic_map
+        if needs_explicit_lifesign(traffic, thb)
+    )

@@ -1,0 +1,156 @@
+"""Reception History Agreement (RHA) micro-protocol — paper Fig. 7.
+
+RHA lets every correct node agree on a *reception history vector* (RHV): the
+set of nodes to be included in the next site membership view. Each full
+member proposes ``(Vs | Vj) - Vl``; proposals may differ when join/leave
+requests suffered inconsistent omissions. The protocol converges on the
+**intersection** of all proposals: a node receiving a vector that would
+shrink its own aborts its pending broadcast, adopts the intersection and
+broadcasts the new value. A transmit request stays valid until the value is
+superseded or more than ``j`` copies of it circulated (LCAN4 makes more
+copies unnecessary), which caps the bandwidth of each distinct value at
+``j + 1`` frames.
+
+Joining nodes, which have no valid view, may not start the protocol (Fig. 7
+line s00) but must engage as soon as they receive an RHV signal, adopting
+the received vector as their initial value (line a05).
+
+Pseudocode correspondence: ``i00-i04`` initialization, ``a00-a09`` the
+``rha-init-send`` auxiliary function, ``s00-s04`` the full-member
+invocation, ``r00-r13`` reception, ``r14-r18`` protocol-timer expiry.
+
+Implementation note: the paper keys the duplicate counters by the message
+control field, which carries only the *cardinality* ``#RHV``; we key them by
+the vector's value, which is strictly more precise (two distinct vectors of
+equal cardinality never share a counter) and otherwise identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.can.driver import CanStandardLayer
+from repro.can.identifiers import MessageId, MessageType
+from repro.core.config import CanelyConfig
+from repro.core.state import MembershipState
+from repro.sim.timers import Alarm, TimerService
+from repro.util.sets import NodeSet
+
+InitCallback = Callable[[], None]
+EndCallback = Callable[[NodeSet], None]
+
+
+class RhaProtocol:
+    """Per-node RHA protocol entity."""
+
+    def __init__(
+        self,
+        layer: CanStandardLayer,
+        timers: TimerService,
+        config: CanelyConfig,
+        state: MembershipState,
+    ) -> None:
+        self._layer = layer
+        self._timers = timers
+        self._config = config
+        self._state = state
+        # i00: duplicate counters, kept per RHV value.
+        self._rhv_ndup: Dict[bytes, int] = {}
+        # i01-i02: protocol timer and current vector.
+        self._tid: Optional[Alarm] = None
+        self._rhv: NodeSet = NodeSet.empty(config.capacity)
+        self._init_listeners: List[InitCallback] = []
+        self._end_listeners: List[EndCallback] = []
+        self.executions = 0
+        self.frames_sent = 0
+        layer.add_data_ind(self._on_data_ind, mtype=MessageType.RHA)
+
+    # -- upper-layer interface --------------------------------------------------
+
+    def on_init(self, callback: InitCallback) -> None:
+        """Register an ``rha-can.nty(INIT)`` listener."""
+        self._init_listeners.append(callback)
+
+    def on_end(self, callback: EndCallback) -> None:
+        """Register an ``rha-can.nty(END, rhv)`` listener."""
+        self._end_listeners.append(callback)
+
+    @property
+    def running(self) -> bool:
+        """True while a protocol execution is in progress."""
+        return self._tid is not None
+
+    def request(self) -> None:
+        """``rha-can.req``: start an execution (full members only, s00)."""
+        if self._layer.node_id not in self._state.view:  # s00 guard
+            return
+        if self._tid is None:  # s01
+            self._init_send(NodeSet.universe(self._config.capacity))  # s02
+
+    # -- rha-init-send (a00-a09) -----------------------------------------------------
+
+    def _init_send(self, received: NodeSet) -> None:
+        local = self._layer.node_id
+        self.executions += 1
+        # a01: protocol timer bounding the RHA termination time.
+        self._tid = self._timers.start_alarm(self._config.trha, self._on_expire)
+        if local in self._state.view:  # a02
+            # a03: full members intersect their own proposal with the
+            # received vector (the universe when starting locally).
+            self._rhv = self._state.initial_rhv() & received
+        else:
+            self._rhv = received  # a05: non-members adopt the received vector
+        self._broadcast_rhv()  # a07
+        for listener in list(self._init_listeners):  # a08
+            listener()
+
+    def _broadcast_rhv(self) -> None:
+        mid = MessageId(
+            MessageType.RHA, node=self._layer.node_id, ref=len(self._rhv)
+        )
+        self.frames_sent += 1
+        self._layer.data_req(mid, self._rhv.to_bytes())
+
+    def _own_mid(self) -> MessageId:
+        return MessageId(
+            MessageType.RHA, node=self._layer.node_id, ref=len(self._rhv)
+        )
+
+    # -- recipient (r00-r13) --------------------------------------------------------
+
+    def _on_data_ind(self, mid: MessageId, data: bytes) -> None:
+        received = NodeSet.from_bytes(data, self._config.capacity)  # r00
+        key = received.to_bytes()
+        self._rhv_ndup[key] = self._rhv_ndup.get(key, 0) + 1  # r01
+        if self._tid is None:  # r02
+            self._init_send(received)  # r03
+        elif (self._rhv & received) != self._rhv:  # r04
+            # The received vector removes nodes from ours: supersede.
+            self._layer.abort_req(self._own_mid())  # r05
+            self._rhv = self._rhv & received  # r06
+            self._broadcast_rhv()  # r07
+        elif self._rhv_ndup.get(self._rhv.to_bytes(), 0) > self._config.inconsistent_degree:
+            # r08: enough copies of the current value circulated (see LCAN4).
+            self._layer.abort_req(self._own_mid())  # r09
+
+    def reset(self) -> None:
+        """Abort any execution in progress and forget all state (reboot)."""
+        self._timers.cancel_alarm(self._tid)
+        self._tid = None
+        self._rhv = NodeSet.empty(self._config.capacity)
+        self._rhv_ndup.clear()
+
+    # -- protocol timer (r14-r18) -------------------------------------------------------
+
+    def _on_expire(self) -> None:
+        result = self._rhv
+        # Retire any still-pending broadcast of the final value: agreement
+        # has been reached within the termination bound, and a stale RHV
+        # signal after the execution ended would spuriously restart the
+        # protocol at every node.
+        self._layer.abort_req(self._own_mid())
+        self._tid = None  # r16
+        self._rhv = NodeSet.empty(self._config.capacity)  # r17
+        self._rhv_ndup.clear()  # fresh counters for the next execution (i00)
+        for listener in list(self._end_listeners):  # r15
+            listener(result)

@@ -1,0 +1,349 @@
+"""CANELy stack assembly.
+
+:class:`CanelyNode` wires one node's full protocol stack — CAN controller,
+standard layer, timers, FDA, RHA, failure detection and site membership —
+and exposes the small public API an application uses. :class:`CanelyNetwork`
+builds a whole simulated network and offers the scenario-level helpers that
+examples, tests and benchmarks share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.can.errormodel import FaultInjector
+from repro.can.identifiers import MessageId, MessageType
+from repro.can.phy import BitTiming
+from repro.core.config import CanelyConfig
+from repro.core.failure_detector import FailureDetector
+from repro.core.fda import FdaProtocol
+from repro.core.groups import ProcessGroupService
+from repro.core.membership import MembershipProtocol
+from repro.core.rha import RhaProtocol
+from repro.core.state import MembershipState
+from repro.core.views import MembershipChange, MembershipView
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.kernel import Simulator
+from repro.sim.timers import TimerService
+from repro.util.sets import NodeSet
+
+MessageCallback = Callable[[int, int, bytes], None]
+
+
+class CanelyNode:
+    """One CANELy node: controller + standard layer + protocol suite."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        bus: Optional[CanBus],
+        config: CanelyConfig,
+        layer=None,
+        timer_drift: float = 0.0,
+    ) -> None:
+        if not 0 <= node_id < config.capacity:
+            raise ConfigurationError(
+                f"node id {node_id} outside 0..{config.capacity - 1}"
+            )
+        self.node_id = node_id
+        self.config = config
+        self._sim = sim
+        if layer is None:
+            if bus is None:
+                raise ConfigurationError("either a bus or a layer is required")
+            self.controller = CanController(node_id)
+            bus.attach(self.controller)
+            self.layer = CanStandardLayer(self.controller)
+        else:
+            # A prebuilt layer (e.g. a DualChannelLayer for channel
+            # redundancy); it must expose the standard-layer interface and
+            # a controller facade.
+            self.layer = layer
+            self.controller = layer.controller
+        self.timers = TimerService(sim, drift=timer_drift)
+        self.state = MembershipState(capacity=config.capacity)
+        self.fda = FdaProtocol(self.layer)
+        self.rha = RhaProtocol(self.layer, self.timers, config, self.state)
+        self.detector = FailureDetector(self.layer, self.timers, config, self.fda)
+        self.membership = MembershipProtocol(
+            self.layer,
+            self.timers,
+            sim,
+            config,
+            self.state,
+            self.rha,
+            self.detector,
+            self.fda,
+        )
+        self.groups = ProcessGroupService(
+            self.layer, self.membership, config.inconsistent_degree
+        )
+        self._message_listeners: List[MessageCallback] = []
+        self._next_ref = 0
+        self.layer.add_data_ind(self._on_app_data, mtype=MessageType.DATA)
+
+    # -- membership API (Fig. 5) ----------------------------------------------------
+
+    def join(self) -> None:
+        """Request integration in the set of active sites."""
+        self.membership.join()
+
+    def leave(self) -> None:
+        """Request withdrawal from the site membership view."""
+        self.membership.leave()
+
+    def view(self) -> MembershipView:
+        """The current site membership view at this node."""
+        return self.membership.view()
+
+    def on_membership_change(self, callback: Callable[[MembershipChange], None]) -> None:
+        """Subscribe to membership change notifications."""
+        self.membership.on_change(callback)
+
+    @property
+    def is_member(self) -> bool:
+        """True while this node is a full member."""
+        return self.membership.is_member
+
+    # -- application traffic ------------------------------------------------------------
+
+    def send(self, data: bytes) -> int:
+        """Broadcast application data; doubles as an implicit life-sign."""
+        ref = self._next_ref
+        self._next_ref = (self._next_ref + 1) % 65536
+        mid = MessageId(MessageType.DATA, node=self.node_id, ref=ref)
+        self.layer.data_req(mid, data)
+        return ref
+
+    def on_message(self, callback: MessageCallback) -> None:
+        """Subscribe to application data ``(sender, ref, data)``."""
+        self._message_listeners.append(callback)
+
+    def _on_app_data(self, mid: MessageId, data: bytes) -> None:
+        for listener in list(self._message_listeners):
+            listener(mid.node, mid.ref, data)
+
+    # -- fault scripting ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the node (fail-silent), recording the event in the trace.
+
+        The node's protocol timers die with it: a crashed node generates no
+        further events (its controller already discards any I/O).
+        """
+        self.controller.crash()
+        self.detector.reset()
+        self.membership.halt()
+        self._sim.trace.record(self._sim.now, "node.crash", node=self.node_id)
+
+    @property
+    def crashed(self) -> bool:
+        """True once the node has crashed."""
+        return self.controller.crashed
+
+    def stats(self) -> Dict[str, int]:
+        """Protocol counters for diagnostics and benchmarks."""
+        return {
+            "els_sent": self.detector.els_sent,
+            "rha_executions": self.rha.executions,
+            "rha_frames_sent": self.rha.frames_sent,
+            "monitored_nodes": len(self.detector.monitored_nodes),
+            "tx_queue_depth": self.controller.queue_depth
+            if hasattr(self.controller, "queue_depth")
+            else 0,
+            "view_round": self.membership.view().round_index,
+        }
+
+    def recover(self) -> None:
+        """Reboot a crashed node with fresh protocol state.
+
+        The paper assumes a removed node "does not initiate a reintegration
+        attempt before a period much higher than the membership cycle
+        period has elapsed" (Section 6.4); honouring that is the caller's
+        responsibility. After recovery the node is silent until it joins.
+        """
+        if not self.crashed:
+            raise ProtocolError(f"node {self.node_id} has not crashed")
+        self.controller.crashed = False
+        self.controller.tec = 0
+        self.controller.rec = 0
+        self.fda.reset_all()
+        self.rha.reset()
+        self.detector.reset()
+        self.membership.reset()
+        self._sim.trace.record(self._sim.now, "node.recover", node=self.node_id)
+
+
+class DualChannelNetwork:
+    """A CANELy network over two replicated channels (Fig. 11's optional
+    channel redundancy): two independent buses, two controllers per node,
+    the protocol suite running over a :class:`DualChannelLayer`.
+
+    A whole channel can be taken out with :meth:`fail_channel`; the
+    protocols never notice.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        config: Optional[CanelyConfig] = None,
+        pairing_window: Optional[int] = None,
+    ) -> None:
+        from repro.can.channels import DualChannelLayer
+        from repro.sim.clock import us
+
+        self.config = config if config is not None else CanelyConfig()
+        if node_count > self.config.capacity:
+            raise ConfigurationError(
+                f"{node_count} nodes exceed the configured capacity "
+                f"{self.config.capacity}"
+            )
+        self.sim = Simulator()
+        self.buses = (CanBus(self.sim), CanBus(self.sim))
+        window = pairing_window if pairing_window is not None else us(500)
+        self.nodes: Dict[int, CanelyNode] = {}
+        for node_id in range(node_count):
+            layers = []
+            for bus in self.buses:
+                controller = CanController(node_id)
+                bus.attach(controller)
+                layers.append(CanStandardLayer(controller))
+            dual = DualChannelLayer(self.sim, layers[0], layers[1], window)
+            self.nodes[node_id] = CanelyNode(
+                node_id, self.sim, None, self.config, layer=dual
+            )
+
+    def fail_channel(self, channel_index: int) -> None:
+        """Permanently silence one whole channel (cable destroyed, channel
+        babbling fenced off, ...). The other channel carries on."""
+        # A channel that never provides service again: an unbounded
+        # inaccessibility window.
+        self.buses[channel_index].inject_inaccessibility(2**40)
+
+    # The query helpers mirror CanelyNetwork's.
+
+    def node(self, node_id: int) -> CanelyNode:
+        """The stack of one node."""
+        return self.nodes[node_id]
+
+    def join_all(self) -> None:
+        """Every node requests to join."""
+        for node in self.nodes.values():
+            node.join()
+
+    def run_for(self, duration: int) -> None:
+        """Advance the simulation by ``duration`` ticks."""
+        self.sim.run_until(self.sim.now + duration)
+
+    def member_views(self) -> Dict[int, NodeSet]:
+        """The membership view at every correct full member."""
+        return {
+            node.node_id: node.view().members
+            for node in self.nodes.values()
+            if not node.crashed and node.is_member
+        }
+
+    def views_agree(self) -> bool:
+        """True when all correct full members hold the same view."""
+        views = list(self.member_views().values())
+        return all(view == views[0] for view in views)
+
+    def agreed_view(self) -> NodeSet:
+        """The common view; raises if members disagree."""
+        views = self.member_views()
+        if not views:
+            return NodeSet.empty(self.config.capacity)
+        first = next(iter(views.values()))
+        if any(view != first for view in views.values()):
+            raise AssertionError(f"views disagree: {views!r}")
+        return first
+
+
+class CanelyNetwork:
+    """A simulated CANELy network: simulator + bus + n protocol stacks."""
+
+    def __init__(
+        self,
+        node_count: int,
+        config: Optional[CanelyConfig] = None,
+        injector: Optional[FaultInjector] = None,
+        timing: Optional[BitTiming] = None,
+        clustering: bool = True,
+        timer_drifts: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self.config = config if config is not None else CanelyConfig()
+        if node_count > self.config.capacity:
+            raise ConfigurationError(
+                f"{node_count} nodes exceed the configured capacity "
+                f"{self.config.capacity}"
+            )
+        self.sim = Simulator()
+        self.bus = CanBus(
+            self.sim, timing=timing, injector=injector, clustering=clustering
+        )
+        drifts = timer_drifts or {}
+        self.nodes: Dict[int, CanelyNode] = {
+            node_id: CanelyNode(
+                node_id,
+                self.sim,
+                self.bus,
+                self.config,
+                timer_drift=drifts.get(node_id, 0.0),
+            )
+            for node_id in range(node_count)
+        }
+
+    def node(self, node_id: int) -> CanelyNode:
+        """The stack of one node."""
+        return self.nodes[node_id]
+
+    def join_all(self) -> None:
+        """Every node requests to join (cold-start bootstrap)."""
+        for node in self.nodes.values():
+            node.join()
+
+    def run_for(self, duration: int) -> None:
+        """Advance the simulation by ``duration`` ticks."""
+        self.sim.run_until(self.sim.now + duration)
+
+    def run_cycles(self, cycles: float) -> None:
+        """Advance by a number of membership cycle periods."""
+        self.run_for(round(cycles * self.config.tm))
+
+    # -- network-wide assertions -----------------------------------------------------------
+
+    def correct_nodes(self) -> List[CanelyNode]:
+        """Nodes that have not crashed."""
+        return [node for node in self.nodes.values() if not node.crashed]
+
+    def member_views(self) -> Dict[int, NodeSet]:
+        """The membership view at every correct full member."""
+        return {
+            node.node_id: node.view().members
+            for node in self.correct_nodes()
+            if node.is_member
+        }
+
+    def views_agree(self) -> bool:
+        """True when all correct full members hold the same view."""
+        views = list(self.member_views().values())
+        return all(view == views[0] for view in views)
+
+    def agreed_view(self) -> NodeSet:
+        """The common view; raises if members disagree."""
+        views = self.member_views()
+        if not views:
+            return NodeSet.empty(self.config.capacity)
+        first = next(iter(views.values()))
+        disagreeing = {
+            node_id: view for node_id, view in views.items() if view != first
+        }
+        if disagreeing:
+            raise AssertionError(
+                f"views disagree: {first!r} at most nodes vs {disagreeing!r}"
+            )
+        return first

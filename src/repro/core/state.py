@@ -1,0 +1,58 @@
+"""Shared membership protocol state.
+
+The paper's Fig. 7 notes that the RHA micro-protocol *shares* the membership
+sets with the upper-layer entities: ``Vs`` (the site membership view),
+``Vj`` (nodes in a joining process) and ``Vl`` (nodes requesting
+withdrawal). :class:`MembershipState` is that shared blackboard: one
+instance per node, referenced by both the RHA machine and the membership
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.sets import NodeSet
+
+
+@dataclass
+class MembershipState:
+    """Per-node shared membership sets (paper notation in parentheses).
+
+    Attributes:
+        view: the site membership view (``Vs``) — the full members.
+        joining: nodes in a joining process (``Vj``).
+        joining_aux: the auxiliary joining set (``V'j``, Fig. 9 footnote):
+            lets a node whose join suffered an inconsistent failure be
+            retired from ``Vj`` within two membership cycles.
+        leaving: nodes requesting withdrawal (``Vl``).
+        failed: node crash failures detected in the current cycle (``Fs``).
+    """
+
+    capacity: int = 64
+    view: NodeSet = field(default=None)
+    joining: NodeSet = field(default=None)
+    joining_aux: NodeSet = field(default=None)
+    leaving: NodeSet = field(default=None)
+    failed: NodeSet = field(default=None)
+
+    def __post_init__(self) -> None:
+        empty = NodeSet.empty(self.capacity)
+        if self.view is None:
+            self.view = empty
+        if self.joining is None:
+            self.joining = empty
+        if self.joining_aux is None:
+            self.joining_aux = empty
+        if self.leaving is None:
+            self.leaving = empty
+        if self.failed is None:
+            self.failed = empty
+
+    def initial_rhv(self) -> NodeSet:
+        """A full member's initial reception history vector.
+
+        Fig. 7 line a03: ``(Vs | Vj) - Vl`` (before intersecting with any
+        received vector).
+        """
+        return (self.view | self.joining) - self.leaving

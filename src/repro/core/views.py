@@ -1,0 +1,51 @@
+"""Membership views and change notifications (the upper-layer interface).
+
+Fig. 5 of the paper: upper layers may request join/leave or read the current
+site membership view, and receive *membership change* notifications carrying
+the set of active nodes and the set of failed nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.sets import NodeSet
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """A snapshot of the site membership view at one node.
+
+    Attributes:
+        members: the currently active full members (``Vs``).
+        round_index: how many membership protocol executions produced it.
+        time: simulation time of the snapshot.
+    """
+
+    members: NodeSet
+    round_index: int
+    time: int
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """A ``msh-can.nty`` membership change notification (Fig. 5).
+
+    Attributes:
+        active: the set of active sites/nodes after the change.
+        failed: the set of nodes notified as failed (empty for pure
+            join/leave changes).
+        time: simulation time of the notification.
+        local_node: the node at which the notification was delivered.
+    """
+
+    active: NodeSet
+    failed: NodeSet
+    time: int
+    local_node: int

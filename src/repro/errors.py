@@ -1,0 +1,27 @@
+"""Exception hierarchy for the CANELy reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid protocol or network configuration."""
+
+
+class FrameError(ReproError):
+    """Malformed CAN frame or identifier."""
+
+
+class BusError(ReproError):
+    """Illegal bus usage (e.g. two data frames with the same identifier)."""
+
+
+class ProtocolError(ReproError):
+    """A CANELy protocol was driven outside its specified state machine."""
+
+
+class MembershipError(ProtocolError):
+    """Invalid membership operation (e.g. joining twice)."""

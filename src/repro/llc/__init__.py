@@ -1,0 +1,29 @@
+"""Reliable broadcast protocol suite for CAN (Rufino et al., FTCS-28 [18]).
+
+The CANELy failure-detection/membership layer sits beside a reliable
+group-communication suite built on the same standard-layer interface:
+
+* :class:`~repro.llc.edcan.Edcan` — eager diffusion: every recipient
+  immediately re-requests transmission of the received frame; wired-AND
+  clustering collapses the echoes into very few physical frames.
+* :class:`~repro.llc.relcan.Relcan` — lazy two-phase broadcast: deliver on
+  the sender's confirmation, fall back to diffusion when the sender dies.
+* :class:`~repro.llc.totcan.Totcan` — totally ordered atomic broadcast via
+  accept messages and a stability delay.
+
+:mod:`repro.llc.properties` provides runtime monitors for the MCAN1-4 and
+LCAN1-4 properties of the system model (paper Figs. 2 and 3).
+"""
+
+from repro.llc.edcan import Edcan
+from repro.llc.properties import PropertyReport, check_all_properties
+from repro.llc.relcan import Relcan
+from repro.llc.totcan import Totcan
+
+__all__ = [
+    "Edcan",
+    "PropertyReport",
+    "Relcan",
+    "Totcan",
+    "check_all_properties",
+]

@@ -1,0 +1,96 @@
+"""EDCAN — the Eager Diffusion reliable broadcast protocol.
+
+From [18]: the sender broadcasts the message; every recipient, upon
+receiving the *first* copy, delivers it to the layer above and — unless an
+equivalent transmit request is already pending locally — immediately asks the
+CAN layer to retransmit the very same frame. Identical frames cluster on the
+wired-AND bus, so the whole diffusion usually costs a single extra physical
+frame. Retransmission requests are kept alive until more than ``j`` copies
+(the inconsistent omission degree bound, LCAN4) have been observed, which
+guarantees delivery to all correct nodes even when the original transmission
+suffered an inconsistent omission and the sender crashed.
+
+The FDA micro-protocol of the membership paper (Fig. 6) is a simplified,
+remote-frame-only instance of this scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.can.driver import CanStandardLayer
+from repro.can.identifiers import MessageId, MessageType
+
+DeliverCallback = Callable[[int, int, bytes], None]
+
+#: Cap on the duplicate-tracking tables: with 16-bit message references the
+#: tables would otherwise grow for the lifetime of the node. Old entries
+#: are pruned FIFO; a reference only repeats after 65k messages from the
+#: same sender, far beyond any plausible in-flight window.
+MAX_TRACKED_MESSAGES = 4096
+
+
+class Edcan:
+    """Per-node EDCAN protocol entity.
+
+    Args:
+        layer: the node's CAN standard layer.
+        inconsistent_degree: the model's ``j`` bound; a node keeps its echo
+            request pending until more than ``j`` copies circulated.
+        mtype: message type used on the bus (application data by default).
+    """
+
+    def __init__(
+        self,
+        layer: CanStandardLayer,
+        inconsistent_degree: int = 2,
+        mtype: MessageType = MessageType.DATA,
+    ) -> None:
+        self._layer = layer
+        self._j = inconsistent_degree
+        self._mtype = mtype
+        self._ndup: Dict[MessageId, int] = {}
+        self._payload: Dict[MessageId, bytes] = {}
+        self._deliver: Optional[DeliverCallback] = None
+        self._next_ref = 0
+        layer.add_data_ind(self._on_data_ind, mtype=mtype)
+
+    def on_deliver(self, callback: DeliverCallback) -> None:
+        """Register the upper-layer delivery callback ``(sender, ref, data)``."""
+        self._deliver = callback
+
+    def broadcast(self, data: bytes) -> int:
+        """Reliably broadcast ``data``; returns the message reference."""
+        ref = self._next_ref
+        self._next_ref += 1
+        mid = MessageId(self._mtype, node=self._layer.node_id, ref=ref)
+        self._layer.data_req(mid, data)
+        return ref
+
+    # -- protocol machine ------------------------------------------------------
+
+    def _prune(self) -> None:
+        while len(self._ndup) > MAX_TRACKED_MESSAGES:
+            oldest = next(iter(self._ndup))
+            del self._ndup[oldest]
+            self._payload.pop(oldest, None)
+
+    def _on_data_ind(self, mid: MessageId, data: bytes) -> None:
+        count = self._ndup.get(mid, 0) + 1
+        self._ndup[mid] = count
+        self._prune()
+        if count == 1:
+            self._payload[mid] = data
+            if self._deliver is not None:
+                self._deliver(mid.node, mid.ref, data)
+            # Eager diffusion: echo the frame unless we are its origin (our
+            # own request already served) or an equivalent request is pending.
+            if mid.node != self._layer.node_id and not self._layer.has_pending(mid):
+                self._layer.data_req(mid, data)
+        elif count > self._j:
+            # Enough copies circulated; our echo is no longer needed.
+            self._layer.abort_req(mid)
+
+    def duplicates_seen(self, sender: int, ref: int) -> int:
+        """Number of physical copies observed for one message (diagnostics)."""
+        return self._ndup.get(MessageId(self._mtype, node=sender, ref=ref), 0)

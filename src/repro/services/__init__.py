@@ -1,0 +1,24 @@
+"""Companion CANELy services and related-work baselines.
+
+* :mod:`repro.services.clocksync` — fault-tolerant clock synchronization
+  (Rodrigues, Guimarães & Rufino [15]), the "tens of µs precision" row of
+  the paper's Fig. 11.
+* :mod:`repro.services.cal_nm` — CAL/CANopen master-slave node guarding,
+  the centralized baseline of Section 6.6.
+* :mod:`repro.services.osek_nm` — OSEK network management's logical ring,
+  the distributed baseline of Section 6.6.
+"""
+
+from repro.services.cal_nm import CalNodeGuarding
+from repro.services.clocksync import ClockSyncService, VirtualClock
+from repro.services.osek_nm import OsekNetworkManagement
+from repro.services.ttp import TtpNetwork, TtpNode
+
+__all__ = [
+    "CalNodeGuarding",
+    "ClockSyncService",
+    "OsekNetworkManagement",
+    "TtpNetwork",
+    "TtpNode",
+    "VirtualClock",
+]

@@ -1,0 +1,248 @@
+"""CAL / CANopen network management — the centralized baseline of §6.6.
+
+The CAN Application Layer (CAL), as used by the CANopen communication
+profile, detects node crashes with a master-slave scheme: one master
+cyclically inquires each slave with a CAN remote frame
+(:class:`CalNodeGuarding`); the slave answers with its current state. A
+slave that misses its answers for a *node life time* (guard time x life
+time factor) is declared failed.
+
+The paper also mentions the alternative producer-consumer model
+(:class:`CalHeartbeat`, CANopen's heartbeat protocol): every node
+broadcasts a periodic status message; consumers time out producers
+individually. It removes the remote-frame polling but keeps the core
+weaknesses the paper criticises and the related-work benchmark quantifies:
+
+* node guarding is **centralized** — a master crash disables detection
+  entirely; heartbeat consumers are configured statically instead;
+* detection latency is governed by configuration-table periods, not by
+  the traffic already on the bus (no implicit life-signs);
+* there is **no agreement**: consumers time out producers independently,
+  with no mechanism making the failure notification consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.can.driver import CanStandardLayer
+from repro.can.identifiers import MessageId, MessageType
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.timers import TimerService
+
+#: ``ref`` subtype codes within the NM message type.
+_POLL_REF = 0x100
+_STATUS_REF = 0x200
+_HEARTBEAT_REF = 0x500
+
+FailureCallback = Callable[[int], None]
+
+
+class CalNodeGuarding:
+    """One node's CAL node-guarding entity (master or slave).
+
+    Args:
+        layer: the node's CAN standard layer.
+        timers: the node's timer service.
+        sim: the simulator.
+        master_id: identifier of the guarding master.
+        slave_ids: identifiers of the guarded slaves.
+        guard_time: polling slot duration — the master polls one slave per
+            guard slot, round-robin.
+        life_time_factor: missed polls tolerated before a slave is declared
+            failed (CANopen's lifeTimeFactor).
+    """
+
+    def __init__(
+        self,
+        layer: CanStandardLayer,
+        timers: TimerService,
+        sim: Simulator,
+        master_id: int,
+        slave_ids: List[int],
+        guard_time: int,
+        life_time_factor: int = 2,
+    ) -> None:
+        if guard_time <= 0:
+            raise ConfigurationError(f"guard time must be positive: {guard_time}")
+        if life_time_factor < 1:
+            raise ConfigurationError(
+                f"life time factor must be >= 1: {life_time_factor}"
+            )
+        if master_id in slave_ids:
+            raise ConfigurationError("the master does not guard itself")
+        self._layer = layer
+        self._timers = timers
+        self._sim = sim
+        self.master_id = master_id
+        self.slave_ids = list(slave_ids)
+        self.guard_time = guard_time
+        self.life_time = guard_time * len(slave_ids) * life_time_factor
+        self._is_master = layer.node_id == master_id
+        self._poll_index = 0
+        self._last_seen: Dict[int, int] = {}
+        self.detected: Dict[int, int] = {}
+        self._listeners: List[FailureCallback] = []
+        self.polls_sent = 0
+        self.statuses_sent = 0
+        self._running = False
+        layer.add_rtr_ind(self._on_poll, mtype=MessageType.NM)
+        layer.add_data_ind(self._on_status, mtype=MessageType.NM)
+
+    def on_failure(self, callback: FailureCallback) -> None:
+        """Register a failure listener (only ever fired at the master)."""
+        self._listeners.append(callback)
+
+    def start(self) -> None:
+        """Start the guarding service (master begins polling)."""
+        if self._running:
+            return
+        self._running = True
+        if self._is_master:
+            now = self._sim.now
+            for slave in self.slave_ids:
+                self._last_seen[slave] = now
+            self._timers.start_alarm(self.guard_time, self._poll_next)
+
+    def stop(self) -> None:
+        """Stop the service."""
+        self._running = False
+
+    # -- master side ---------------------------------------------------------------
+
+    def _poll_next(self) -> None:
+        if not self._running:
+            return
+        slave = self.slave_ids[self._poll_index % len(self.slave_ids)]
+        self._poll_index += 1
+        self.polls_sent += 1
+        self._layer.rtr_req(MessageId(MessageType.NM, node=slave, ref=_POLL_REF))
+        self._check_lifetimes()
+        self._timers.start_alarm(self.guard_time, self._poll_next)
+
+    def _check_lifetimes(self) -> None:
+        now = self._sim.now
+        for slave, seen in self._last_seen.items():
+            if slave in self.detected:
+                continue
+            if now - seen > self.life_time:
+                self.detected[slave] = now
+                for listener in list(self._listeners):
+                    listener(slave)
+
+    def _on_status(self, mid: MessageId, data: bytes) -> None:
+        if self._is_master and mid.ref == _STATUS_REF:
+            self._last_seen[mid.node] = self._sim.now
+
+    # -- slave side -----------------------------------------------------------------
+
+    def _on_poll(self, mid: MessageId) -> None:
+        if mid.ref != _POLL_REF or mid.node != self._layer.node_id:
+            return
+        if not self._running:
+            return
+        self.statuses_sent += 1
+        self._layer.data_req(
+            MessageId(MessageType.NM, node=self._layer.node_id, ref=_STATUS_REF),
+            bytes([0x05]),  # CANopen "operational" state
+        )
+
+
+class CalHeartbeat:
+    """CANopen heartbeat (producer-consumer) node monitoring.
+
+    Every node *produces* a periodic heartbeat status message; each node
+    *consumes* the heartbeats of a configured producer set and declares a
+    producer failed when nothing arrived for ``consumer_time`` (CANopen
+    requires ``consumer_time > producer_time``).
+
+    Args:
+        layer: the node's CAN standard layer.
+        timers: the node's timer service.
+        sim: the simulator.
+        producer_time: interval between own heartbeats.
+        consumer_time: silence tolerated before a producer is declared
+            failed.
+        watched: producer node ids this node consumes (default: none).
+    """
+
+    def __init__(
+        self,
+        layer: CanStandardLayer,
+        timers: TimerService,
+        sim: Simulator,
+        producer_time: int,
+        consumer_time: int,
+        watched: Optional[List[int]] = None,
+    ) -> None:
+        if producer_time <= 0:
+            raise ConfigurationError(
+                f"producer time must be positive: {producer_time}"
+            )
+        if consumer_time <= producer_time:
+            raise ConfigurationError(
+                "the consumer time must exceed the producer time "
+                f"({consumer_time} <= {producer_time})"
+            )
+        self._layer = layer
+        self._timers = timers
+        self._sim = sim
+        self.producer_time = producer_time
+        self.consumer_time = consumer_time
+        self._watched = list(watched or [])
+        self._consumer_alarms: Dict[int, object] = {}
+        self.detected: Dict[int, int] = {}
+        self._listeners: List[FailureCallback] = []
+        self.heartbeats_sent = 0
+        self._running = False
+        layer.add_data_ind(self._on_heartbeat, mtype=MessageType.NM)
+
+    def on_failure(self, callback: FailureCallback) -> None:
+        """Register a producer-failure listener (fires only locally)."""
+        self._listeners.append(callback)
+
+    def start(self) -> None:
+        """Start producing heartbeats and consuming the watched set."""
+        if self._running:
+            return
+        self._running = True
+        self._timers.start_alarm(self.producer_time, self._produce)
+        for producer in self._watched:
+            self._arm(producer)
+
+    def stop(self) -> None:
+        """Stop the service."""
+        self._running = False
+
+    def _produce(self) -> None:
+        if not self._running:
+            return
+        self.heartbeats_sent += 1
+        self._layer.data_req(
+            MessageId(
+                MessageType.NM, node=self._layer.node_id, ref=_HEARTBEAT_REF
+            ),
+            bytes([0x05]),  # operational
+        )
+        self._timers.start_alarm(self.producer_time, self._produce)
+
+    def _arm(self, producer: int) -> None:
+        self._timers.cancel_alarm(self._consumer_alarms.get(producer))
+        self._consumer_alarms[producer] = self._timers.start_alarm(
+            self.consumer_time, lambda p=producer: self._on_timeout(p)
+        )
+
+    def _on_heartbeat(self, mid: MessageId, data: bytes) -> None:
+        if not self._running or mid.ref != _HEARTBEAT_REF:
+            return
+        if mid.node in self._consumer_alarms:
+            self.detected.pop(mid.node, None)
+            self._arm(mid.node)
+
+    def _on_timeout(self, producer: int) -> None:
+        if not self._running or producer in self.detected:
+            return
+        self.detected[producer] = self._sim.now
+        for listener in list(self._listeners):
+            listener(producer)

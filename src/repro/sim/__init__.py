@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: an event queue ordered by (time, priority,
+sequence number), a simulator that drains it, a timer service exposing the
+``start_alarm``/``cancel_alarm`` idiom used by the CANELy pseudocode, seeded
+random-number streams and a trace recorder.
+
+Simulated time is an integer number of nanoseconds; integer time keeps the
+simulation fully deterministic across platforms.
+"""
+
+from repro.sim.clock import MS, NS, SEC, US, format_time, ms, ns, sec, us
+from repro.sim.event import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.timers import Alarm, TimerService
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Alarm",
+    "Event",
+    "EventQueue",
+    "MS",
+    "NS",
+    "RngStreams",
+    "SEC",
+    "Simulator",
+    "TimerService",
+    "TraceRecord",
+    "TraceRecorder",
+    "US",
+    "format_time",
+    "ms",
+    "ns",
+    "sec",
+    "us",
+]

@@ -1,0 +1,55 @@
+"""Time units for the simulation kernel.
+
+All kernel-level times are integers counting nanoseconds. The helpers here
+convert human-friendly quantities (microseconds, milliseconds, seconds) into
+kernel ticks and back. CAN layers additionally speak *bit-times*; the
+conversion lives in :mod:`repro.can.phy` because it depends on the bit rate.
+"""
+
+from __future__ import annotations
+
+#: Number of kernel ticks per nanosecond (the kernel tick *is* a nanosecond).
+NS = 1
+#: Kernel ticks per microsecond.
+US = 1_000
+#: Kernel ticks per millisecond.
+MS = 1_000_000
+#: Kernel ticks per second.
+SEC = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to kernel ticks."""
+    return round(value * NS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to kernel ticks."""
+    return round(value * US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to kernel ticks."""
+    return round(value * MS)
+
+
+def sec(value: float) -> int:
+    """Convert seconds to kernel ticks."""
+    return round(value * SEC)
+
+
+def format_time(ticks: int) -> str:
+    """Render kernel ticks as a human-readable time string.
+
+    Picks the largest unit that keeps the value >= 1, e.g. ``format_time(
+    1_500_000)`` -> ``"1.500ms"``.
+    """
+    if ticks < 0:
+        return "-" + format_time(-ticks)
+    if ticks >= SEC:
+        return f"{ticks / SEC:.3f}s"
+    if ticks >= MS:
+        return f"{ticks / MS:.3f}ms"
+    if ticks >= US:
+        return f"{ticks / US:.3f}us"
+    return f"{ticks}ns"

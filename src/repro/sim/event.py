@@ -1,0 +1,89 @@
+"""Events and the pending-event queue.
+
+Events are ordered by ``(time, priority, seq)``. The sequence number breaks
+ties deterministically in insertion order, so two events scheduled for the
+same instant always fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time (kernel ticks) at which to fire.
+        priority: lower fires first among events at the same time.
+        seq: insertion sequence number, the final tie-breaker.
+        action: the zero-argument callable invoked when the event fires.
+        cancelled: cancelled events stay in the heap but are skipped.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: int,
+        action: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at absolute ``time`` and return its event."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Return the firing time of the earliest live event, if any."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

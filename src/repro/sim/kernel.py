@@ -1,0 +1,112 @@
+"""The discrete-event simulator.
+
+A :class:`Simulator` owns the simulated clock and the event queue. Components
+schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.schedule_at` (absolute time) and the simulator drains the
+queue in :meth:`run` / :meth:`run_until` / :meth:`step`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.trace import TraceRecorder
+
+
+class SimulationError(Exception):
+    """Raised on kernel misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with integer-tick time."""
+
+    def __init__(self, trace: Optional[TraceRecorder] = None) -> None:
+        self._now = 0
+        self._queue = EventQueue()
+        self._trace = trace if trace is not None else TraceRecorder()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in kernel ticks."""
+        return self._now
+
+    @property
+    def trace(self) -> TraceRecorder:
+        """The trace recorder shared by every component in this simulation."""
+        return self._trace
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay: int,
+        action: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, action, priority)
+
+    def schedule_at(
+        self,
+        time: int,
+        action: Callable[[], None],
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        return self._queue.push(time, action, priority)
+
+    def step(self) -> bool:
+        """Fire the next event. Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.action()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` fire)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return
+
+    def run_until(self, time: int) -> None:
+        """Run every event scheduled at or before ``time``.
+
+        The clock is advanced to exactly ``time`` afterwards, even if the
+        queue drained earlier.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run until {time}, current time is {self._now}"
+            )
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+        self._now = time
+
+    def run_for(self, duration: int) -> None:
+        """Run the simulation for ``duration`` ticks from the current time."""
+        self.run_until(self._now + duration)

@@ -1,0 +1,136 @@
+"""Generator-based processes for the simulation kernel.
+
+Scenario code often reads better as a sequential script than as a web of
+callbacks. A *process* is a generator that yields the events it waits for:
+
+    def operator(env):
+        yield env.timeout(ms(100))
+        net.node(3).leave()
+        yield env.timeout(ms(200))
+        net.node(3).join()
+
+    spawn(sim, operator)
+
+Supported yields:
+
+* ``env.timeout(duration)`` — resume after ``duration`` ticks;
+* ``env.until(lambda: condition)`` — resume once the condition holds,
+  polled every ``poll`` ticks;
+* another process handle (from ``env.spawn``) — resume when it finishes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+
+class _Timeout:
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int) -> None:
+        if duration < 0:
+            raise ConfigurationError(f"negative timeout: {duration}")
+        self.duration = duration
+
+
+class _Until:
+    __slots__ = ("predicate", "poll")
+
+    def __init__(self, predicate: Callable[[], bool], poll: int) -> None:
+        if poll <= 0:
+            raise ConfigurationError(f"poll interval must be positive: {poll}")
+        self.predicate = predicate
+        self.poll = poll
+
+
+class ProcessHandle:
+    """A running process; yield it from another process to join on it."""
+
+    def __init__(self, env: "ProcessEnv", generator: Generator) -> None:
+        self._env = env
+        self._generator = generator
+        self.finished = False
+        self._waiters: List["ProcessHandle"] = []
+
+    def _step(self) -> None:
+        if self.finished:
+            return
+        try:
+            waited = next(self._generator)
+        except StopIteration:
+            self._finish()
+            return
+        self._arm(waited)
+
+    def _arm(self, waited) -> None:
+        sim = self._env.sim
+        if isinstance(waited, _Timeout):
+            sim.schedule(waited.duration, self._step)
+        elif isinstance(waited, _Until):
+            def poll() -> None:
+                if waited.predicate():
+                    self._step()
+                else:
+                    sim.schedule(waited.poll, poll)
+
+            sim.schedule(0, poll)
+        elif isinstance(waited, ProcessHandle):
+            if waited.finished:
+                sim.schedule(0, self._step)
+            else:
+                waited._waiters.append(self)
+        else:
+            raise ConfigurationError(
+                f"a process yielded {waited!r}; expected env.timeout(...), "
+                "env.until(...) or a process handle"
+            )
+
+    def _finish(self) -> None:
+        self.finished = True
+        for waiter in self._waiters:
+            self._env.sim.schedule(0, waiter._step)
+        self._waiters.clear()
+
+
+class ProcessEnv:
+    """The environment handed to every process function."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    @property
+    def now(self) -> int:
+        """Current simulation time."""
+        return self.sim.now
+
+    def timeout(self, duration: int) -> _Timeout:
+        """Wait for ``duration`` ticks."""
+        return _Timeout(duration)
+
+    def until(self, predicate: Callable[[], bool], poll: int = 1000) -> _Until:
+        """Wait until ``predicate()`` is true (polled every ``poll`` ticks)."""
+        return _Until(predicate, poll)
+
+    def spawn(self, process: Callable[["ProcessEnv"], Generator]) -> ProcessHandle:
+        """Start a child process now."""
+        return spawn(self.sim, process, env=self)
+
+
+def spawn(
+    sim: Simulator,
+    process: Callable[[ProcessEnv], Generator],
+    env: Optional[ProcessEnv] = None,
+) -> ProcessHandle:
+    """Start ``process(env)`` as a simulation process; returns its handle."""
+    env = env if env is not None else ProcessEnv(sim)
+    generator = process(env)
+    if not hasattr(generator, "__next__"):
+        raise ConfigurationError(
+            f"{process!r} is not a generator function (did you forget yield?)"
+        )
+    handle = ProcessHandle(env, generator)
+    sim.schedule(0, handle._step)
+    return handle

@@ -1,0 +1,37 @@
+"""Named, seeded random-number streams.
+
+Fault injection, workload jitter and scenario scripting each draw from their
+own stream so that, for example, changing the traffic pattern does not perturb
+the fault schedule. Streams are derived deterministically from a root seed
+and the stream name.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict
+
+
+class RngStreams:
+    """A family of independent ``random.Random`` instances."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed all streams derive from."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream called ``name``, creating it on first use.
+
+        The per-stream seed mixes the root seed with a CRC of the name, so
+        streams are stable across runs and independent of creation order.
+        """
+        if name not in self._streams:
+            derived = (self._seed * 0x9E3779B1 + zlib.crc32(name.encode())) % 2**63
+            self._streams[name] = random.Random(derived)
+        return self._streams[name]

@@ -1,0 +1,90 @@
+"""Timer service exposing the ``start_alarm`` / ``cancel_alarm`` idiom.
+
+The CANELy pseudocode (Figs. 7-9 of the paper) manipulates timers through
+``tid := start_alarm(duration)`` and ``cancel_alarm(tid)``; expiry fires a
+``when alarm(tid) expires`` clause. :class:`TimerService` reproduces exactly
+that interface on top of the simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from repro.sim.event import Event
+from repro.sim.kernel import Simulator
+
+
+class Alarm:
+    """Handle for a pending alarm (the ``tid`` of the pseudocode)."""
+
+    __slots__ = ("alarm_id", "deadline", "_event")
+
+    def __init__(self, alarm_id: int, deadline: int, event: Event) -> None:
+        self.alarm_id = alarm_id
+        self.deadline = deadline
+        self._event = event
+
+    def __repr__(self) -> str:
+        return f"Alarm(id={self.alarm_id}, deadline={self.deadline})"
+
+
+class TimerService:
+    """Per-node alarm manager backed by a :class:`Simulator`.
+
+    ``drift`` models the node's oscillator deviation: every armed duration
+    is stretched by ``(1 + drift)`` — e.g. ``drift=1e-4`` (100 ppm) makes a
+    10 ms alarm fire 1 µs late. Protocol timers in real CANELy nodes run on
+    exactly such imperfect clocks; the integration tests assert the suite
+    tolerates realistic drifts.
+    """
+
+    def __init__(self, sim: Simulator, drift: float = 0.0) -> None:
+        if drift <= -1.0:
+            raise ValueError(f"drift must exceed -1: {drift}")
+        self._sim = sim
+        self._drift = drift
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, Alarm] = {}
+
+    @property
+    def drift(self) -> float:
+        """The oscillator deviation applied to every duration."""
+        return self._drift
+
+    def start_alarm(
+        self,
+        duration: int,
+        on_expire: Callable[[], None],
+    ) -> Alarm:
+        """Arm an alarm ``duration`` ticks from now; returns its handle."""
+        if self._drift:
+            duration = max(1, round(duration * (1.0 + self._drift)))
+        alarm_id = next(self._ids)
+
+        def fire() -> None:
+            # The alarm may have been cancelled between scheduling and firing;
+            # cancelled events never reach here, so just forget and deliver.
+            self._pending.pop(alarm_id, None)
+            on_expire()
+
+        event = self._sim.schedule(duration, fire)
+        alarm = Alarm(alarm_id, self._sim.now + duration, event)
+        self._pending[alarm_id] = alarm
+        return alarm
+
+    def cancel_alarm(self, alarm: Optional[Alarm]) -> None:
+        """Disarm ``alarm``. Cancelling ``None`` or a fired alarm is a no-op."""
+        if alarm is None:
+            return
+        if self._pending.pop(alarm.alarm_id, None) is not None:
+            alarm._event.cancel()
+
+    def is_pending(self, alarm: Optional[Alarm]) -> bool:
+        """True while ``alarm`` is armed and has not yet fired."""
+        return alarm is not None and alarm.alarm_id in self._pending
+
+    @property
+    def pending_count(self) -> int:
+        """Number of currently armed alarms."""
+        return len(self._pending)

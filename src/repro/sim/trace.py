@@ -1,0 +1,88 @@
+"""Simulation trace recording.
+
+Every layer appends typed records (category + payload dict) to a shared
+:class:`TraceRecorder`. Tests and the MCAN/LCAN property monitors query the
+trace after a run; benchmarks use it to account bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        time: simulation time of the event, in kernel ticks.
+        category: dotted event kind, e.g. ``"bus.tx"`` or ``"msh.view"``.
+        node: node identifier the record concerns (-1 for bus-global events).
+        data: free-form payload.
+    """
+
+    time: int
+    category: str
+    node: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only list of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(
+        self,
+        time: int,
+        category: str,
+        node: int = -1,
+        **data: Any,
+    ) -> None:
+        """Append a record (no-op while the recorder is disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, category, node, data))
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching every given filter.
+
+        ``category`` matches exactly, or as a prefix when it ends with
+        ``"."`` (so ``select(category="bus.")`` returns all bus events).
+        """
+        result = []
+        for record in self._records:
+            if category is not None:
+                if category.endswith("."):
+                    if not record.category.startswith(category):
+                        continue
+                elif record.category != category:
+                    continue
+            if node is not None and record.node != node:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def count(self, category: str) -> int:
+        """Number of records with the exact given category."""
+        return len(self.select(category=category))
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()

@@ -1,0 +1,6 @@
+"""Shared utilities: node-set bit vectors and table rendering."""
+
+from repro.util.sets import NodeSet
+from repro.util.tables import render_table
+
+__all__ = ["NodeSet", "render_table"]

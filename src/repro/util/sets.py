@@ -1,0 +1,170 @@
+"""Node-identifier sets as fixed-width bit vectors.
+
+The membership protocol reasons in sets of node identifiers (the paper's
+``V`` sets and the reception history vector, RHV). A :class:`NodeSet` is an
+immutable bit vector over identifiers ``0 .. capacity-1``; the RHV travels on
+the bus as its byte serialization, so ``capacity`` is bounded by the CAN data
+field (8 bytes -> at most 64 nodes), exactly the regime the paper evaluates
+(n = 32).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+
+#: Largest node population a NodeSet can describe (RHV must fit 8 data bytes).
+MAX_CAPACITY = 64
+
+
+class NodeSet:
+    """Immutable set of node identifiers backed by an integer bitmask."""
+
+    __slots__ = ("_bits", "_capacity")
+
+    def __init__(self, ids: Iterable[int] = (), capacity: int = MAX_CAPACITY):
+        if not 0 < capacity <= MAX_CAPACITY:
+            raise ConfigurationError(
+                f"capacity must be in 1..{MAX_CAPACITY}, got {capacity}"
+            )
+        bits = 0
+        for node_id in ids:
+            if not 0 <= node_id < capacity:
+                raise ConfigurationError(
+                    f"node id {node_id} outside 0..{capacity - 1}"
+                )
+            bits |= 1 << node_id
+        self._bits = bits
+        self._capacity = capacity
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def _from_bits(cls, bits: int, capacity: int) -> "NodeSet":
+        new = cls.__new__(cls)
+        new._bits = bits
+        new._capacity = capacity
+        return new
+
+    @classmethod
+    def empty(cls, capacity: int = MAX_CAPACITY) -> "NodeSet":
+        """The empty set over the given capacity."""
+        return cls((), capacity)
+
+    @classmethod
+    def universe(cls, capacity: int = MAX_CAPACITY) -> "NodeSet":
+        """The set of *all* identifiers ``0 .. capacity-1`` (the paper's U)."""
+        return cls._from_bits((1 << capacity) - 1, capacity)
+
+    @classmethod
+    def single(cls, node_id: int, capacity: int = MAX_CAPACITY) -> "NodeSet":
+        """The singleton ``{node_id}``."""
+        return cls((node_id,), capacity)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, capacity: int = MAX_CAPACITY) -> "NodeSet":
+        """Deserialize a set previously produced by :meth:`to_bytes`."""
+        bits = int.from_bytes(raw, "little")
+        if bits >> capacity:
+            raise ConfigurationError(
+                f"serialized set has members beyond capacity {capacity}"
+            )
+        return cls._from_bits(bits, capacity)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Little-endian byte serialization, ``ceil(capacity / 8)`` bytes."""
+        return self._bits.to_bytes((self._capacity + 7) // 8, "little")
+
+    # -- set algebra ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Width of the bit vector (maximum node population)."""
+        return self._capacity
+
+    def _check_peer(self, other: "NodeSet") -> None:
+        if not isinstance(other, NodeSet):
+            raise TypeError(f"expected NodeSet, got {type(other).__name__}")
+        if other._capacity != self._capacity:
+            raise ConfigurationError(
+                f"capacity mismatch: {self._capacity} vs {other._capacity}"
+            )
+
+    def union(self, other: "NodeSet") -> "NodeSet":
+        self._check_peer(other)
+        return NodeSet._from_bits(self._bits | other._bits, self._capacity)
+
+    def intersection(self, other: "NodeSet") -> "NodeSet":
+        self._check_peer(other)
+        return NodeSet._from_bits(self._bits & other._bits, self._capacity)
+
+    def difference(self, other: "NodeSet") -> "NodeSet":
+        self._check_peer(other)
+        return NodeSet._from_bits(self._bits & ~other._bits, self._capacity)
+
+    def complement(self) -> "NodeSet":
+        """All identifiers not in this set (the paper's ``~V``)."""
+        mask = (1 << self._capacity) - 1
+        return NodeSet._from_bits(~self._bits & mask, self._capacity)
+
+    def add(self, node_id: int) -> "NodeSet":
+        """A new set with ``node_id`` included."""
+        if not 0 <= node_id < self._capacity:
+            raise ConfigurationError(
+                f"node id {node_id} outside 0..{self._capacity - 1}"
+            )
+        return NodeSet._from_bits(self._bits | (1 << node_id), self._capacity)
+
+    def remove(self, node_id: int) -> "NodeSet":
+        """A new set with ``node_id`` excluded (no error if absent)."""
+        if not 0 <= node_id < self._capacity:
+            raise ConfigurationError(
+                f"node id {node_id} outside 0..{self._capacity - 1}"
+            )
+        return NodeSet._from_bits(self._bits & ~(1 << node_id), self._capacity)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def isdisjoint(self, other: "NodeSet") -> bool:
+        self._check_peer(other)
+        return not self._bits & other._bits
+
+    def issubset(self, other: "NodeSet") -> bool:
+        self._check_peer(other)
+        return not self._bits & ~other._bits
+
+    # -- container protocol ---------------------------------------------------
+
+    def __contains__(self, node_id: int) -> bool:
+        return 0 <= node_id < self._capacity and bool(self._bits >> node_id & 1)
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        node_id = 0
+        while bits:
+            if bits & 1:
+                yield node_id
+            bits >>= 1
+            node_id += 1
+
+    def __len__(self) -> int:
+        return bin(self._bits).count("1")
+
+    def __bool__(self) -> bool:
+        return bool(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeSet):
+            return NotImplemented
+        return self._bits == other._bits and self._capacity == other._capacity
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._capacity))
+
+    def __repr__(self) -> str:
+        return f"NodeSet({{{', '.join(map(str, self))}}}, capacity={self._capacity})"

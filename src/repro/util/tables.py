@@ -1,0 +1,38 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with a separator under the header row.
+
+    Every cell is converted with ``str``; columns are sized to the widest
+    cell. Used by the benchmark harness to print the paper's tables next to
+    the measured values.
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Workload generation: traffic sources and scenario scripting."""
+
+from repro.workloads.scenarios import (
+    bootstrap_network,
+    detection_latencies,
+    first_change_with_failed,
+    schedule_crash,
+    schedule_join,
+    schedule_leave,
+)
+from repro.workloads.traffic import PeriodicSource, SporadicSource, TrafficSet
+
+__all__ = [
+    "PeriodicSource",
+    "SporadicSource",
+    "TrafficSet",
+    "bootstrap_network",
+    "detection_latencies",
+    "first_change_with_failed",
+    "schedule_crash",
+    "schedule_join",
+    "schedule_leave",
+]

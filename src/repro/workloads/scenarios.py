@@ -1,0 +1,69 @@
+"""Scenario scripting helpers shared by tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.stack import CanelyNetwork, CanelyNode
+
+
+def bootstrap_network(
+    network: CanelyNetwork, settle_cycles: float = 6.0
+) -> None:
+    """Cold-start: every node joins, then the network settles.
+
+    After this returns, all nodes are full members with an agreed view
+    (asserted), ready for scenario injection.
+    """
+    network.join_all()
+    network.run_for(network.config.tjoin_wait)
+    network.run_cycles(settle_cycles)
+    views = network.member_views()
+    expected = set(network.nodes)
+    if set(views) != expected or not network.views_agree():
+        raise AssertionError(
+            f"bootstrap did not converge: members={sorted(views)} "
+            f"expected={sorted(expected)}"
+        )
+
+
+def schedule_crash(network: CanelyNetwork, node_id: int, at: int) -> None:
+    """Crash ``node_id`` at absolute simulation time ``at``."""
+    network.sim.schedule_at(at, network.node(node_id).crash)
+
+
+def schedule_join(network: CanelyNetwork, node_id: int, at: int) -> None:
+    """Issue a join request for ``node_id`` at time ``at``."""
+    network.sim.schedule_at(at, network.node(node_id).join)
+
+
+def schedule_leave(network: CanelyNetwork, node_id: int, at: int) -> None:
+    """Issue a leave request for ``node_id`` at time ``at``."""
+    network.sim.schedule_at(at, network.node(node_id).leave)
+
+
+def first_change_with_failed(
+    network: CanelyNetwork, failed_node: int, after: int = 0
+) -> Optional[int]:
+    """Time of the first membership-change notifying ``failed_node``."""
+    for record in network.sim.trace.select(category="msh.change"):
+        if record.time >= after and failed_node in record.data["failed"]:
+            return record.time
+    return None
+
+
+def detection_latencies(
+    network: CanelyNetwork, crash_times: dict
+) -> dict:
+    """Failure-notification latency per crashed node, in ticks.
+
+    ``crash_times`` maps node id -> crash time; the result maps node id ->
+    (first notification time - crash time), or ``None`` if never notified.
+    """
+    latencies = {}
+    for node_id, crashed_at in crash_times.items():
+        notified_at = first_change_with_failed(network, node_id, after=crashed_at)
+        latencies[node_id] = (
+            None if notified_at is None else notified_at - crashed_at
+        )
+    return latencies

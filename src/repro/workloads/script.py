@@ -1,0 +1,233 @@
+"""Declarative scenario scripts.
+
+A scenario — network size, protocol parameters, traffic, timed fault events
+and a measurement plan — described as plain data (a dict, usually loaded
+from JSON), executed reproducibly, yielding a structured report. This is
+the batch interface behind ``python -m repro run``.
+
+Example::
+
+    {
+      "nodes": 8,
+      "config": {"tm_ms": 50, "thb_ms": 10},
+      "traffic": [{"node": 0, "period_ms": 5}],
+      "events": [
+        {"at_ms": 500, "action": "crash", "node": 3},
+        {"at_ms": 700, "action": "join", "node": 3, "recover": true}
+      ],
+      "duration_ms": 1500
+    }
+
+Supported actions: ``crash``, ``leave``, ``join`` (with ``"recover":
+true`` to reboot a crashed node first), ``inaccessibility`` (with
+``"bits"``) and — on dual-channel scenarios (``"channels": 2``) —
+``fail_channel`` (with ``"channel"``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.errors import ConfigurationError
+from repro.sim.clock import ms
+from repro.sim.timeline import summarize
+from repro.workloads.scenarios import detection_latencies
+from repro.workloads.traffic import PeriodicSource
+
+_ACTIONS = ("crash", "leave", "join", "inaccessibility", "fail_channel")
+_NODELESS_ACTIONS = ("inaccessibility", "fail_channel")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timed event of a scenario."""
+
+    at: int
+    action: str
+    node: Optional[int] = None
+    recover: bool = False
+    bits: int = 0
+    channel: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A validated scenario description."""
+
+    nodes: int
+    config: CanelyConfig
+    traffic: List[Dict[str, int]]
+    events: List[ScenarioEvent]
+    duration: int
+    channels: int = 1
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ScenarioSpec":
+        """Validate and normalize a plain-data scenario description."""
+        nodes = raw.get("nodes")
+        if not isinstance(nodes, int) or nodes < 1:
+            raise ConfigurationError(f"invalid node count: {nodes!r}")
+        config_raw = dict(raw.get("config", {}))
+        overrides = {}
+        for key, value in config_raw.items():
+            if key.endswith("_ms"):
+                overrides[key[:-3]] = ms(value)
+            else:
+                overrides[key] = value
+        config = CanelyConfig.for_population(nodes, **overrides)
+
+        traffic = []
+        for entry in raw.get("traffic", []):
+            node = entry.get("node")
+            period = entry.get("period_ms")
+            if not isinstance(node, int) or not 0 <= node < nodes:
+                raise ConfigurationError(f"traffic entry names bad node: {entry}")
+            if not isinstance(period, (int, float)) or period <= 0:
+                raise ConfigurationError(f"traffic entry needs period_ms: {entry}")
+            traffic.append({"node": node, "period": ms(period)})
+
+        events = []
+        channels = raw.get("channels", 1)
+        if channels not in (1, 2):
+            raise ConfigurationError(f"channels must be 1 or 2: {channels!r}")
+
+        for entry in raw.get("events", []):
+            action = entry.get("action")
+            if action not in _ACTIONS:
+                raise ConfigurationError(
+                    f"unknown action {action!r}; expected one of {_ACTIONS}"
+                )
+            at = entry.get("at_ms")
+            if not isinstance(at, (int, float)) or at < 0:
+                raise ConfigurationError(f"event needs at_ms: {entry}")
+            node = entry.get("node")
+            if action not in _NODELESS_ACTIONS and (
+                not isinstance(node, int) or not 0 <= node < nodes
+            ):
+                raise ConfigurationError(f"event names bad node: {entry}")
+            channel = int(entry.get("channel", 0))
+            if action == "fail_channel":
+                if channels != 2:
+                    raise ConfigurationError(
+                        "fail_channel requires a dual-channel scenario"
+                    )
+                if channel not in (0, 1):
+                    raise ConfigurationError(f"bad channel index: {channel}")
+            events.append(
+                ScenarioEvent(
+                    at=ms(at),
+                    action=action,
+                    node=node,
+                    recover=bool(entry.get("recover", False)),
+                    bits=int(entry.get("bits", 0)),
+                    channel=channel,
+                )
+            )
+        events.sort(key=lambda event: event.at)
+
+        duration_ms = raw.get("duration_ms", 1000)
+        if not isinstance(duration_ms, (int, float)) or duration_ms <= 0:
+            raise ConfigurationError(f"invalid duration_ms: {duration_ms!r}")
+        return cls(
+            nodes=nodes,
+            config=config,
+            traffic=traffic,
+            events=events,
+            duration=ms(duration_ms),
+            channels=channels,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a JSON scenario description."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class ScenarioReport:
+    """What a scenario run produced."""
+
+    final_view: List[int]
+    views_agree: bool
+    crash_latencies_ms: Dict[int, Optional[float]]
+    bus_utilization: float
+    physical_frames: int
+    faulty_frames: int
+    frames_by_type: Dict[str, int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "final_view": self.final_view,
+            "views_agree": self.views_agree,
+            "crash_latencies_ms": self.crash_latencies_ms,
+            "bus_utilization": round(self.bus_utilization, 6),
+            "physical_frames": self.physical_frames,
+            "faulty_frames": self.faulty_frames,
+            "frames_by_type": self.frames_by_type,
+        }
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
+    """Execute a scenario and collect its report."""
+    if spec.channels == 2:
+        from repro.core.stack import DualChannelNetwork
+
+        net = DualChannelNetwork(node_count=spec.nodes, config=spec.config)
+    else:
+        net = CanelyNetwork(node_count=spec.nodes, config=spec.config)
+    net.join_all()
+    # Let the network form before the scripted timeline starts.
+    net.run_for(spec.config.tjoin_wait + 4 * spec.config.tm)
+
+    timeline_zero = net.sim.now
+    for entry in spec.traffic:
+        PeriodicSource(net.sim, net.node(entry["node"]), period=entry["period"])
+
+    crash_times: Dict[int, int] = {}
+    for event in spec.events:
+        when = timeline_zero + event.at
+
+        def fire(event=event):
+            if event.action == "crash":
+                crash_times[event.node] = net.sim.now
+                net.node(event.node).crash()
+            elif event.action == "leave":
+                net.node(event.node).leave()
+            elif event.action == "join":
+                node = net.node(event.node)
+                if event.recover and node.crashed:
+                    node.recover()
+                node.join()
+            elif event.action == "inaccessibility":
+                bus = net.bus if spec.channels == 1 else net.buses[0]
+                bus.inject_inaccessibility(event.bits)
+            elif event.action == "fail_channel":
+                net.fail_channel(event.channel)
+
+        net.sim.schedule_at(when, fire)
+
+    net.run_for(spec.duration)
+
+    latencies = detection_latencies(net, crash_times)
+    summary = summarize(net.sim.trace)
+    if spec.channels == 2:
+        utilization = sum(bus.utilization() for bus in net.buses) / 2
+    else:
+        utilization = net.bus.utilization()
+    return ScenarioReport(
+        final_view=sorted(net.agreed_view()) if net.views_agree() else [],
+        views_agree=net.views_agree(),
+        crash_latencies_ms={
+            node: (None if latency is None else latency / ms(1))
+            for node, latency in latencies.items()
+        },
+        bus_utilization=utilization,
+        physical_frames=summary.physical_frames,
+        faulty_frames=summary.faulty_frames,
+        frames_by_type=summary.frames_by_type,
+    )

@@ -1,0 +1,140 @@
+"""Signal packing for CAN data frames (a miniature DBC).
+
+Control applications rarely ship raw bytes: a frame's 0-8 byte data field
+is a packed record of *signals* — scaled fixed-point physical quantities at
+bit offsets. This module provides the codec the examples and workload
+generators use to build realistic payloads: a :class:`SignalSpec` per
+signal and a :class:`MessageCodec` that packs/unpacks a whole frame.
+
+Bit numbering is little-endian ("Intel" byte order in DBC terms): bit 0 is
+the least-significant bit of byte 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """One signal inside a CAN data field.
+
+    Attributes:
+        name: signal name (unique within its codec).
+        start_bit: LSB position in the data field (0-63).
+        width: size in bits (1-64).
+        scale: physical value = raw * scale + offset.
+        offset: see ``scale``.
+        signed: two's-complement interpretation of the raw value.
+    """
+
+    name: str
+    start_bit: int
+    width: int
+    scale: float = 1.0
+    offset: float = 0.0
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("signal name must be non-empty")
+        if not 1 <= self.width <= 64:
+            raise ConfigurationError(f"{self.name}: width out of range: {self.width}")
+        if not 0 <= self.start_bit <= 63:
+            raise ConfigurationError(
+                f"{self.name}: start bit out of range: {self.start_bit}"
+            )
+        if self.start_bit + self.width > 64:
+            raise ConfigurationError(
+                f"{self.name}: signal exceeds the 64-bit data field"
+            )
+        if self.scale == 0:
+            raise ConfigurationError(f"{self.name}: scale must be nonzero")
+
+    @property
+    def raw_range(self) -> Tuple[int, int]:
+        """Smallest and largest representable raw values."""
+        if self.signed:
+            return (-(1 << (self.width - 1)), (1 << (self.width - 1)) - 1)
+        return (0, (1 << self.width) - 1)
+
+    @property
+    def physical_range(self) -> Tuple[float, float]:
+        """Smallest and largest representable physical values."""
+        lo, hi = self.raw_range
+        a, b = lo * self.scale + self.offset, hi * self.scale + self.offset
+        return (min(a, b), max(a, b))
+
+    def encode_raw(self, physical: float) -> int:
+        """Physical value -> clamped raw value."""
+        raw = round((physical - self.offset) / self.scale)
+        lo, hi = self.raw_range
+        return max(lo, min(hi, raw))
+
+    def decode_raw(self, raw: int) -> float:
+        """Raw value -> physical value."""
+        return raw * self.scale + self.offset
+
+
+class MessageCodec:
+    """Packs a set of signals into one CAN data field."""
+
+    def __init__(self, signals: Iterable[SignalSpec], dlc: int = 8) -> None:
+        if not 1 <= dlc <= 8:
+            raise ConfigurationError(f"DLC out of range: {dlc}")
+        self.dlc = dlc
+        self.signals: List[SignalSpec] = list(signals)
+        names = [spec.name for spec in self.signals]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate signal names in {names}")
+        occupied = 0
+        for spec in self.signals:
+            if spec.start_bit + spec.width > 8 * dlc:
+                raise ConfigurationError(
+                    f"{spec.name} does not fit a {dlc}-byte frame"
+                )
+            span = ((1 << spec.width) - 1) << spec.start_bit
+            if occupied & span:
+                raise ConfigurationError(f"{spec.name} overlaps another signal")
+            occupied |= span
+        self._by_name = {spec.name: spec for spec in self.signals}
+
+    def pack(self, values: Dict[str, float]) -> bytes:
+        """Encode physical values (missing signals default to 0 raw)."""
+        word = 0
+        for spec in self.signals:
+            if spec.name in values:
+                raw = spec.encode_raw(values[spec.name])
+            else:
+                raw = 0
+            if raw < 0:
+                raw += 1 << spec.width  # two's complement
+            word |= raw << spec.start_bit
+        unknown = set(values) - set(self._by_name)
+        if unknown:
+            raise ConfigurationError(f"unknown signals: {sorted(unknown)}")
+        return word.to_bytes(self.dlc, "little")
+
+    def unpack(self, data: bytes) -> Dict[str, float]:
+        """Decode a data field into physical values."""
+        if len(data) < self.dlc:
+            raise ConfigurationError(
+                f"frame carries {len(data)} bytes, codec needs {self.dlc}"
+            )
+        word = int.from_bytes(data[: self.dlc], "little")
+        values = {}
+        for spec in self.signals:
+            raw = (word >> spec.start_bit) & ((1 << spec.width) - 1)
+            if spec.signed and raw >> (spec.width - 1):
+                raw -= 1 << spec.width
+            values[spec.name] = spec.decode_raw(raw)
+        return values
+
+    def signal(self, name: str) -> SignalSpec:
+        """Look up one signal by name."""
+        if name not in self._by_name:
+            raise ConfigurationError(f"no such signal: {name}")
+        return self._by_name[name]

@@ -1,0 +1,130 @@
+"""Application traffic generators.
+
+CAN control applications typically exhibit a cyclic traffic pattern
+(Tindell & Burns [20]); CANELy exploits it by letting normal traffic signal
+node activity implicitly. The sources here drive a :class:`CanelyNode`'s
+``send`` method so that the failure-detection benchmarks can contrast
+implicit life-signs (fast periodic traffic) against explicit ELS messages
+(slow or sporadic traffic).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.lifesign import NodeTraffic
+from repro.core.stack import CanelyNode
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+
+
+class PeriodicSource:
+    """Broadcasts a fixed-size message every ``period`` ticks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: CanelyNode,
+        period: int,
+        payload_size: int = 4,
+        offset: int = 0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive: {period}")
+        if not 0 <= payload_size <= 8:
+            raise ConfigurationError(f"payload must fit a CAN frame: {payload_size}")
+        self._sim = sim
+        self._node = node
+        self.period = period
+        self._payload = bytes(payload_size)
+        self.sent = 0
+        self._stopped = False
+        sim.schedule(offset, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped or self._node.crashed:
+            return
+        if self._node.is_member:
+            self._node.send(self._payload)
+            self.sent += 1
+        self._sim.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Stop generating traffic."""
+        self._stopped = True
+
+    def traffic(self) -> NodeTraffic:
+        """Characterization for the life-sign policy."""
+        return NodeTraffic(node_id=self._node.node_id, min_period=self.period)
+
+
+class SporadicSource:
+    """Broadcasts at random (exponential) interarrival times."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: CanelyNode,
+        mean_interarrival: int,
+        rng: random.Random,
+        payload_size: int = 4,
+    ) -> None:
+        if mean_interarrival <= 0:
+            raise ConfigurationError(
+                f"mean interarrival must be positive: {mean_interarrival}"
+            )
+        self._sim = sim
+        self._node = node
+        self._mean = mean_interarrival
+        self._rng = rng
+        self._payload = bytes(payload_size)
+        self.sent = 0
+        self._stopped = False
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = max(1, round(self._rng.expovariate(1.0 / self._mean)))
+        self._sim.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped or self._node.crashed:
+            return
+        if self._node.is_member:
+            self._node.send(self._payload)
+            self.sent += 1
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop generating traffic."""
+        self._stopped = True
+
+    def traffic(self) -> NodeTraffic:
+        """Characterization for the life-sign policy (sporadic: no period)."""
+        return NodeTraffic(node_id=self._node.node_id, min_period=None)
+
+
+class TrafficSet:
+    """A collection of sources with an aggregate traffic characterization."""
+
+    def __init__(self) -> None:
+        self._sources: List[object] = []
+
+    def add(self, source) -> None:
+        """Track one source."""
+        self._sources.append(source)
+
+    def stop_all(self) -> None:
+        """Stop every source."""
+        for source in self._sources:
+            source.stop()
+
+    def characterization(self) -> List[NodeTraffic]:
+        """Per-node traffic characterizations (one per source)."""
+        return [source.traffic() for source in self._sources]
+
+    @property
+    def total_sent(self) -> int:
+        """Messages sent across all sources."""
+        return sum(source.sent for source in self._sources)

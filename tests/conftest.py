@@ -1,0 +1,38 @@
+"""Shared fixtures for the CANELy reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.sim.kernel import Simulator
+from repro.sim.timers import TimerService
+
+
+class RawBus:
+    """A bare CAN network: simulator + bus + standard layers, no protocols."""
+
+    def __init__(self, node_count: int, injector=None, clustering: bool = True):
+        self.sim = Simulator()
+        self.bus = CanBus(self.sim, injector=injector, clustering=clustering)
+        self.controllers = {}
+        self.layers = {}
+        self.timers = {}
+        for node_id in range(node_count):
+            controller = CanController(node_id)
+            self.bus.attach(controller)
+            self.controllers[node_id] = controller
+            self.layers[node_id] = CanStandardLayer(controller)
+            self.timers[node_id] = TimerService(self.sim)
+
+
+@pytest.fixture
+def raw_bus():
+    """Factory for bare CAN networks."""
+
+    def factory(node_count: int = 4, injector=None, clustering: bool = True):
+        return RawBus(node_count, injector=injector, clustering=clustering)
+
+    return factory

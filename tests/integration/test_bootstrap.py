@@ -1,0 +1,98 @@
+"""Integration: cold-start bootstrap at realistic populations."""
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.llc.properties import check_all_properties
+from repro.sim.clock import ms
+
+CONFIG = CanelyConfig(capacity=64, tm=ms(50), tjoin_wait=ms(150))
+
+
+def test_bootstrap_paper_population():
+    """n=32 — the population of the paper's Fig. 10 evaluation."""
+    net = CanelyNetwork(node_count=32, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(500))
+    assert net.views_agree()
+    assert sorted(net.agreed_view()) == list(range(32))
+
+
+def test_bootstrap_staggered_over_a_cycle():
+    net = CanelyNetwork(node_count=8, config=CONFIG)
+    for node_id in range(8):
+        net.sim.schedule_at(ms(6 * node_id), net.node(node_id).join)
+    net.run_for(ms(600))
+    assert sorted(net.agreed_view()) == list(range(8))
+
+
+def test_bootstrap_in_two_waves():
+    net = CanelyNetwork(node_count=10, config=CONFIG)
+    for node_id in range(5):
+        net.node(node_id).join()
+    net.run_for(ms(400))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3, 4]
+    for node_id in range(5, 10):
+        net.node(node_id).join()
+    net.run_for(ms(250))
+    assert sorted(net.agreed_view()) == list(range(10))
+
+
+def test_single_node_network_bootstraps_alone():
+    net = CanelyNetwork(node_count=1, config=CONFIG)
+    net.node(0).join()
+    net.run_for(ms(400))
+    assert net.node(0).is_member
+    assert sorted(net.node(0).view().members) == [0]
+
+
+def test_everyone_monitors_everyone_after_bootstrap():
+    net = CanelyNetwork(node_count=6, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(500))
+    for node in net.nodes.values():
+        assert node.detector.monitored_nodes == list(range(6))
+
+
+def test_substrate_properties_hold_through_bootstrap():
+    net = CanelyNetwork(node_count=12, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(500))
+    report = check_all_properties(
+        net.sim.trace,
+        correct_nodes=range(12),
+        omission_degree=CONFIG.omission_degree,
+        inconsistent_degree=CONFIG.inconsistent_degree,
+        window=CONFIG.reference_window,
+    )
+    assert report.ok, report.violations
+
+
+def test_bootstrap_deterministic():
+    def views(seed_ignored):
+        net = CanelyNetwork(node_count=6, config=CONFIG)
+        net.join_all()
+        net.run_for(ms(500))
+        return [
+            (record.time, record.node, tuple(sorted(record.data["members"])))
+            for record in net.sim.trace.select(category="msh.view")
+        ]
+
+    assert views(0) == views(1)  # identical runs, event for event
+
+
+def test_industrial_bit_rate_scaled_config():
+    """A 250 kbit/s network with proportionally scaled periods behaves
+    like the 1 Mbps default (the scaled_to_bit_rate contract)."""
+    from repro.can.phy import BitTiming
+
+    config = CanelyConfig.scaled_to_bit_rate(250_000, reference=CONFIG)
+    net = CanelyNetwork(
+        node_count=6, config=config, timing=BitTiming(bit_rate=250_000)
+    )
+    net.join_all()
+    net.run_for(config.tjoin_wait + 5 * config.tm)
+    assert net.views_agree()
+    assert sorted(net.agreed_view()) == list(range(6))
+    net.node(2).crash()
+    net.run_for(2 * (config.thb + config.ttd) + 2 * config.tm)
+    assert sorted(net.agreed_view()) == [0, 1, 3, 4, 5]

@@ -1,0 +1,105 @@
+"""Integration: join/leave handling, including the RHA agreement paths."""
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+from repro.workloads.scenarios import bootstrap_network
+
+CONFIG = CanelyConfig(capacity=64, tm=ms(50), tjoin_wait=ms(150))
+
+
+def test_massive_join_leave_c20():
+    """The paper's 'multiple join/leave' scenario: c = 20 requests."""
+    net = CanelyNetwork(node_count=32, config=CONFIG)
+    for node_id in range(22):
+        net.node(node_id).join()
+    net.run_for(ms(500))
+    assert sorted(net.agreed_view()) == list(range(22))
+    # 10 joins + 10 leaves in the same cycle.
+    for node_id in range(22, 32):
+        net.node(node_id).join()
+    for node_id in range(10):
+        net.node(node_id).leave()
+    net.run_for(ms(300))
+    assert net.views_agree()
+    assert sorted(net.agreed_view()) == list(range(10, 32))
+
+
+def test_leaver_rejoins_later():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    bootstrap_network(net)
+    net.node(2).leave()
+    net.run_for(ms(250))
+    assert sorted(net.agreed_view()) == [0, 1, 3]
+    net.run_for(ms(250))  # "much later"
+    net.node(2).join()
+    net.run_for(ms(250))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+
+
+def test_join_and_crash_in_same_cycle():
+    net = CanelyNetwork(node_count=6, config=CONFIG)
+    for node_id in range(5):
+        net.node(node_id).join()
+    net.run_for(ms(400))
+    net.node(5).join()
+    net.node(3).crash()
+    net.run_for(ms(250))
+    assert net.views_agree()
+    assert sorted(net.agreed_view()) == [0, 1, 2, 4, 5]
+
+
+def test_joiner_crashes_before_integration():
+    net = CanelyNetwork(node_count=5, config=CONFIG)
+    for node_id in range(4):
+        net.node(node_id).join()
+    net.run_for(ms(400))
+    net.node(4).join()
+    net.node(4).crash()  # dies immediately after requesting
+    net.run_for(ms(300))
+    assert net.views_agree()
+    view = sorted(net.agreed_view())
+    # Either it never made it in, or it was detected and removed; it must
+    # not linger in anyone's view.
+    assert 4 not in view
+
+
+def test_unsatisfied_join_retired_within_two_cycles():
+    """Fig. 9 footnote 10: V'j retires a join that never succeeds."""
+    net = CanelyNetwork(node_count=5, config=CONFIG)
+    bootstrap_network(net, settle_cycles=4)
+    # Forge a join request perception for a node that will never answer
+    # (node id 40 does not exist on the bus).
+    from repro.util.sets import NodeSet
+
+    for node in net.nodes.values():
+        node.state.joining = node.state.joining.add(40)
+    net.run_for(ms(300))  # several cycles
+    for node in net.nodes.values():
+        assert 40 not in node.state.joining
+        assert 40 not in node.state.view or not node.is_member
+
+
+def test_all_leave_then_rebootstrap():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    bootstrap_network(net)
+    for node in net.nodes.values():
+        node.leave()
+    net.run_for(ms(300))
+    assert all(not node.is_member for node in net.nodes.values())
+    # The system restarts from scratch.
+    net.join_all()
+    net.run_for(ms(400))
+    assert sorted(net.agreed_view()) == [0, 1, 2]
+
+
+def test_interleaved_leaves_across_cycles():
+    net = CanelyNetwork(node_count=8, config=CONFIG)
+    bootstrap_network(net)
+    expected = set(range(8))
+    for node_id in (7, 6, 5):
+        net.node(node_id).leave()
+        expected.discard(node_id)
+        net.run_for(ms(150))
+        assert net.views_agree()
+        assert set(net.agreed_view()) == expected

@@ -1,0 +1,86 @@
+"""Integration: the reliable broadcast suite alongside the membership stack."""
+
+import random
+
+from repro.can.errormodel import FaultInjector
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.llc.edcan import Edcan
+from repro.llc.relcan import Relcan
+from repro.llc.totcan import Totcan
+from repro.can.identifiers import MessageType
+from repro.sim.clock import ms
+from repro.workloads.scenarios import bootstrap_network
+
+CONFIG = CanelyConfig(capacity=32, tm=ms(50), tjoin_wait=ms(150))
+
+
+def test_edcan_over_live_membership_network():
+    """EDCAN traffic doubles as implicit life-signs for the detector."""
+    net = CanelyNetwork(node_count=5, config=CONFIG)
+    bootstrap_network(net)
+    edcan = {
+        n: Edcan(net.node(n).layer, inconsistent_degree=CONFIG.inconsistent_degree)
+        for n in net.nodes
+    }
+    delivered = {n: [] for n in net.nodes}
+    for n, protocol in edcan.items():
+        protocol.on_deliver(lambda s, r, d, n=n: delivered[n].append((s, r)))
+    for sender in range(5):
+        edcan[sender].broadcast(bytes([sender]))
+    net.run_for(ms(50))
+    for log in delivered.values():
+        assert len(log) == 5
+    assert net.views_agree()
+
+
+def test_relcan_under_stochastic_faults():
+    rng = random.Random(7)
+    injector = FaultInjector(
+        rng=rng, consistent_probability=0.05, inconsistent_probability=0.02
+    )
+    net = CanelyNetwork(node_count=4, config=CONFIG, injector=injector)
+    bootstrap_network(net)
+    relcan = {
+        n: Relcan(net.node(n).layer, net.node(n).timers, confirm_timeout=ms(10))
+        for n in net.nodes
+    }
+    delivered = {n: set() for n in net.nodes}
+    for n, protocol in relcan.items():
+        protocol.on_deliver(lambda s, r, d, n=n: delivered[n].add((s, r)))
+    expected = set()
+    for sender in range(4):
+        for _ in range(3):
+            ref = relcan[sender].broadcast(bytes([sender]))
+            expected.add((sender, ref))
+    net.run_for(ms(200))
+    for n, got in delivered.items():
+        assert got == expected, f"node {n} missed {expected - got}"
+
+
+def test_totcan_order_with_membership_traffic_interleaved():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    bootstrap_network(net)
+    totcan = {
+        n: Totcan(
+            net.node(n).layer,
+            net.node(n).timers,
+            net.sim,
+            stability_delay=ms(3),
+            discard_timeout=ms(20),
+        )
+        for n in net.nodes
+    }
+    orders = {n: [] for n in net.nodes}
+    for n, protocol in totcan.items():
+        protocol.on_deliver(lambda s, r, d, n=n: orders[n].append((s, r)))
+    # Interleave atomic broadcasts with a membership change.
+    for sender in range(4):
+        totcan[sender].broadcast(bytes([sender]))
+    net.node(3).leave()
+    net.run_for(ms(300))
+    reference = orders[0]
+    assert len(reference) == 4
+    for n in (1, 2):
+        assert orders[n] == reference
+    assert sorted(net.agreed_view()) == [0, 1, 2]

@@ -1,0 +1,128 @@
+"""Property-based tests for the headline invariant: view agreement.
+
+Hypothesis drives randomized scenarios — crashes, joins, leaves, scripted
+inconsistent omissions hitting protocol frames — and after a settling
+period every correct full member must hold exactly the same view, and that
+view must contain exactly the surviving members.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+node_counts = st.integers(min_value=3, max_value=7)
+
+
+@st.composite
+def crash_plans(draw):
+    node_count = draw(node_counts)
+    crash_count = draw(st.integers(min_value=0, max_value=node_count - 2))
+    crashed = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=node_count - 1),
+            min_size=crash_count,
+            max_size=crash_count,
+            unique=True,
+        )
+    )
+    offsets = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=ms(120)),
+            min_size=crash_count,
+            max_size=crash_count,
+        )
+    )
+    return node_count, list(zip(crashed, offsets))
+
+
+@SLOW
+@given(crash_plans())
+def test_views_agree_after_arbitrary_crashes(plan):
+    node_count, crashes = plan
+    net = CanelyNetwork(node_count=node_count, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    base = net.sim.now
+    for node_id, offset in crashes:
+        net.sim.schedule_at(base + offset, net.node(node_id).crash)
+    net.run_for(ms(400))
+    assert net.views_agree()
+    survivors = {n for n in range(node_count)} - {n for n, _ in crashes}
+    assert set(net.agreed_view()) == survivors
+
+
+@st.composite
+def fault_plans(draw):
+    node_count = draw(st.integers(min_value=3, max_value=6))
+    fault_count = draw(st.integers(min_value=0, max_value=2))
+    faults = []
+    for _ in range(fault_count):
+        tx_index = draw(st.integers(min_value=0, max_value=40))
+        accepting = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=node_count - 1),
+                min_size=1,
+                max_size=node_count - 1,
+            )
+        )
+        kind = draw(
+            st.sampled_from(
+                [FaultKind.CONSISTENT_OMISSION, FaultKind.INCONSISTENT_OMISSION]
+            )
+        )
+        faults.append((tx_index, kind, accepting))
+    return node_count, faults
+
+
+@SLOW
+@given(fault_plans())
+def test_bootstrap_agrees_despite_scripted_faults(plan):
+    node_count, faults = plan
+    injector = FaultInjector()
+    for tx_index, kind, accepting in faults:
+        injector.fault_on_transmission(tx_index, kind, accepting=sorted(accepting))
+    net = CanelyNetwork(node_count=node_count, config=CONFIG, injector=injector)
+    net.join_all()
+    net.run_for(ms(700))
+    assert net.views_agree()
+    assert set(net.agreed_view()) == set(range(node_count))
+
+
+@st.composite
+def churn_plans(draw):
+    node_count = draw(st.integers(min_value=4, max_value=7))
+    leaver = draw(st.integers(min_value=0, max_value=node_count - 1))
+    crasher = draw(st.integers(min_value=0, max_value=node_count - 1))
+    leave_offset = draw(st.integers(min_value=0, max_value=ms(100)))
+    crash_offset = draw(st.integers(min_value=0, max_value=ms(100)))
+    return node_count, leaver, crasher, leave_offset, crash_offset
+
+
+@SLOW
+@given(churn_plans())
+def test_concurrent_leave_and_crash_agree(plan):
+    node_count, leaver, crasher, leave_offset, crash_offset = plan
+    net = CanelyNetwork(node_count=node_count, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    base = net.sim.now
+    net.sim.schedule_at(base + leave_offset, net.node(leaver).leave)
+    if crasher != leaver:
+        net.sim.schedule_at(base + crash_offset, net.node(crasher).crash)
+    net.run_for(ms(500))
+    assert net.views_agree()
+    expected = set(range(node_count)) - {leaver}
+    if crasher != leaver:
+        expected -= {crasher}
+    assert set(net.agreed_view()) == expected

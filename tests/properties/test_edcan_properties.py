@@ -1,0 +1,67 @@
+"""Property-based tests for EDCAN's reliability guarantee."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageType
+from repro.llc.edcan import Edcan
+from repro.sim.kernel import Simulator
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def diffusion_scenarios(draw):
+    node_count = draw(st.integers(min_value=3, max_value=8))
+    accepting = draw(
+        st.sets(
+            st.integers(min_value=1, max_value=node_count - 1),
+            min_size=1,
+            max_size=node_count - 1,
+        )
+    )
+    crash_sender = draw(st.booleans())
+    payload = draw(st.binary(min_size=0, max_size=8))
+    return node_count, accepting, crash_sender, payload
+
+
+@SLOW
+@given(diffusion_scenarios())
+def test_all_correct_nodes_deliver_despite_first_tx_inconsistency(scenario):
+    """Whatever subset accepts the faulty first transmission, and whether
+    or not the sender survives, every correct node delivers exactly once."""
+    node_count, accepting, crash_sender, payload = scenario
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: f.mid.mtype is MessageType.DATA,
+        FaultKind.INCONSISTENT_OMISSION,
+        accepting=sorted(accepting),
+        crash_sender=crash_sender,
+    )
+    sim = Simulator()
+    bus = CanBus(sim, injector=injector)
+    protocols, delivered = {}, {}
+    for node_id in range(node_count):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        protocol = Edcan(CanStandardLayer(controller))
+        log = []
+        protocol.on_deliver(lambda s, r, d, log=log: log.append((s, r, d)))
+        protocols[node_id] = protocol
+        delivered[node_id] = log
+
+    ref = protocols[0].broadcast(payload)
+    sim.run()
+
+    correct = [n for n in range(node_count) if not (crash_sender and n == 0)]
+    for node_id in correct:
+        assert delivered[node_id] == [(0, ref, payload)], (
+            f"node {node_id}: {delivered[node_id]}"
+        )

@@ -1,0 +1,75 @@
+"""Property-based tests for process-group view consistency."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+NODE_COUNT = 5
+
+
+@st.composite
+def group_scripts(draw):
+    """A sequence of group operations, possibly ending in a node crash."""
+    operations = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["join", "leave"]),
+                st.integers(min_value=0, max_value=NODE_COUNT - 1),  # node
+                st.integers(min_value=0, max_value=3),  # group
+                st.integers(min_value=0, max_value=2),  # process
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    crash = draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=NODE_COUNT - 1))
+    )
+    return operations, crash
+
+
+@SLOW
+@given(group_scripts())
+def test_group_views_identical_at_all_surviving_members(script):
+    operations, crash = script
+    net = CanelyNetwork(node_count=NODE_COUNT, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+
+    for action, node_id, group, process in operations:
+        node = net.node(node_id)
+        if action == "join":
+            node.groups.join_group(group, process)
+        else:
+            node.groups.leave_group(group, process)
+        net.run_for(ms(3))
+
+    if crash is not None:
+        net.node(crash).crash()
+    net.run_for(ms(150))
+
+    survivors = [
+        node
+        for node in net.nodes.values()
+        if not node.crashed and node.is_member
+    ]
+    assert survivors
+    for group in range(4):
+        reference = survivors[0].groups.group_view(group).processes
+        for node in survivors[1:]:
+            assert node.groups.group_view(group).processes == reference, (
+                f"group {group} at node {node.node_id}"
+            )
+        # No process of a crashed site survives anywhere.
+        if crash is not None:
+            assert all(site != crash for site, _ in reference)

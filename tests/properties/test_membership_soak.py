@@ -1,0 +1,71 @@
+"""Soak property: long randomized churn never breaks view agreement.
+
+Hypothesis generates an operation script — crash / recover-and-rejoin /
+leave / rejoin-after-leave at randomized offsets — and after every settling
+window the invariant must hold: all correct full members agree on a view
+that contains exactly the nodes currently supposed to be in.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
+
+SLOW = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+NODE_COUNT = 6
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["crash", "leave"]),
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        st.booleans(),  # come back afterwards?
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@SLOW
+@given(operations)
+def test_churn_script_preserves_agreement(script):
+    net = CanelyNetwork(node_count=NODE_COUNT, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    expected = set(range(NODE_COUNT))
+
+    for action, node_id, comes_back in script:
+        node = net.node(node_id)
+        if action == "crash":
+            if node.crashed or not node.is_member:
+                continue
+            node.crash()
+            expected.discard(node_id)
+            net.run_for(ms(250))
+            if comes_back:
+                node.recover()
+                node.join()
+                expected.add(node_id)
+                net.run_for(ms(300))
+        else:  # leave
+            if node.crashed or not node.is_member:
+                continue
+            node.leave()
+            expected.discard(node_id)
+            net.run_for(ms(250))
+            if comes_back:
+                node.join()
+                expected.add(node_id)
+                net.run_for(ms(300))
+
+        assert net.views_agree(), f"after {action}({node_id})"
+        assert set(net.agreed_view()) == expected, (
+            f"after {action}({node_id}, back={comes_back})"
+        )

@@ -1,0 +1,80 @@
+"""Property-based tests for RHA: consensus equals the intersection."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.core.config import CanelyConfig
+from repro.core.rha import RhaProtocol
+from repro.core.state import MembershipState
+from repro.sim.clock import ms
+from repro.sim.kernel import Simulator
+from repro.sim.timers import TimerService
+from repro.util.sets import NodeSet
+
+CONFIG = CanelyConfig(capacity=32, tm=ms(50), trha=ms(10), tjoin_wait=ms(150))
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def proposals(draw):
+    member_count = draw(st.integers(min_value=2, max_value=8))
+    members = set(range(member_count))
+    per_node = {}
+    for node_id in range(member_count):
+        joining = draw(
+            st.sets(st.integers(min_value=10, max_value=15), max_size=3)
+        )
+        leaving = draw(
+            st.sets(st.integers(min_value=0, max_value=member_count - 1), max_size=2)
+        )
+        per_node[node_id] = (joining, leaving)
+    return member_count, per_node
+
+
+@SLOW
+@given(proposals())
+def test_agreed_vector_is_intersection_of_initial_proposals(plan):
+    member_count, per_node = plan
+    members = NodeSet(range(member_count), CONFIG.capacity)
+
+    sim = Simulator()
+    bus = CanBus(sim)
+    protocols, ends, initial = {}, {}, {}
+    for node_id in range(member_count):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        state = MembershipState(capacity=CONFIG.capacity)
+        state.view = members
+        joining, leaving = per_node[node_id]
+        state.joining = NodeSet(joining, CONFIG.capacity)
+        state.leaving = NodeSet(leaving, CONFIG.capacity)
+        initial[node_id] = state.initial_rhv()
+        protocol = RhaProtocol(
+            CanStandardLayer(controller), TimerService(sim), CONFIG, state
+        )
+        log = []
+        protocol.on_end(log.append)
+        protocols[node_id] = protocol
+        ends[node_id] = log
+
+    protocols[0].request()
+    sim.run_until(ms(30))
+
+    # Every member terminated with the same vector.
+    finals = [ends[n][0] for n in range(member_count)]
+    assert all(len(ends[n]) == 1 for n in range(member_count))
+    assert all(final == finals[0] for final in finals)
+
+    # And that vector is exactly the intersection of the engaged proposals:
+    # the initiator's plus everyone that received an RHV signal (here: all).
+    expected = initial[0]
+    for node_id in range(1, member_count):
+        expected = expected & initial[node_id]
+    assert finals[0] == expected

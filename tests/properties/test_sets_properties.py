@@ -1,0 +1,73 @@
+"""Property-based tests: NodeSet behaves exactly like a Python set."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.sets import NodeSet
+
+CAPACITY = 64
+members = st.sets(st.integers(min_value=0, max_value=CAPACITY - 1))
+
+
+@given(members)
+def test_roundtrip_through_bytes(ids):
+    original = NodeSet(ids, CAPACITY)
+    assert NodeSet.from_bytes(original.to_bytes(), CAPACITY) == original
+
+
+@given(members, members)
+def test_union_matches_set_semantics(a, b):
+    assert set(NodeSet(a, CAPACITY) | NodeSet(b, CAPACITY)) == a | b
+
+
+@given(members, members)
+def test_intersection_matches_set_semantics(a, b):
+    assert set(NodeSet(a, CAPACITY) & NodeSet(b, CAPACITY)) == a & b
+
+
+@given(members, members)
+def test_difference_matches_set_semantics(a, b):
+    assert set(NodeSet(a, CAPACITY) - NodeSet(b, CAPACITY)) == a - b
+
+
+@given(members)
+def test_complement_involution(a):
+    node_set = NodeSet(a, CAPACITY)
+    assert node_set.complement().complement() == node_set
+
+
+@given(members)
+def test_complement_partitions_universe(a):
+    node_set = NodeSet(a, CAPACITY)
+    assert node_set | node_set.complement() == NodeSet.universe(CAPACITY)
+    assert node_set.isdisjoint(node_set.complement())
+
+
+@given(members, st.integers(min_value=0, max_value=CAPACITY - 1))
+def test_add_then_remove(a, node_id):
+    node_set = NodeSet(a, CAPACITY)
+    assert node_id in node_set.add(node_id)
+    assert node_id not in node_set.add(node_id).remove(node_id)
+
+
+@given(members)
+def test_len_matches(a):
+    assert len(NodeSet(a, CAPACITY)) == len(a)
+
+
+@given(members, members)
+def test_subset_matches(a, b):
+    assert NodeSet(a, CAPACITY).issubset(NodeSet(b, CAPACITY)) == (a <= b)
+
+
+@given(members, members, members)
+def test_intersection_associative(a, b, c):
+    x, y, z = (NodeSet(s, CAPACITY) for s in (a, b, c))
+    assert (x & y) & z == x & (y & z)
+
+
+@given(members, members)
+def test_rha_merge_is_commutative(a, b):
+    """The RHA convergence operator (intersection) commutes — node order
+    cannot affect the agreed vector."""
+    x, y = NodeSet(a, CAPACITY), NodeSet(b, CAPACITY)
+    assert x & y == y & x

@@ -1,0 +1,68 @@
+"""Property-based tests for the signal codec."""
+
+from hypothesis import given, strategies as st
+
+from repro.workloads.signals import MessageCodec, SignalSpec
+
+
+@st.composite
+def codec_layouts(draw):
+    """Non-overlapping signal layouts within one 8-byte frame."""
+    specs = []
+    cursor = 0
+    index = 0
+    while cursor < 64:
+        width = draw(st.integers(min_value=1, max_value=min(16, 64 - cursor)))
+        signed = draw(st.booleans())
+        scale = draw(st.sampled_from([1.0, 0.5, 0.25, 2.0, 10.0]))
+        offset = draw(st.sampled_from([0.0, -40.0, 100.0]))
+        specs.append(
+            SignalSpec(
+                f"s{index}",
+                start_bit=cursor,
+                width=width,
+                scale=scale,
+                offset=offset,
+                signed=signed,
+            )
+        )
+        cursor += width
+        index += 1
+        if draw(st.booleans()):
+            break
+    return MessageCodec(specs)
+
+
+@given(codec_layouts(), st.data())
+def test_roundtrip_within_quantization(codec, data):
+    values = {}
+    for spec in codec.signals:
+        lo, hi = spec.physical_range
+        values[spec.name] = data.draw(
+            st.floats(min_value=lo, max_value=hi, allow_nan=False)
+        )
+    decoded = codec.unpack(codec.pack(values))
+    for spec in codec.signals:
+        # Quantization error is at most one scale step.
+        assert abs(decoded[spec.name] - values[spec.name]) <= abs(spec.scale)
+
+
+@given(codec_layouts())
+def test_zero_frame_decodes_to_offsets(codec):
+    decoded = codec.unpack(bytes(8))
+    for spec in codec.signals:
+        assert decoded[spec.name] == spec.offset
+
+
+@given(codec_layouts(), st.data())
+def test_raw_values_always_in_range(codec, data):
+    values = {
+        spec.name: data.draw(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+        )
+        for spec in codec.signals
+    }
+    decoded = codec.unpack(codec.pack(values))
+    for spec in codec.signals:
+        lo, hi = spec.physical_range
+        assert lo <= decoded[spec.name] <= hi

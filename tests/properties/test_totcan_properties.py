@@ -1,0 +1,84 @@
+"""Property-based tests for TOTCAN's total order."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageType
+from repro.llc.totcan import Totcan
+from repro.sim.clock import ms
+from repro.sim.kernel import Simulator
+from repro.sim.timers import TimerService
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def broadcast_plans(draw):
+    node_count = draw(st.integers(min_value=3, max_value=6))
+    # (sender, submission delay) pairs.
+    broadcasts = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=node_count - 1),
+                st.integers(min_value=0, max_value=ms(3)),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    # Optional inconsistent omission against one accept transmission.
+    fault_accepting = draw(
+        st.one_of(
+            st.none(),
+            st.integers(min_value=0, max_value=node_count - 1),
+        )
+    )
+    return node_count, broadcasts, fault_accepting
+
+
+@SLOW
+@given(broadcast_plans())
+def test_identical_delivery_order_everywhere(plan):
+    node_count, broadcasts, fault_accepting = plan
+    injector = FaultInjector()
+    if fault_accepting is not None:
+        injector.fault_on_frame(
+            lambda f: f.mid.mtype is MessageType.BCTRL,
+            FaultKind.INCONSISTENT_OMISSION,
+            accepting=[fault_accepting],
+        )
+    sim = Simulator()
+    bus = CanBus(sim, injector=injector)
+    protocols, orders = {}, {}
+    for node_id in range(node_count):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        protocol = Totcan(
+            CanStandardLayer(controller),
+            TimerService(sim),
+            sim,
+            stability_delay=ms(3),
+            discard_timeout=ms(30),
+        )
+        log = []
+        protocol.on_deliver(lambda s, r, d, log=log: log.append((s, r)))
+        protocols[node_id] = protocol
+        orders[node_id] = log
+
+    for sender, delay in broadcasts:
+        sim.schedule(delay, lambda s=sender: protocols[s].broadcast(bytes([s])))
+    sim.run_until(ms(100))
+
+    reference = orders[0]
+    assert len(reference) == len(broadcasts)
+    for node_id in range(1, node_count):
+        assert orders[node_id] == reference, (
+            f"node {node_id} ordered {orders[node_id]} vs {reference}"
+        )

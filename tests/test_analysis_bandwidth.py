@@ -1,0 +1,103 @@
+"""Unit tests for the Fig. 10 analytical bandwidth model."""
+
+import pytest
+
+from repro.analysis.bandwidth import BandwidthModel
+from repro.errors import ConfigurationError
+
+
+def test_paper_parameters_accepted():
+    model = BandwidthModel()  # n=32, b=8, f=4 — the Fig. 10 annotation
+    assert model.population == 32
+    assert model.lifesign_nodes == 8
+    assert model.crash_failures == 4
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        BandwidthModel(population=0)
+    with pytest.raises(ConfigurationError):
+        BandwidthModel(population=4, lifesign_nodes=5)
+    with pytest.raises(ConfigurationError):
+        BandwidthModel(bit_rate=0)
+
+
+def test_curves_decrease_with_tm():
+    """Fig. 10 shape: utilization falls hyperbolically with Tm."""
+    model = BandwidthModel()
+    for label, curve in model.figure10().items():
+        assert curve == sorted(curve, reverse=True), label
+
+
+def test_curves_are_ordered_by_scenario():
+    """no changes < crash failures < single join/leave < massive join/leave."""
+    model = BandwidthModel()
+    curves = model.figure10(tm_values_ms=[30, 60, 90])
+    for i in range(3):
+        assert (
+            curves["no msh. changes"][i]
+            < curves["f crash failures"][i]
+            < curves["join/leave event"][i]
+            < curves["multiple join/leave"][i]
+        )
+
+
+def test_magnitudes_match_paper_band():
+    """At Tm=30ms the paper reads ~1.5% .. ~14% across the four curves."""
+    model = BandwidthModel()
+    curves = model.figure10(tm_values_ms=[30])
+    assert 0.005 < curves["no msh. changes"][0] < 0.03
+    assert 0.06 < curves["multiple join/leave"][0] < 0.16
+
+
+def test_quiescent_cost_is_lifesigns_only():
+    model = BandwidthModel()
+    breakdown = model.breakdown(crashes=0, join_leaves=0)
+    assert breakdown.fda_bits == 0
+    assert breakdown.rha_bits == 0
+    assert breakdown.total_bits == model.lifesign_bits()
+
+
+def test_fda_cost_linear_in_crashes():
+    model = BandwidthModel()
+    assert model.fda_bits(4) == 4 * model.fda_bits(1)
+
+
+def test_rha_cost_zero_without_requests():
+    assert BandwidthModel().rha_bits(0) == 0
+
+
+def test_rha_divergence_bounded_by_j():
+    """Distinct RHV values saturate at j+1 — extra requests only add their
+    own request frames (the Section 6.5 footnote's linear regime)."""
+    model = BandwidthModel(inconsistent_degree=2)
+    delta_small = model.rha_bits(2) - model.rha_bits(1)
+    delta_large = model.rha_bits(20) - model.rha_bits(19)
+    assert delta_large == model.remote_frame_bits
+    assert delta_small > delta_large
+
+
+def test_marginal_join_leave_near_paper_value():
+    """Section 6.5 footnote: ~0.4% per request at Tm >= 25 ms (1 Mbps)."""
+    marginal = BandwidthModel().marginal_join_leave_utilization(25)
+    assert 0.001 < marginal < 0.006
+
+
+def test_utilization_inverse_in_tm():
+    model = BandwidthModel()
+    assert model.utilization(30, 4, 20) == pytest.approx(
+        3 * model.utilization(90, 4, 20)
+    )
+
+
+def test_extended_frames_cost_more():
+    standard = BandwidthModel(extended=False)
+    extended = BandwidthModel(extended=True)
+    assert extended.remote_frame_bits > standard.remote_frame_bits
+    assert extended.utilization(50, 4, 20) > standard.utilization(50, 4, 20)
+
+
+def test_breakdown_utilization_validates_tm():
+    breakdown = BandwidthModel().breakdown(0, 0)
+    with pytest.raises(ConfigurationError):
+        breakdown.utilization(0)

@@ -1,0 +1,48 @@
+"""Unit tests for the Fig. 1 / Fig. 11 comparison tables."""
+
+from repro.analysis.comparison import fig1_rows, fig11_rows
+
+
+def test_fig1_structure():
+    rows = fig1_rows()
+    assert all(len(row) == 3 for row in rows)
+    parameters = [row[0] for row in rows]
+    assert "Membership service" in parameters
+    assert "Babbling idiot avoidance" in parameters
+
+
+def test_fig1_membership_contrast():
+    membership = next(r for r in fig1_rows() if r[0] == "Membership service")
+    assert membership[1] == "provided"
+    assert membership[2] == "not provided"
+
+
+def test_fig11_structure():
+    rows = fig11_rows()
+    assert all(len(row) == 4 for row in rows)
+
+
+def test_fig11_inaccessibility_cells():
+    row = next(r for r in fig11_rows() if r[0] == "Inaccessibility duration")
+    assert "2880" in row[2]  # standard CAN
+    assert "14" in row[3]  # CANELy keeps the same lower bound
+
+
+def test_fig11_canely_provides_membership():
+    row = next(r for r in fig11_rows() if r[0] == "Membership")
+    assert row[2] == "not provided"
+    assert "ms" in row[3]
+
+
+def test_fig11_measured_overrides():
+    rows = fig11_rows(
+        measured={
+            "membership": "12.3 ms measured",
+            "clock": "16.5 us measured",
+            "inaccessibility": "14 - 2190 bit-times derived",
+        }
+    )
+    cells = {row[0]: row[3] for row in rows}
+    assert cells["Membership"] == "12.3 ms measured"
+    assert cells["Clock synchronization"] == "16.5 us measured"
+    assert "2190" in cells["Inaccessibility duration"]

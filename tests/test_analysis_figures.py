@@ -1,0 +1,67 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, fig10_chart
+from repro.errors import ConfigurationError
+
+
+def test_single_series_renders():
+    chart = ascii_chart({"load": [(0, 0.0), (10, 0.5), (20, 1.0)]})
+    lines = chart.splitlines()
+    assert any("*" in line for line in lines)
+    assert "* = load" in chart
+
+
+def test_title_and_axis_labels():
+    chart = ascii_chart(
+        {"s": [(30, 0.02), (90, 0.01)]},
+        title="curves",
+        x_format="{:.0f}",
+    )
+    assert chart.splitlines()[0] == "curves"
+    assert "30" in chart and "90" in chart
+    assert "0.0%" in chart
+
+
+def test_multiple_series_distinct_glyphs():
+    chart = ascii_chart(
+        {
+            "a": [(0, 0.1), (1, 0.2)],
+            "b": [(0, 0.3), (1, 0.4)],
+        }
+    )
+    assert "* = a" in chart
+    assert "o = b" in chart
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ConfigurationError):
+        ascii_chart({})
+    with pytest.raises(ConfigurationError):
+        ascii_chart({"a": []})
+
+
+def test_tiny_grid_rejected():
+    with pytest.raises(ConfigurationError):
+        ascii_chart({"a": [(0, 1)]}, width=4, height=2)
+
+
+def test_fig10_chart_contains_all_curves():
+    chart = fig10_chart()
+    for label in (
+        "no msh. changes",
+        "f crash failures",
+        "join/leave event",
+        "multiple join/leave",
+    ):
+        assert label in chart
+
+
+def test_cli_fig10_plot(capsys):
+    from repro.__main__ import main
+
+    assert main(["fig10", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "multiple join/leave" in out
+    assert "|" in out

@@ -1,0 +1,75 @@
+"""Unit tests for the inaccessibility analysis (Fig. 11 rows)."""
+
+from repro.analysis.inaccessibility import (
+    CAN_BURST_LENGTH,
+    CANELY_BURST_LENGTH,
+    burst_worst,
+    can_inaccessibility_range,
+    canely_inaccessibility_range,
+    overload_frame_bits,
+    scenario_catalogue,
+    single_error_best,
+    single_error_worst,
+)
+
+
+def test_lower_bound_is_14_bit_times():
+    """Both columns of Fig. 11 share the 14 bit-time lower bound."""
+    assert single_error_best() == 14
+    assert can_inaccessibility_range()[0] == 14
+    assert canely_inaccessibility_range()[0] == 14
+
+
+def test_can_worst_case_is_papers_2880():
+    assert can_inaccessibility_range()[1] == 2880
+
+
+def test_canely_worst_case_near_papers_2160():
+    lo, hi = canely_inaccessibility_range()
+    assert abs(hi - 2160) / 2160 < 0.02  # catalogue bound within 2%
+
+
+def test_canely_strictly_better_than_can():
+    assert canely_inaccessibility_range()[1] < can_inaccessibility_range()[1]
+
+
+def test_error_passive_costs_more():
+    assert single_error_worst(error_passive=True) > single_error_worst(
+        error_passive=False
+    )
+
+
+def test_superposed_flags_cost_more():
+    assert single_error_worst(superposed=True) > single_error_worst(superposed=False)
+
+
+def test_extended_frames_cost_more():
+    assert single_error_worst(extended=True) > single_error_worst(extended=False)
+
+
+def test_burst_scales_linearly():
+    assert burst_worst(10) == 10 * burst_worst(1)
+
+
+def test_overload_frames():
+    assert overload_frame_bits(1) == 14
+    assert overload_frame_bits(2) == 28
+
+
+def test_catalogue_contains_bounds():
+    durations = {s.duration_bits for s in scenario_catalogue()}
+    assert single_error_best() in durations
+    assert can_inaccessibility_range()[1] in durations
+    assert canely_inaccessibility_range()[1] in durations
+
+
+def test_catalogue_entries_documented():
+    for scenario in scenario_catalogue():
+        assert scenario.name
+        assert scenario.description
+        assert scenario.duration_bits > 0
+
+
+def test_burst_length_constants():
+    assert CAN_BURST_LENGTH == 18
+    assert CANELY_BURST_LENGTH < CAN_BURST_LENGTH

@@ -1,0 +1,76 @@
+"""Unit tests for the inconsistent-omission rate estimate."""
+
+import pytest
+
+from repro.analysis.reliability import (
+    InconsistencyEstimate,
+    bus_frame_rate,
+    inconsistent_omission_rate,
+    subset_split_probability,
+)
+from repro.errors import ConfigurationError
+
+
+def test_split_probability_shape():
+    assert subset_split_probability(1) == 0.0
+    assert subset_split_probability(2) == pytest.approx(0.5)
+    assert subset_split_probability(32) == pytest.approx(1.0, abs=1e-6)
+    # Monotonically increasing in the receiver count.
+    values = [subset_split_probability(n) for n in range(2, 10)]
+    assert values == sorted(values)
+
+
+def test_zero_ber_means_zero_rate():
+    estimate = inconsistent_omission_rate(0.0, receivers=8, frames_per_second=1000)
+    assert estimate.per_frame_probability == 0.0
+    assert estimate.per_hour == 0.0
+    assert estimate.expected_j >= 1  # the bound never goes below one
+
+
+def test_papers_order_of_magnitude():
+    """[18]'s headline: on a loaded 1 Mbps bus in an aggressive environment
+    (ber ~1e-6), inconsistencies strike a few times per hour — far above
+    the 1e-9/h targets of safety-critical systems."""
+    rate = bus_frame_rate(1_000_000, utilization=0.9)
+    estimate = inconsistent_omission_rate(1e-6, receivers=16, frames_per_second=rate)
+    assert 1.0 < estimate.per_hour < 100.0
+
+
+def test_benign_environment_much_rarer():
+    rate = bus_frame_rate(1_000_000, utilization=0.3)
+    harsh = inconsistent_omission_rate(1e-6, receivers=16, frames_per_second=rate)
+    benign = inconsistent_omission_rate(1e-9, receivers=16, frames_per_second=rate)
+    assert benign.per_hour < harsh.per_hour / 100
+
+
+def test_rate_scales_with_load():
+    low = inconsistent_omission_rate(1e-6, 8, frames_per_second=100)
+    high = inconsistent_omission_rate(1e-6, 8, frames_per_second=1000)
+    assert high.per_hour == pytest.approx(10 * low.per_hour)
+
+
+def test_expected_j_grows_with_reference_interval():
+    kwargs = dict(ber=1e-4, receivers=8, frames_per_second=5000)
+    short = inconsistent_omission_rate(reference_seconds=0.05, **kwargs)
+    long = inconsistent_omission_rate(reference_seconds=60.0, **kwargs)
+    assert long.expected_j > short.expected_j
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        inconsistent_omission_rate(-0.1, 8, 100)
+    with pytest.raises(ConfigurationError):
+        inconsistent_omission_rate(1e-6, 8, -1)
+    with pytest.raises(ConfigurationError):
+        inconsistent_omission_rate(1e-6, 8, 100, reference_seconds=0)
+    with pytest.raises(ConfigurationError):
+        inconsistent_omission_rate(1e-6, 8, 100, frame_bits=1)
+    with pytest.raises(ConfigurationError):
+        bus_frame_rate(utilization=1.5)
+    with pytest.raises(ConfigurationError):
+        bus_frame_rate(bit_rate=0)
+
+
+def test_frame_rate():
+    # ~90% of 1 Mbps over 135-bit frames: ~6.6 kframe/s.
+    assert 6000 < bus_frame_rate() < 7000

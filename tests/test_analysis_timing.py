@@ -1,0 +1,85 @@
+"""Unit tests for the Tindell-Burns response-time analysis."""
+
+import pytest
+
+from repro.analysis.timing import (
+    MessageSpec,
+    response_time,
+    transmission_delay_bound,
+    utilization,
+)
+from repro.errors import ConfigurationError
+
+
+def spec(identifier, period, dlc=8, jitter=0):
+    return MessageSpec(
+        identifier=identifier, period=period, dlc=dlc, jitter=jitter, extended=False
+    )
+
+
+def test_single_message_response_is_own_length():
+    message = spec(1, period=10_000)
+    assert response_time(message, [message]) == message.transmission_bits
+
+
+def test_blocking_by_lower_priority():
+    high = spec(1, period=10_000, dlc=0)
+    low = spec(2, period=10_000, dlc=8)
+    # High priority still waits out one low-priority frame (non-preemptive).
+    response = response_time(high, [high, low])
+    assert response == low.transmission_bits + high.transmission_bits
+
+
+def test_interference_from_higher_priority():
+    high = spec(1, period=500, dlc=8)
+    low = spec(2, period=10_000, dlc=8)
+    response = response_time(low, [high, low])
+    assert response > low.transmission_bits  # delayed by high's releases
+
+
+def test_priority_order_matters():
+    a = spec(1, period=1_000, dlc=8)
+    b = spec(2, period=1_000, dlc=8)
+    c = spec(3, period=1_000, dlc=8)
+    traffic = [a, b, c]
+    # b suffers a's interference on top of the same blocking; a does not.
+    assert response_time(a, traffic) < response_time(b, traffic)
+
+
+def test_unschedulable_returns_none():
+    # Two max-length streams at periods shorter than two frame times.
+    a = spec(1, period=200, dlc=8)
+    b = spec(2, period=200, dlc=8)
+    assert response_time(b, [a, b]) is None
+
+
+def test_jitter_adds_to_response():
+    base = spec(1, period=10_000, dlc=8)
+    jittery = spec(1, period=10_000, dlc=8, jitter=100)
+    assert response_time(jittery, [jittery]) == response_time(base, [base]) + 100
+
+
+def test_transmission_delay_bound_is_max_plus_inaccessibility():
+    traffic = [spec(i, period=5_000) for i in range(1, 4)]
+    worst = max(response_time(m, traffic) for m in traffic)
+    assert transmission_delay_bound(traffic, inaccessibility_bits=100) == worst + 100
+
+
+def test_transmission_delay_bound_unschedulable():
+    traffic = [spec(1, period=100), spec(2, period=100)]
+    assert transmission_delay_bound(traffic) is None
+
+
+def test_utilization():
+    traffic = [spec(1, period=1_000, dlc=8)]
+    expected = traffic[0].transmission_bits / 1_000
+    assert utilization(traffic) == pytest.approx(expected)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        MessageSpec(identifier=1, period=0)
+    with pytest.raises(ConfigurationError):
+        MessageSpec(identifier=1, period=10, dlc=9)
+    with pytest.raises(ConfigurationError):
+        MessageSpec(identifier=1, period=10, jitter=-1)

@@ -1,0 +1,99 @@
+"""Unit tests for bus inaccessibility injection and bus-off recovery."""
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController, ControllerState
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.frame import data_frame
+from repro.can.identifiers import MessageId, MessageType
+from repro.sim.clock import us
+from repro.sim.kernel import Simulator
+
+
+def make_bus(node_count=3, injector=None, bus_off_recovery=False):
+    sim = Simulator()
+    bus = CanBus(sim, injector=injector, bus_off_recovery=bus_off_recovery)
+    controllers = {}
+    for node_id in range(node_count):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        controllers[node_id] = controller
+    return sim, bus, controllers
+
+
+def test_inaccessibility_delays_transmission():
+    sim, bus, ctl = make_bus()
+    arrivals = []
+    ctl[1].on_rx = lambda f: arrivals.append(sim.now)
+    bus.inject_inaccessibility(1000)  # 1000 bit-times = 1 ms at 1 Mbps
+    ctl[0].submit(data_frame(MessageId(MessageType.DATA, node=0), b""))
+    sim.run()
+    assert arrivals
+    assert arrivals[0] >= us(1000)
+
+
+def test_inaccessibility_does_not_destroy_inflight_frame():
+    sim, bus, ctl = make_bus()
+    arrivals = []
+    ctl[1].on_rx = lambda f: arrivals.append(sim.now)
+    ctl[0].submit(data_frame(MessageId(MessageType.DATA, node=0), b""))
+    sim.run_until(us(10))  # frame is on the wire
+    bus.inject_inaccessibility(500)
+    sim.run()
+    assert len(arrivals) == 1
+
+
+def test_overlapping_windows_extend_not_stack():
+    sim, bus, ctl = make_bus()
+    bus.inject_inaccessibility(1000)
+    bus.inject_inaccessibility(400)  # shorter, fully contained: no effect
+    arrivals = []
+    ctl[1].on_rx = lambda f: arrivals.append(sim.now)
+    ctl[0].submit(data_frame(MessageId(MessageType.DATA, node=0), b""))
+    sim.run()
+    assert us(1000) <= arrivals[0] < us(1400)
+
+
+def test_inaccessibility_accounted_in_stats():
+    sim, bus, ctl = make_bus()
+    bus.inject_inaccessibility(250)
+    assert bus.stats.inaccessibility_bits == 250
+    assert sim.trace.count("bus.inaccessible") == 1
+
+
+def test_bus_off_permanent_by_default():
+    injector = FaultInjector()
+    injector.fault_on_frame(lambda f: True, FaultKind.CONSISTENT_OMISSION, count=40)
+    sim, bus, ctl = make_bus(injector=injector)
+    ctl[0].submit(data_frame(MessageId(MessageType.DATA, node=0), b""))
+    sim.run_until(us(50_000))
+    assert ctl[0].state is ControllerState.BUS_OFF
+    assert not ctl[0].alive
+    assert bus.stats.bus_off_recoveries == 0
+
+
+def test_bus_off_recovery_when_enabled():
+    injector = FaultInjector()
+    injector.fault_on_frame(lambda f: True, FaultKind.CONSISTENT_OMISSION, count=40)
+    sim, bus, ctl = make_bus(injector=injector, bus_off_recovery=True)
+    arrivals = []
+    ctl[1].on_rx = lambda f: arrivals.append(sim.now)
+    ctl[0].submit(data_frame(MessageId(MessageType.DATA, node=0), b""))
+    sim.run_until(us(100_000))
+    assert bus.stats.bus_off_recoveries >= 1
+    assert ctl[0].state is ControllerState.ERROR_ACTIVE
+    # After recovery the node can transmit again.
+    ctl[0].submit(data_frame(MessageId(MessageType.DATA, node=0, ref=1), b""))
+    sim.run_until(us(110_000))
+    assert arrivals
+
+
+def test_recovery_not_scheduled_for_crashed_node():
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: True, FaultKind.CONSISTENT_OMISSION, count=40, crash_sender=True
+    )
+    sim, bus, ctl = make_bus(injector=injector, bus_off_recovery=True)
+    ctl[0].submit(data_frame(MessageId(MessageType.DATA, node=0), b""))
+    sim.run_until(us(100_000))
+    assert ctl[0].crashed
+    assert not ctl[0].alive

@@ -1,0 +1,165 @@
+"""Unit tests for the CAN controller (queue, counters, fault confinement)."""
+
+from repro.can.controller import (
+    BUS_OFF_THRESHOLD,
+    ERROR_PASSIVE_THRESHOLD,
+    CanController,
+    ControllerState,
+)
+from repro.can.frame import data_frame, remote_frame
+from repro.can.identifiers import MessageId, MessageType
+
+
+def mid(mtype=MessageType.DATA, node=0, ref=0):
+    return MessageId(mtype, node=node, ref=ref)
+
+
+def test_initial_state():
+    controller = CanController(1)
+    assert controller.state is ControllerState.ERROR_ACTIVE
+    assert controller.alive
+    assert controller.queue_depth == 0
+
+
+def test_submit_enqueues():
+    controller = CanController(1)
+    request = controller.submit(data_frame(mid(), b"x"))
+    assert request is not None
+    assert controller.queue_depth == 1
+    assert controller.head_request() is request
+
+
+def test_queue_orders_by_priority():
+    controller = CanController(1)
+    controller.submit(data_frame(mid(MessageType.DATA, ref=5), b""))
+    controller.submit(remote_frame(mid(MessageType.FDA, node=2)))
+    head = controller.head_request()
+    assert head.frame.mid.mtype is MessageType.FDA
+
+
+def test_fifo_within_same_identifier():
+    controller = CanController(1)
+    first = controller.submit(data_frame(mid(ref=1), b"a"))
+    second = controller.submit(data_frame(mid(ref=1), b"b"))
+    assert controller.head_request() is first
+
+
+def test_data_frame_beats_remote_frame_same_identifier():
+    controller = CanController(1)
+    controller.submit(remote_frame(mid(MessageType.RHA, node=1)))
+    controller.submit(data_frame(mid(MessageType.RHA, node=1), b""))
+    assert not controller.head_request().frame.remote
+
+
+def test_abort_removes_pending():
+    controller = CanController(1)
+    target = mid(ref=3)
+    controller.submit(data_frame(target, b"x"))
+    controller.submit(data_frame(mid(ref=4), b"y"))
+    assert controller.abort(target)
+    assert controller.queue_depth == 1
+    assert not controller.has_pending(target)
+
+
+def test_abort_missing_returns_false():
+    controller = CanController(1)
+    assert not controller.abort(mid(ref=9))
+
+
+def test_take_removes_from_queue():
+    controller = CanController(1)
+    request = controller.submit(data_frame(mid(), b""))
+    controller.take(request)
+    assert controller.queue_depth == 0
+
+
+def test_finish_success_decrements_tec_and_confirms():
+    controller = CanController(1)
+    controller.tec = 10
+    confirmed = []
+    controller.on_tx_success = confirmed.append
+    request = controller.submit(data_frame(mid(), b""))
+    controller.take(request)
+    controller.finish_success(request)
+    assert controller.tec == 9
+    assert len(confirmed) == 1
+
+
+def test_tec_never_negative():
+    controller = CanController(1)
+    request = controller.submit(data_frame(mid(), b""))
+    controller.take(request)
+    controller.finish_success(request)
+    assert controller.tec == 0
+
+
+def test_finish_error_requeues_and_bumps_tec():
+    controller = CanController(1)
+    request = controller.submit(data_frame(mid(), b""))
+    controller.take(request)
+    controller.finish_error(request)
+    assert controller.tec == 8
+    assert controller.queue_depth == 1
+    assert request.attempts == 1
+
+
+def test_error_passive_transition():
+    controller = CanController(1)
+    controller.tec = ERROR_PASSIVE_THRESHOLD + 1
+    assert controller.state is ControllerState.ERROR_PASSIVE
+
+
+def test_rec_drives_error_passive_too():
+    controller = CanController(1)
+    controller.rec = ERROR_PASSIVE_THRESHOLD + 1
+    assert controller.state is ControllerState.ERROR_PASSIVE
+
+
+def test_bus_off_transition_and_fail_silence():
+    controller = CanController(1)
+    controller.tec = BUS_OFF_THRESHOLD + 1
+    assert controller.state is ControllerState.BUS_OFF
+    assert not controller.alive
+    assert controller.submit(data_frame(mid(), b"")) is None
+
+
+def test_bus_off_reached_by_repeated_errors():
+    """32 consecutive transmit errors at +8 each cross the 255 threshold."""
+    controller = CanController(1)
+    request = controller.submit(data_frame(mid(), b""))
+    for _ in range(32):
+        controller.take(request)
+        controller.finish_error(request)
+    assert controller.state is ControllerState.BUS_OFF
+
+
+def test_crash_clears_queue_and_silences():
+    controller = CanController(1)
+    controller.submit(data_frame(mid(), b""))
+    controller.crash()
+    assert controller.queue_depth == 0
+    assert not controller.alive
+    assert controller.head_request() is None
+    assert controller.submit(data_frame(mid(), b"")) is None
+
+
+def test_finish_error_after_crash_does_not_requeue():
+    controller = CanController(1)
+    request = controller.submit(data_frame(mid(), b""))
+    controller.take(request)
+    controller.crash()
+    controller.finish_error(request)
+    assert controller.queue_depth == 0
+
+
+def test_deliver_decrements_rec():
+    controller = CanController(1)
+    controller.rec = 5
+    controller.deliver(data_frame(mid(), b""))
+    assert controller.rec == 4
+
+
+def test_rx_error_increments_rec():
+    controller = CanController(1)
+    controller.rx_error()
+    assert controller.rec == 1

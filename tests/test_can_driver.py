@@ -1,0 +1,104 @@
+"""Unit tests for the CAN standard layer (paper Fig. 4)."""
+
+from repro.can.identifiers import MessageId, MessageType
+
+
+def test_data_req_delivers_ind_everywhere(raw_bus):
+    net = raw_bus(3)
+    seen = []
+    net.layers[2].add_data_ind(lambda mid, data: seen.append((mid.node, data)))
+    net.layers[0].data_req(MessageId(MessageType.DATA, node=0), b"\x07")
+    net.sim.run()
+    assert seen == [(0, b"\x07")]
+
+
+def test_ind_includes_own_transmissions(raw_bus):
+    net = raw_bus(2)
+    own = []
+    net.layers[0].add_data_ind(lambda mid, data: own.append(mid.node))
+    net.layers[0].data_req(MessageId(MessageType.DATA, node=0), b"")
+    net.sim.run()
+    assert own == [0]
+
+
+def test_nty_fires_without_data_before_ind(raw_bus):
+    net = raw_bus(2)
+    events = []
+    net.layers[1].add_data_nty(lambda mid: events.append(("nty", mid.node)))
+    net.layers[1].add_data_ind(lambda mid, data: events.append(("ind", mid.node)))
+    net.layers[0].data_req(MessageId(MessageType.DATA, node=0), b"x")
+    net.sim.run()
+    assert events == [("nty", 0), ("ind", 0)]
+
+
+def test_nty_not_fired_for_remote_frames(raw_bus):
+    net = raw_bus(2)
+    notified = []
+    net.layers[1].add_data_nty(lambda mid: notified.append(mid))
+    net.layers[0].rtr_req(MessageId(MessageType.ELS, node=0))
+    net.sim.run()
+    assert notified == []
+
+
+def test_rtr_ind_and_cnf(raw_bus):
+    net = raw_bus(2)
+    events = []
+    net.layers[1].add_rtr_ind(lambda mid: events.append(("ind", mid.mtype)))
+    net.layers[0].add_rtr_cnf(lambda mid: events.append(("cnf", mid.mtype)))
+    net.layers[0].rtr_req(MessageId(MessageType.ELS, node=0))
+    net.sim.run()
+    assert ("ind", MessageType.ELS) in events
+    assert ("cnf", MessageType.ELS) in events
+
+
+def test_data_cnf_only_at_sender(raw_bus):
+    net = raw_bus(3)
+    confirmations = []
+    net.layers[0].add_data_cnf(lambda mid: confirmations.append(0))
+    net.layers[1].add_data_cnf(lambda mid: confirmations.append(1))
+    net.layers[0].data_req(MessageId(MessageType.DATA, node=0), b"")
+    net.sim.run()
+    assert confirmations == [0]
+
+
+def test_mtype_filter(raw_bus):
+    net = raw_bus(2)
+    only_rha = []
+    net.layers[1].add_data_ind(
+        lambda mid, data: only_rha.append(mid.mtype), mtype=MessageType.RHA
+    )
+    net.layers[0].data_req(MessageId(MessageType.DATA, node=0), b"")
+    net.layers[0].data_req(MessageId(MessageType.RHA, node=0), b"")
+    net.sim.run()
+    assert only_rha == [MessageType.RHA]
+
+
+def test_abort_req_cancels_pending(raw_bus):
+    net = raw_bus(2)
+    seen = []
+    net.layers[1].add_data_ind(lambda mid, data: seen.append(mid.ref))
+    blocker = MessageId(MessageType.DATA, node=0, ref=0)
+    target = MessageId(MessageType.DATA, node=0, ref=1)
+    net.layers[0].data_req(blocker, b"")
+    net.layers[0].data_req(target, b"")
+    assert net.layers[0].has_pending(target)
+    assert net.layers[0].abort_req(target)
+    net.sim.run()
+    assert seen == [0]
+
+
+def test_abort_req_does_not_touch_in_flight(raw_bus):
+    net = raw_bus(2)
+    seen = []
+    net.layers[1].add_data_ind(lambda mid, data: seen.append(mid.ref))
+    target = MessageId(MessageType.DATA, node=0, ref=1)
+    net.layers[0].data_req(target, b"")
+    # The frame is on the wire by now; abort must not stop it.
+    net.sim.schedule(1000, lambda: net.layers[0].abort_req(target))
+    net.sim.run()
+    assert seen == [1]
+
+
+def test_node_id_property(raw_bus):
+    net = raw_bus(2)
+    assert net.layers[1].node_id == 1

@@ -1,0 +1,135 @@
+"""Unit tests for the fault injector."""
+
+import random
+
+import pytest
+
+from repro.can.errormodel import FaultInjector, FaultKind, FaultVerdict
+from repro.can.frame import data_frame
+from repro.can.identifiers import MessageId, MessageType
+from repro.errors import ConfigurationError
+
+FRAME = data_frame(MessageId(MessageType.DATA, node=1), b"x")
+
+
+def test_default_verdict_is_ok():
+    injector = FaultInjector()
+    verdict = injector.verdict(FRAME, [1], [1, 2, 3], 0)
+    assert verdict.kind is FaultKind.NONE
+
+
+def test_scripted_fault_on_transmission_index():
+    injector = FaultInjector()
+    injector.fault_on_transmission(2, FaultKind.CONSISTENT_OMISSION)
+    assert injector.verdict(FRAME, [1], [2], 0).kind is FaultKind.NONE
+    assert injector.verdict(FRAME, [1], [2], 2).kind is FaultKind.CONSISTENT_OMISSION
+
+
+def test_scripted_fault_fires_once():
+    injector = FaultInjector()
+    injector.fault_on_transmission(0, FaultKind.CONSISTENT_OMISSION)
+    assert injector.verdict(FRAME, [1], [2], 0).kind is FaultKind.CONSISTENT_OMISSION
+    assert injector.verdict(FRAME, [1], [2], 0).kind is FaultKind.NONE
+
+
+def test_fault_on_frame_predicate():
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: f.mid.mtype is MessageType.DATA,
+        FaultKind.INCONSISTENT_OMISSION,
+        accepting=[4],
+    )
+    verdict = injector.verdict(FRAME, [1], [2, 4], 0)
+    assert verdict.kind is FaultKind.INCONSISTENT_OMISSION
+    assert verdict.accepting == {4}
+
+
+def test_fault_on_frame_count():
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: True, FaultKind.CONSISTENT_OMISSION, count=2
+    )
+    kinds = [injector.verdict(FRAME, [1], [2], i).kind for i in range(3)]
+    assert kinds == [
+        FaultKind.CONSISTENT_OMISSION,
+        FaultKind.CONSISTENT_OMISSION,
+        FaultKind.NONE,
+    ]
+
+
+def test_crash_sender_flag_propagates():
+    injector = FaultInjector()
+    injector.fault_on_transmission(
+        0, FaultKind.INCONSISTENT_OMISSION, accepting=[2], crash_sender=True
+    )
+    assert injector.verdict(FRAME, [1], [2], 0).crash_sender
+
+
+def test_injection_counters():
+    injector = FaultInjector()
+    injector.fault_on_transmission(0, FaultKind.CONSISTENT_OMISSION)
+    injector.fault_on_transmission(1, FaultKind.INCONSISTENT_OMISSION, accepting=[2])
+    injector.verdict(FRAME, [1], [2], 0)
+    injector.verdict(FRAME, [1], [2], 1)
+    assert injector.omissions_injected == 2
+    assert injector.inconsistent_injected == 1
+
+
+def test_omission_degree_bound_enforced():
+    injector = FaultInjector(omission_degree=1)
+    injector.fault_on_transmission(0, FaultKind.CONSISTENT_OMISSION)
+    injector.fault_on_transmission(1, FaultKind.CONSISTENT_OMISSION)
+    injector.verdict(FRAME, [1], [2], 0)
+    with pytest.raises(ConfigurationError):
+        injector.verdict(FRAME, [1], [2], 1)
+
+
+def test_inconsistent_degree_bound_enforced():
+    injector = FaultInjector(inconsistent_degree=0)
+    injector.fault_on_transmission(0, FaultKind.INCONSISTENT_OMISSION, accepting=[2])
+    with pytest.raises(ConfigurationError):
+        injector.verdict(FRAME, [1], [2], 0)
+
+
+def test_stochastic_requires_rng():
+    with pytest.raises(ConfigurationError):
+        FaultInjector(consistent_probability=0.1)
+
+
+def test_probabilities_validated():
+    rng = random.Random(0)
+    with pytest.raises(ConfigurationError):
+        FaultInjector(rng=rng, consistent_probability=0.7, inconsistent_probability=0.5)
+    with pytest.raises(ConfigurationError):
+        FaultInjector(rng=rng, consistent_probability=-0.1)
+
+
+def test_stochastic_faults_eventually_fire():
+    rng = random.Random(1)
+    injector = FaultInjector(rng=rng, consistent_probability=0.5)
+    kinds = {injector.verdict(FRAME, [1], [2], i).kind for i in range(50)}
+    assert FaultKind.CONSISTENT_OMISSION in kinds
+    assert FaultKind.NONE in kinds
+
+
+def test_stochastic_inconsistent_subsets_exclude_senders():
+    rng = random.Random(2)
+    injector = FaultInjector(rng=rng, inconsistent_probability=0.8)
+    for i in range(50):
+        verdict = injector.verdict(FRAME, [1], [1, 2, 3, 4], i)
+        if verdict.kind is FaultKind.INCONSISTENT_OMISSION:
+            assert verdict.accepting
+            assert 1 not in verdict.accepting
+
+
+def test_stochastic_determinism_per_seed():
+    def run(seed):
+        injector = FaultInjector(
+            rng=random.Random(seed),
+            consistent_probability=0.2,
+            inconsistent_probability=0.2,
+        )
+        return [injector.verdict(FRAME, [1], [2, 3], i).kind for i in range(30)]
+
+    assert run(5) == run(5)
+    assert run(5) != run(6)

@@ -1,0 +1,69 @@
+"""Unit tests for acceptance filters."""
+
+import pytest
+
+from repro.can.filters import AcceptanceFilter, FilterBank
+from repro.can.identifiers import MessageId, MessageType
+from repro.errors import ConfigurationError
+
+
+def test_exact_filter():
+    mid = MessageId(MessageType.DATA, node=3, ref=7)
+    exact = AcceptanceFilter.exact(mid)
+    assert exact.accepts(mid.encode())
+    assert not exact.accepts(MessageId(MessageType.DATA, node=3, ref=8).encode())
+
+
+def test_type_filter():
+    by_type = AcceptanceFilter.for_type(MessageType.RHA)
+    assert by_type.accepts(MessageId(MessageType.RHA, node=9, ref=42).encode())
+    assert not by_type.accepts(MessageId(MessageType.FDA, node=9).encode())
+
+
+def test_sender_filter():
+    by_sender = AcceptanceFilter.for_sender(5)
+    assert by_sender.accepts(MessageId(MessageType.DATA, node=5, ref=1).encode())
+    assert by_sender.accepts(MessageId(MessageType.ELS, node=5).encode())
+    assert not by_sender.accepts(MessageId(MessageType.DATA, node=6).encode())
+
+
+def test_dont_care_mask():
+    accept_all = AcceptanceFilter(code=0, mask=0)
+    assert accept_all.accepts(0)
+    assert accept_all.accepts((1 << 29) - 1)
+
+
+def test_filter_validation():
+    with pytest.raises(ConfigurationError):
+        AcceptanceFilter(code=1 << 29, mask=0)
+    with pytest.raises(ConfigurationError):
+        AcceptanceFilter(code=0, mask=1 << 29)
+    with pytest.raises(ConfigurationError):
+        AcceptanceFilter.for_sender(256)
+
+
+def test_empty_bank_accepts_everything():
+    bank = FilterBank()
+    assert bank.accepts(123)
+    assert bank.accepts_mid(MessageId(MessageType.DATA, node=1))
+
+
+def test_bank_any_match_semantics():
+    bank = FilterBank(
+        [
+            AcceptanceFilter.for_type(MessageType.DATA),
+            AcceptanceFilter.for_sender(2),
+        ]
+    )
+    assert bank.accepts_mid(MessageId(MessageType.DATA, node=9))  # by type
+    assert bank.accepts_mid(MessageId(MessageType.ELS, node=2))  # by sender
+    assert not bank.accepts_mid(MessageId(MessageType.ELS, node=3))
+
+
+def test_bank_add_and_clear():
+    bank = FilterBank()
+    bank.add(AcceptanceFilter.exact(MessageId(MessageType.DATA, node=1)))
+    assert len(bank) == 1
+    assert not bank.accepts_mid(MessageId(MessageType.DATA, node=2))
+    bank.clear()
+    assert bank.accepts_mid(MessageId(MessageType.DATA, node=2))

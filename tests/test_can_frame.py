@@ -1,0 +1,64 @@
+"""Unit tests for the CAN frame model."""
+
+import pytest
+
+from repro.can.frame import CanFrame, data_frame, remote_frame
+from repro.can.identifiers import MessageId, MessageType
+from repro.errors import FrameError
+
+MID = MessageId(MessageType.DATA, node=3, ref=9)
+
+
+def test_data_frame_basics():
+    frame = data_frame(MID, b"\x01\x02\x03")
+    assert frame.dlc == 3
+    assert not frame.remote
+    assert frame.identifier == MID.encode()
+
+
+def test_remote_frame_basics():
+    frame = remote_frame(MID)
+    assert frame.remote
+    assert frame.dlc == 0
+    assert frame.data == b""
+
+
+def test_remote_frame_with_data_rejected():
+    with pytest.raises(FrameError):
+        CanFrame(mid=MID, data=b"\x00", remote=True)
+
+
+def test_oversized_payload_rejected():
+    with pytest.raises(FrameError):
+        CanFrame(mid=MID, data=bytes(9))
+
+
+def test_non_bytes_payload_rejected():
+    with pytest.raises(FrameError):
+        CanFrame(mid=MID, data="text")
+
+
+def test_frames_are_value_objects():
+    assert data_frame(MID, b"x") == data_frame(MID, b"x")
+    assert data_frame(MID, b"x") != data_frame(MID, b"y")
+    assert data_frame(MID) != remote_frame(MID)
+
+
+def test_wire_bits_positive_and_bounded():
+    frame = data_frame(MID, bytes(8))
+    assert 0 < frame.wire_bits() <= frame.worst_case_bits()
+
+
+def test_remote_frame_shorter_than_full_data_frame():
+    assert remote_frame(MID).wire_bits() < data_frame(MID, bytes(8)).wire_bits()
+
+
+def test_repr_shows_kind():
+    assert "RTR" in repr(remote_frame(MID))
+    assert "DATA[2]" in repr(data_frame(MID, b"ab"))
+
+
+def test_frozen():
+    frame = data_frame(MID, b"x")
+    with pytest.raises(AttributeError):
+        frame.data = b"y"

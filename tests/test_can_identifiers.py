@@ -1,0 +1,78 @@
+"""Unit tests for message identifiers (the CANELy MID)."""
+
+import pytest
+
+from repro.can.identifiers import IDENTIFIER_BITS, MessageId, MessageType
+from repro.errors import FrameError
+
+
+def test_encode_decode_roundtrip():
+    mid = MessageId(MessageType.RHA, node=17, ref=1234)
+    assert MessageId.decode(mid.encode()) == mid
+
+
+def test_identifier_fits_29_bits():
+    assert IDENTIFIER_BITS == 29
+    worst = MessageId(MessageType.DATA, node=255, ref=65535)
+    assert worst.encode() < 1 << 29
+
+
+def test_priority_order_follows_type():
+    fda = MessageId(MessageType.FDA, node=255, ref=65535)
+    els = MessageId(MessageType.ELS, node=0, ref=0)
+    data = MessageId(MessageType.DATA, node=0, ref=0)
+    assert fda < els < data  # FDA always wins arbitration
+
+
+def test_ordering_matches_encoded_value():
+    a = MessageId(MessageType.RHA, node=5, ref=10)
+    b = MessageId(MessageType.RHA, node=4, ref=11)
+    assert (a < b) == (a.encode() < b.encode())
+
+
+def test_type_priority_ladder_is_the_papers():
+    ladder = [
+        MessageType.FDA,
+        MessageType.ELS,
+        MessageType.RHA,
+        MessageType.JOIN,
+        MessageType.LEAVE,
+    ]
+    values = [int(t) for t in ladder]
+    assert values == sorted(values)
+    assert int(MessageType.DATA) > int(MessageType.NM)
+
+
+def test_node_out_of_range_rejected():
+    with pytest.raises(FrameError):
+        MessageId(MessageType.DATA, node=256)
+    with pytest.raises(FrameError):
+        MessageId(MessageType.DATA, node=-1)
+
+
+def test_ref_out_of_range_rejected():
+    with pytest.raises(FrameError):
+        MessageId(MessageType.DATA, ref=65536)
+
+
+def test_decode_rejects_out_of_range():
+    with pytest.raises(FrameError):
+        MessageId.decode(1 << 29)
+    with pytest.raises(FrameError):
+        MessageId.decode(-1)
+
+
+def test_decode_rejects_unknown_type():
+    # Type code 9 is unassigned.
+    with pytest.raises(FrameError):
+        MessageId.decode(9 << 24)
+
+
+def test_frozen():
+    mid = MessageId(MessageType.ELS, node=1)
+    with pytest.raises(AttributeError):
+        mid.node = 2
+
+
+def test_repr_contains_type_name():
+    assert "ELS" in repr(MessageId(MessageType.ELS, node=1))

@@ -1,0 +1,49 @@
+"""Unit tests for CAN physical-layer timing."""
+
+import pytest
+
+from repro.can.phy import BitTiming, max_bus_length_m
+from repro.errors import ConfigurationError
+from repro.sim.clock import us
+
+
+def test_default_is_one_mbps():
+    timing = BitTiming()
+    assert timing.bit_rate == 1_000_000
+    assert timing.bit_time == us(1)
+
+
+def test_paper_rate_length_pairs():
+    # Section 3: "Typical values are: 40m @ 1 Mbps; 1000m @ 50 kbps."
+    assert max_bus_length_m(1_000_000) == 40
+    assert max_bus_length_m(50_000) == 1000
+
+
+def test_intermediate_rate_maps_conservatively():
+    assert max_bus_length_m(600_000) == 100  # next faster entry (500k)
+
+
+def test_rate_above_can_max_rejected():
+    with pytest.raises(ConfigurationError):
+        max_bus_length_m(2_000_000)
+
+
+def test_bits_to_ticks_and_back():
+    timing = BitTiming(bit_rate=500_000)
+    assert timing.bit_time == us(2)
+    assert timing.bits_to_ticks(100) == us(200)
+    assert timing.ticks_to_bits(us(200)) == 100
+
+
+def test_non_divisible_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        BitTiming(bit_rate=300_000)  # 1e9/3e5 is not an integer
+
+
+def test_non_positive_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        BitTiming(bit_rate=0)
+
+
+def test_max_length_property():
+    assert BitTiming(bit_rate=125_000).max_length_m == 500

@@ -1,0 +1,78 @@
+"""Unit tests for the media redundancy scheme."""
+
+import pytest
+
+from repro.can.redundancy import MediaSet
+from repro.errors import ConfigurationError
+
+
+def test_default_dual_media():
+    media = MediaSet()
+    assert media.media_count == 2
+    assert media.healthy_media_count() == 2
+
+
+def test_at_least_one_medium_required():
+    with pytest.raises(ConfigurationError):
+        MediaSet(media_count=0)
+
+
+def test_single_medium_failure_does_not_partition():
+    media = MediaSet(media_count=2)
+    media.fail_medium(0)
+    assert media.channel_available(3)
+    assert not media.partitioned(range(8))
+
+
+def test_all_media_failed_partitions():
+    media = MediaSet(media_count=2)
+    media.fail_medium(0)
+    media.fail_medium(1)
+    assert not media.channel_available(3)
+    assert media.partitioned([3])
+
+
+def test_restore_medium():
+    media = MediaSet(media_count=1)
+    media.fail_medium(0)
+    media.restore_medium(0)
+    assert media.channel_available(0)
+
+
+def test_tap_failure_affects_one_node_only():
+    media = MediaSet(media_count=2)
+    media.fail_tap(0, node_id=5)
+    media.fail_tap(1, node_id=5)
+    assert not media.channel_available(5)
+    assert media.channel_available(6)
+
+
+def test_tap_failure_on_one_medium_is_masked():
+    media = MediaSet(media_count=2)
+    media.fail_tap(0, node_id=5)
+    assert media.channel_available(5)
+
+
+def test_restore_tap():
+    media = MediaSet(media_count=1)
+    media.fail_tap(0, node_id=2)
+    assert not media.channel_available(2)
+    media.restore_tap(0, node_id=2)
+    assert media.channel_available(2)
+
+
+def test_unknown_medium_rejected():
+    media = MediaSet(media_count=1)
+    with pytest.raises(ConfigurationError):
+        media.fail_medium(7)
+
+
+def test_combined_failures_still_no_partition():
+    """The Columbus'-egg claim: any single fault per medium pair is masked."""
+    media = MediaSet(media_count=2)
+    media.fail_medium(0)
+    media.fail_tap(1, node_id=3)
+    # Node 3 lost medium 1's tap and medium 0 entirely: partitioned.
+    assert not media.channel_available(3)
+    # Everyone else still reaches the channel through medium 1.
+    assert all(media.channel_available(n) for n in range(8) if n != 3)

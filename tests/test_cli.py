@@ -1,0 +1,62 @@
+"""Smoke tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "crashed" in out
+    assert "agreement: ok" in out
+
+
+def test_fig1(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Membership service" in out
+
+
+def test_fig10_defaults(capsys):
+    assert main(["fig10"]) == 0
+    out = capsys.readouterr().out
+    assert "multiple join/leave" in out
+    assert "Tm=30ms" in out
+
+
+def test_fig10_custom_population(capsys):
+    assert main(["fig10", "--nodes", "16", "--lifesigns", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "n=16" in out
+
+
+def test_fig11(capsys):
+    assert main(["fig11"]) == 0
+    out = capsys.readouterr().out
+    assert "2880" in out
+
+
+def test_inaccessibility(capsys):
+    assert main(["inaccessibility"]) == 0
+    out = capsys.readouterr().out
+    assert "14 - 2880" in out
+
+
+def test_bounds(capsys):
+    assert main(["bounds", "--thb", "20", "--tm", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "consistent view update" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_demo_with_timeline(capsys):
+    assert main(["demo", "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline around the crash" in out
+    assert "FDA" in out
+    assert "summary:" in out

@@ -1,0 +1,94 @@
+"""Unit tests for CanelyConfig validation."""
+
+import pytest
+
+from repro.core.config import CanelyConfig
+from repro.errors import ConfigurationError
+from repro.sim.clock import ms
+
+
+def test_defaults_are_valid():
+    config = CanelyConfig()
+    assert config.tm == ms(50)
+    assert config.remote_surveillance == config.thb + config.ttd
+
+
+def test_capacity_bounds():
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(capacity=0)
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(capacity=65)
+
+
+def test_positive_durations_required():
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(tm=0)
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(thb=-1)
+
+
+def test_trha_must_fit_in_cycle():
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(tm=ms(10), trha=ms(20))
+
+
+def test_join_wait_exceeds_cycle():
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(tm=ms(50), tjoin_wait=ms(50))
+
+
+def test_k_bounds_j():
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(omission_degree=1, inconsistent_degree=2)
+
+
+def test_negative_degrees_rejected():
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(max_crash_failures=-1)
+
+
+def test_detection_latency_bound():
+    config = CanelyConfig(thb=ms(10), ttd=ms(2))
+    assert config.detection_latency_bound == ms(12)
+
+
+def test_frozen():
+    config = CanelyConfig()
+    with pytest.raises(AttributeError):
+        config.tm = ms(1)
+
+
+def test_for_population_scales_ttd():
+    small = CanelyConfig.for_population(4)
+    large = CanelyConfig.for_population(32)
+    assert large.ttd > small.ttd
+    assert large.capacity == 32
+
+
+def test_for_population_accepts_overrides():
+    config = CanelyConfig.for_population(8, tm=ms(100), tjoin_wait=ms(400))
+    assert config.tm == ms(100)
+
+
+def test_scaled_to_bit_rate():
+    base = CanelyConfig()
+    slow = CanelyConfig.scaled_to_bit_rate(250_000)
+    assert slow.tm == 4 * base.tm
+    assert slow.thb == 4 * base.thb
+    assert slow.inconsistent_degree == base.inconsistent_degree
+
+
+def test_scaled_to_bit_rate_with_reference_and_overrides():
+    reference = CanelyConfig(tm=ms(100), thb=ms(20), tjoin_wait=ms(400))
+    scaled = CanelyConfig.scaled_to_bit_rate(
+        500_000, reference=reference, capacity=32
+    )
+    assert scaled.tm == ms(200)
+    assert scaled.capacity == 32
+
+
+def test_scaled_to_bit_rate_validates():
+    import pytest as _pytest
+
+    with _pytest.raises(ConfigurationError):
+        CanelyConfig.scaled_to_bit_rate(0)

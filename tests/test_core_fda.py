@@ -1,0 +1,113 @@
+"""Unit tests for the FDA micro-protocol (paper Fig. 6)."""
+
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageType
+from repro.core.fda import FdaProtocol
+
+
+def wire(net):
+    protocols = {}
+    notified = {}
+    for node_id, layer in net.layers.items():
+        protocol = FdaProtocol(layer)
+        log = []
+        protocol.on_failure_sign(log.append)
+        protocols[node_id] = protocol
+        notified[node_id] = log
+    return protocols, notified
+
+
+def test_failure_sign_notified_everywhere(raw_bus):
+    net = raw_bus(4)
+    protocols, notified = wire(net)
+    protocols[0].request(3)
+    net.sim.run()
+    for node_id in net.layers:
+        assert notified[node_id] == [3]
+
+
+def test_notification_delivered_exactly_once(raw_bus):
+    net = raw_bus(4)
+    protocols, notified = wire(net)
+    protocols[0].request(3)
+    protocols[1].request(3)  # concurrent detection of the same failure
+    net.sim.run()
+    for log in notified.values():
+        assert log == [3]
+
+
+def test_clustering_keeps_frame_count_low(raw_bus):
+    """s02/r05: one transmit request per node, merged on the wire."""
+    net = raw_bus(6)
+    protocols, _ = wire(net)
+    protocols[0].request(3)
+    net.sim.run()
+    # Original + one clustered echo round.
+    assert net.bus.stats.physical_frames <= 2
+
+
+def test_repeated_request_sends_once(raw_bus):
+    net = raw_bus(3)
+    protocols, _ = wire(net)
+    protocols[0].request(2)
+    protocols[0].request(2)  # s01-s02: only the first issues a transmit
+    net.sim.run()
+    assert net.bus.stats.physical_frames <= 2
+
+
+def test_survives_inconsistent_omission_with_sender_crash(raw_bus):
+    """The whole point of FDA: consistent notification despite the
+    detecting node crashing mid-dissemination."""
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: f.mid.mtype is MessageType.FDA,
+        FaultKind.INCONSISTENT_OMISSION,
+        accepting=[2],
+        crash_sender=True,
+    )
+    net = raw_bus(5, injector=injector)
+    protocols, notified = wire(net)
+    protocols[0].request(4)  # node 0 detects node 4's crash, then dies
+    net.sim.run()
+    for node_id in (1, 2, 3):
+        assert notified[node_id] == [4], f"node {node_id} missed the sign"
+
+
+def test_distinct_failures_distinct_signs(raw_bus):
+    net = raw_bus(4)
+    protocols, notified = wire(net)
+    protocols[0].request(2)
+    protocols[1].request(3)
+    net.sim.run()
+    for log in notified.values():
+        assert sorted(log) == [2, 3]
+
+
+def test_duplicates_seen_counter(raw_bus):
+    net = raw_bus(3)
+    protocols, _ = wire(net)
+    protocols[0].request(2)
+    net.sim.run()
+    assert protocols[1].duplicates_seen(2) >= 1
+
+
+def test_reset_allows_reuse_of_identifier(raw_bus):
+    net = raw_bus(3)
+    protocols, notified = wire(net)
+    protocols[0].request(2)
+    net.sim.run()
+    for protocol in protocols.values():
+        protocol.reset(2)
+    protocols[1].request(2)  # the identifier fails again, much later
+    net.sim.run()
+    for log in notified.values():
+        assert log == [2, 2]
+
+
+def test_uses_remote_frames_only(raw_bus):
+    net = raw_bus(3)
+    protocols, _ = wire(net)
+    protocols[0].request(1)
+    net.sim.run()
+    for record in net.sim.trace.select(category="bus.tx"):
+        assert record.data["remote"] is True

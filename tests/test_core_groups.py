@@ -1,0 +1,159 @@
+"""Unit tests for process group membership on top of site membership."""
+
+import pytest
+
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageType
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.errors import ConfigurationError
+from repro.sim.clock import ms
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
+
+
+def bootstrap(node_count=4, injector=None):
+    net = CanelyNetwork(node_count=node_count, config=CONFIG, injector=injector)
+    net.join_all()
+    net.run_for(ms(400))
+    assert net.views_agree()
+    return net
+
+
+def group_views(net, group_id):
+    return {
+        node_id: node.groups.group_view(group_id).processes
+        for node_id, node in net.nodes.items()
+        if not node.crashed
+    }
+
+
+def test_join_group_visible_everywhere():
+    net = bootstrap()
+    net.node(1).groups.join_group(7, process_id=0)
+    net.run_for(ms(10))
+    for processes in group_views(net, 7).values():
+        assert processes == {(1, 0)}
+
+
+def test_multiple_processes_per_node():
+    net = bootstrap()
+    net.node(2).groups.join_group(3, process_id=0)
+    net.node(2).groups.join_group(3, process_id=1)
+    net.run_for(ms(10))
+    for processes in group_views(net, 3).values():
+        assert processes == {(2, 0), (2, 1)}
+
+
+def test_leave_group():
+    net = bootstrap()
+    net.node(0).groups.join_group(1, process_id=4)
+    net.node(1).groups.join_group(1, process_id=4)
+    net.run_for(ms(10))
+    net.node(0).groups.leave_group(1, process_id=4)
+    net.run_for(ms(10))
+    for processes in group_views(net, 1).values():
+        assert processes == {(1, 4)}
+
+
+def test_duplicate_join_is_idempotent():
+    net = bootstrap()
+    net.node(0).groups.join_group(2, process_id=0)
+    net.run_for(ms(10))
+    version_before = net.node(1).groups.group_view(2).version
+    net.node(0).groups.join_group(2, process_id=0)
+    net.run_for(ms(10))
+    assert net.node(1).groups.group_view(2).version == version_before
+
+
+def test_site_crash_drops_its_processes_everywhere():
+    net = bootstrap(node_count=5)
+    net.node(3).groups.join_group(9, process_id=0)
+    net.node(3).groups.join_group(9, process_id=1)
+    net.node(4).groups.join_group(9, process_id=2)
+    net.run_for(ms(10))
+    net.node(3).crash()
+    net.run_for(ms(100))
+    for node_id, processes in group_views(net, 9).items():
+        assert processes == {(4, 2)}, f"node {node_id}: {processes}"
+
+
+def test_site_leave_drops_its_processes():
+    net = bootstrap()
+    net.node(2).groups.join_group(5, process_id=0)
+    net.node(1).groups.join_group(5, process_id=0)
+    net.run_for(ms(10))
+    net.node(2).leave()
+    net.run_for(ms(200))
+    for node_id, node in net.nodes.items():
+        if node.is_member:
+            assert node.groups.group_view(5).processes == {(1, 0)}
+
+
+def test_group_views_consistent_under_inconsistent_announcement():
+    """An inconsistent omission on the announcement, with the announcing
+    site crashing: the eager diffusion still spreads it (or nobody has it
+    after the site-level cleanup) — never a split view."""
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: f.mid.mtype is MessageType.GROUP,
+        FaultKind.INCONSISTENT_OMISSION,
+        accepting=[2],
+        crash_sender=True,
+    )
+    net = bootstrap(node_count=5, injector=injector)
+    net.node(0).groups.join_group(6, process_id=0)
+    net.run_for(ms(200))
+    views = {
+        node_id: node.groups.group_view(6).processes
+        for node_id, node in net.nodes.items()
+        if not node.crashed and node.is_member
+    }
+    reference = next(iter(views.values()))
+    assert all(view == reference for view in views.values()), views
+
+
+def test_change_notifications_fire():
+    net = bootstrap()
+    changes = []
+    net.node(1).groups.on_group_change(changes.append)
+    net.node(0).groups.join_group(4, process_id=0)
+    net.run_for(ms(10))
+    assert changes
+    assert changes[-1].group_id == 4
+    assert (0, 0) in changes[-1].processes
+
+
+def test_known_groups():
+    net = bootstrap()
+    net.node(0).groups.join_group(1, process_id=0)
+    net.node(0).groups.join_group(3, process_id=0)
+    net.run_for(ms(10))
+    assert net.node(2).groups.known_groups == [1, 3]
+
+
+def test_non_member_cannot_announce():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    with pytest.raises(ConfigurationError):
+        net.node(0).groups.join_group(1, process_id=0)
+
+
+def test_id_validation():
+    net = bootstrap()
+    with pytest.raises(ConfigurationError):
+        net.node(0).groups.join_group(256, process_id=0)
+    with pytest.raises(ConfigurationError):
+        net.node(0).groups.join_group(1, process_id=256)
+    with pytest.raises(ConfigurationError):
+        net.node(0).groups.group_view(-1)
+
+
+def test_version_increases_monotonically():
+    net = bootstrap()
+    net.node(0).groups.join_group(2, process_id=0)
+    net.run_for(ms(10))
+    v1 = net.node(1).groups.group_view(2).version
+    net.node(0).groups.leave_group(2, process_id=0)
+    net.run_for(ms(10))
+    v2 = net.node(1).groups.group_view(2).version
+    assert v2 > v1

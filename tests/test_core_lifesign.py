@@ -1,0 +1,40 @@
+"""Unit tests for the life-sign policy (paper Section 6.1)."""
+
+from repro.core.lifesign import (
+    NodeTraffic,
+    explicit_lifesign_nodes,
+    needs_explicit_lifesign,
+)
+from repro.sim.clock import ms
+
+
+def test_fast_periodic_node_needs_no_els():
+    traffic = NodeTraffic(node_id=1, min_period=ms(5))
+    assert not needs_explicit_lifesign(traffic, thb=ms(10))
+
+
+def test_slow_periodic_node_needs_els():
+    traffic = NodeTraffic(node_id=1, min_period=ms(50))
+    assert needs_explicit_lifesign(traffic, thb=ms(10))
+
+
+def test_period_equal_to_thb_is_sufficient():
+    traffic = NodeTraffic(node_id=1, min_period=ms(10))
+    assert not needs_explicit_lifesign(traffic, thb=ms(10))
+
+
+def test_sporadic_node_needs_els():
+    traffic = NodeTraffic(node_id=1, min_period=None)
+    assert traffic.is_sporadic_only
+    assert needs_explicit_lifesign(traffic, thb=ms(10))
+
+
+def test_explicit_lifesign_nodes_b_count():
+    """The paper's b parameter: the subset needing explicit life-signs."""
+    population = [
+        NodeTraffic(0, ms(5)),
+        NodeTraffic(1, ms(50)),
+        NodeTraffic(2, None),
+        NodeTraffic(3, ms(9)),
+    ]
+    assert explicit_lifesign_nodes(population, thb=ms(10)) == [1, 2]

@@ -1,0 +1,242 @@
+"""Unit tests for the site membership protocol (paper Fig. 9).
+
+These drive full CanelyNetwork stacks — the membership machine is wired to
+RHA, FDA and the failure detector exactly as in the paper's Fig. 5.
+"""
+
+import pytest
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+from repro.util.sets import NodeSet
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
+
+
+def make(node_count):
+    return CanelyNetwork(node_count=node_count, config=CONFIG)
+
+
+def test_cold_start_bootstrap(raw_bus):
+    net = make(4)
+    net.join_all()
+    net.run_for(ms(400))
+    assert net.views_agree()
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+
+
+def test_bootstrap_converges_with_staggered_joins():
+    net = make(4)
+    for node_id in range(4):
+        net.sim.schedule_at(ms(5 * node_id), net.node(node_id).join)
+    net.run_for(ms(600))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+
+
+def test_view_round_index_advances():
+    net = make(2)
+    net.join_all()
+    net.run_for(ms(400))
+    first = net.node(0).view().round_index
+    net.run_for(ms(200))
+    assert net.node(0).view().round_index > first
+
+
+def test_late_join_integrates():
+    net = make(5)
+    for node_id in range(4):
+        net.node(node_id).join()
+    net.run_for(ms(400))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+    net.node(4).join()
+    net.run_for(ms(200))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3, 4]
+    assert net.node(4).is_member
+
+
+def test_join_while_not_member_only():
+    net = make(3)
+    net.join_all()
+    net.run_for(ms(400))
+    members_before = net.agreed_view()
+    net.node(0).join()  # already a member: s00 guard ignores it
+    net.run_for(ms(200))
+    assert net.agreed_view() == members_before
+
+
+def test_leave_removes_node_consistently():
+    net = make(4)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(2).leave()
+    net.run_for(ms(200))
+    assert sorted(net.agreed_view()) == [0, 1, 3]
+    assert not net.node(2).is_member
+
+
+def test_leaving_node_gets_final_notification():
+    net = make(3)
+    net.join_all()
+    net.run_for(ms(400))
+    changes = []
+    net.node(1).on_membership_change(changes.append)
+    net.node(1).leave()
+    net.run_for(ms(200))
+    final = changes[-1]
+    assert 1 in final.failed or 1 not in final.active
+
+
+def test_leave_of_non_member_ignored():
+    net = make(3)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(2).leave()
+    net.run_for(ms(200))
+    net.node(2).leave()  # no longer a member: s07 guard
+    net.run_for(ms(200))
+    assert sorted(net.agreed_view()) == [0, 1]
+
+
+def test_crash_detected_and_removed():
+    net = make(5)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(3).crash()
+    net.run_for(ms(150))
+    assert net.views_agree()
+    assert sorted(net.agreed_view()) == [0, 1, 2, 4]
+
+
+def test_crash_notification_latency_tens_of_ms():
+    """Fig. 11's membership row: tens of milliseconds."""
+    net = make(5)
+    net.join_all()
+    net.run_for(ms(400))
+    crash_time = net.sim.now
+    net.node(3).crash()
+    net.run_for(ms(150))
+    notifications = [
+        record.time
+        for record in net.sim.trace.select(category="msh.change")
+        if 3 in record.data["failed"]
+    ]
+    assert notifications
+    latency = notifications[0] - crash_time
+    assert latency <= ms(30)  # Thb + Ttd + dissemination
+
+
+def test_multiple_crashes_same_cycle():
+    net = make(6)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(4).crash()
+    net.node(5).crash()
+    net.run_for(ms(200))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+
+
+def test_simultaneous_join_and_leave():
+    net = make(6)
+    for node_id in range(4):
+        net.node(node_id).join()
+    net.run_for(ms(400))
+    net.node(4).join()
+    net.node(2).leave()
+    net.run_for(ms(250))
+    assert sorted(net.agreed_view()) == [0, 1, 3, 4]
+
+
+def test_join_storm():
+    net = make(12)
+    net.join_all()
+    net.run_for(ms(600))
+    assert sorted(net.agreed_view()) == list(range(12))
+
+
+def test_membership_change_notifications_carry_active_set():
+    net = make(3)
+    net.join_all()
+    changes = []
+    net.node(0).on_membership_change(changes.append)
+    net.run_for(ms(400))
+    assert changes
+    assert sorted(changes[-1].active) == [0, 1, 2]
+
+
+def test_no_rha_when_no_pending_requests():
+    """s22-s25: quiescent cycles skip the RHA execution (bandwidth)."""
+    net = make(3)
+    net.join_all()
+    net.run_for(ms(400))
+    rha_before = [
+        r
+        for r in net.sim.trace.select(category="bus.tx")
+        if r.data["mid"].mtype.name == "RHA"
+    ]
+    net.run_for(ms(300))  # several quiet cycles
+    rha_after = [
+        r
+        for r in net.sim.trace.select(category="bus.tx")
+        if r.data["mid"].mtype.name == "RHA"
+    ]
+    assert len(rha_after) == len(rha_before)
+
+
+def test_crashed_node_can_rejoin_much_later():
+    net = make(4)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(2).crash()
+    net.run_for(ms(300))
+    assert sorted(net.agreed_view()) == [0, 1, 3]
+    # "much later" (>> Tm): the node reboots and rejoins.
+    recovered = net.node(2)
+    recovered.recover()
+    recovered.join()
+    net.run_for(ms(300))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+
+
+def test_view_object_contents():
+    net = make(2)
+    net.join_all()
+    net.run_for(ms(400))
+    view = net.node(1).view()
+    assert 0 in view and 1 in view
+    assert len(view) == 2
+    assert view.time == net.sim.now
+
+
+def test_reintegration_cooldown_enforced():
+    """Section 6.4's assumption, opt-in enforced by the membership layer."""
+    from repro.errors import MembershipError
+    from repro.sim.clock import sec
+
+    config = CanelyConfig(
+        capacity=16,
+        tm=ms(50),
+        tjoin_wait=ms(150),
+        reintegration_cooldown=sec(1),
+    )
+    net = CanelyNetwork(node_count=3, config=config)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(2).leave()
+    net.run_for(ms(200))
+    assert not net.node(2).is_member
+    with pytest.raises(MembershipError):
+        net.node(2).join()  # too soon
+    net.run_for(sec(1))
+    net.node(2).join()  # cooldown elapsed
+    net.run_for(ms(300))
+    assert sorted(net.agreed_view()) == [0, 1, 2]
+
+
+def test_cooldown_validation():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        CanelyConfig(
+            tm=ms(50), tjoin_wait=ms(200), reintegration_cooldown=ms(50)
+        )

@@ -1,0 +1,152 @@
+"""Unit tests for the RHA micro-protocol (paper Fig. 7)."""
+
+from repro.core.config import CanelyConfig
+from repro.core.rha import RhaProtocol
+from repro.core.state import MembershipState
+from repro.sim.clock import ms
+from repro.util.sets import NodeSet
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), trha=ms(5), tjoin_wait=ms(150))
+
+
+def wire(net, views, joining=None, leaving=None):
+    """Build one RHA entity per node with the given shared-state presets."""
+    joining = joining or {}
+    leaving = leaving or {}
+    protocols, states, ends, inits = {}, {}, {}, {}
+    for node_id, layer in net.layers.items():
+        state = MembershipState(capacity=CONFIG.capacity)
+        state.view = NodeSet(views.get(node_id, []), CONFIG.capacity)
+        state.joining = NodeSet(joining.get(node_id, []), CONFIG.capacity)
+        state.leaving = NodeSet(leaving.get(node_id, []), CONFIG.capacity)
+        protocol = RhaProtocol(layer, net.timers[node_id], CONFIG, state)
+        end_log, init_log = [], []
+        protocol.on_end(end_log.append)
+        protocol.on_init(lambda init_log=init_log: init_log.append(1))
+        protocols[node_id] = protocol
+        states[node_id] = state
+        ends[node_id] = end_log
+        inits[node_id] = init_log
+    return protocols, states, ends, inits
+
+
+def test_non_member_cannot_start(raw_bus):
+    net = raw_bus(3)
+    protocols, _, ends, inits = wire(net, views={})  # nobody is a member
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    assert not protocols[0].running
+    assert inits[0] == []
+
+
+def test_agreement_on_identical_proposals(raw_bus):
+    net = raw_bus(4)
+    members = {n: [0, 1, 2, 3] for n in range(4)}
+    protocols, _, ends, _ = wire(net, views=members, joining={n: [5] for n in range(4)})
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    for node_id in range(4):
+        assert len(ends[node_id]) == 1
+        assert sorted(ends[node_id][0]) == [0, 1, 2, 3, 5]
+
+
+def test_reception_triggers_participation(raw_bus):
+    """Members that did not start locally join upon the first RHV signal."""
+    net = raw_bus(3)
+    members = {n: [0, 1, 2] for n in range(3)}
+    protocols, _, ends, inits = wire(net, views=members)
+    protocols[0].request()
+    net.sim.run_until(ms(1))
+    assert protocols[1].running and protocols[2].running
+    assert inits[1] == [1] and inits[2] == [1]
+
+
+def test_consensus_is_intersection_of_divergent_proposals(raw_bus):
+    """Inconsistent join perception: the agreed RHV is the intersection."""
+    net = raw_bus(3)
+    members = {n: [0, 1, 2] for n in range(3)}
+    # Node 0 saw node 5's join request; the others did not (inconsistent
+    # omission on the JOIN remote frame).
+    protocols, _, ends, _ = wire(
+        net, views=members, joining={0: [5], 1: [], 2: []}
+    )
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    for node_id in range(3):
+        assert sorted(ends[node_id][0]) == [0, 1, 2]
+
+
+def test_leave_perceived_by_one_node_wins(raw_bus):
+    """A leave seen anywhere removes the node (intersection semantics)."""
+    net = raw_bus(3)
+    members = {n: [0, 1, 2] for n in range(3)}
+    protocols, _, ends, _ = wire(net, views=members, leaving={1: [2]})
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    for node_id in range(3):
+        assert sorted(ends[node_id][0]) == [0, 1]
+
+
+def test_non_member_adopts_received_vector(raw_bus):
+    net = raw_bus(4)
+    members = {n: [0, 1, 2] for n in range(3)}  # node 3 is joining
+    protocols, _, ends, _ = wire(
+        net, views=members, joining={n: [3] for n in range(4)}
+    )
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    # Node 3 (non-member) delivered the same final vector as the members.
+    assert sorted(ends[3][0]) == [0, 1, 2, 3]
+    for node_id in range(3):
+        assert ends[node_id][0] == ends[3][0]
+
+
+def test_executions_and_termination(raw_bus):
+    net = raw_bus(2)
+    members = {n: [0, 1] for n in range(2)}
+    protocols, _, ends, _ = wire(net, views=members)
+    protocols[0].request()
+    assert protocols[0].running
+    net.sim.run_until(ms(10))
+    assert not protocols[0].running
+    assert protocols[0].executions == 1
+
+
+def test_second_request_while_running_is_ignored(raw_bus):
+    net = raw_bus(2)
+    members = {n: [0, 1] for n in range(2)}
+    protocols, _, ends, _ = wire(net, views=members)
+    protocols[0].request()
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    assert protocols[0].executions == 1
+    assert len(ends[0]) == 1
+
+
+def test_bandwidth_bounded_by_j_copies_per_value(raw_bus):
+    """Fig. 7 r08: a value circulates in at most ~j+1 physical frames."""
+    net = raw_bus(8)
+    members = {n: list(range(8)) for n in range(8)}
+    protocols, _, _, _ = wire(net, views=members, joining={n: [9] for n in range(8)})
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    rha_frames = [
+        r
+        for r in net.sim.trace.select(category="bus.tx")
+        if r.data["mid"].mtype.name == "RHA"
+    ]
+    assert len(rha_frames) <= CONFIG.inconsistent_degree + 2
+
+
+def test_fresh_execution_after_end(raw_bus):
+    net = raw_bus(2)
+    members = {n: [0, 1] for n in range(2)}
+    protocols, states, ends, _ = wire(net, views=members)
+    protocols[0].request()
+    net.sim.run_until(ms(10))
+    states[0].joining = NodeSet([7], CONFIG.capacity)
+    states[1].joining = NodeSet([7], CONFIG.capacity)
+    protocols[0].request()
+    net.sim.run_until(ms(20))
+    assert len(ends[0]) == 2
+    assert sorted(ends[0][1]) == [0, 1, 7]

@@ -1,0 +1,126 @@
+"""Unit tests for the CanelyNode / CanelyNetwork assembly."""
+
+import pytest
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.clock import ms
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), tjoin_wait=ms(150))
+
+
+def test_network_builds_n_nodes():
+    net = CanelyNetwork(node_count=5, config=CONFIG)
+    assert sorted(net.nodes) == [0, 1, 2, 3, 4]
+    assert net.node(3).node_id == 3
+
+
+def test_node_count_bounded_by_capacity():
+    with pytest.raises(ConfigurationError):
+        CanelyNetwork(node_count=17, config=CONFIG)
+
+
+def test_app_messages_delivered():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    received = []
+    net.node(2).on_message(lambda s, r, d: received.append((s, r, d)))
+    ref = net.node(0).send(b"payload")
+    net.run_for(ms(5))
+    assert received == [(0, ref, b"payload")]
+
+
+def test_send_refs_wrap():
+    net = CanelyNetwork(node_count=1, config=CONFIG)
+    node = net.node(0)
+    node._next_ref = 65535
+    assert node.send(b"") == 65535
+    assert node.send(b"") == 0
+
+
+def test_app_traffic_suppresses_els():
+    """Implicit life-signs: busy nodes never send explicit life-signs."""
+    net = CanelyNetwork(node_count=2, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+
+    def chatter():
+        for node in net.nodes.values():
+            node.send(b"")
+        net.sim.schedule(ms(4), chatter)
+
+    chatter()
+    els_before = net.node(0).detector.els_sent
+    net.run_for(ms(200))
+    assert net.node(0).detector.els_sent == els_before
+
+
+def test_crash_and_recover_cycle():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(1).crash()
+    assert net.node(1).crashed
+    net.run_for(ms(200))
+    net.node(1).recover()
+    assert not net.node(1).crashed
+    assert not net.node(1).is_member  # silent until it rejoins
+
+
+def test_recover_requires_crash():
+    net = CanelyNetwork(node_count=1, config=CONFIG)
+    with pytest.raises(ProtocolError):
+        net.node(0).recover()
+
+
+def test_correct_nodes_excludes_crashed():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    net.node(0).crash()
+    assert [n.node_id for n in net.correct_nodes()] == [1, 2]
+
+
+def test_agreed_view_empty_before_bootstrap():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    assert not net.agreed_view()
+
+
+def test_agreed_view_raises_on_disagreement():
+    net = CanelyNetwork(node_count=2, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    # Forge a divergent view to exercise the assertion helper.
+    from repro.util.sets import NodeSet
+
+    net.node(0).state.view = NodeSet([0], capacity=16)
+    with pytest.raises(AssertionError):
+        net.agreed_view()
+
+
+def test_run_cycles_advances_tm_multiples():
+    net = CanelyNetwork(node_count=1, config=CONFIG)
+    net.run_cycles(2)
+    assert net.sim.now == 2 * CONFIG.tm
+
+
+def test_node_id_outside_capacity_rejected():
+    from repro.core.stack import CanelyNode
+    from repro.sim.kernel import Simulator
+    from repro.can.bus import CanBus
+
+    sim = Simulator()
+    bus = CanBus(sim)
+    with pytest.raises(ConfigurationError):
+        CanelyNode(16, sim, bus, CONFIG)
+
+
+def test_node_stats():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    stats = net.node(0).stats()
+    assert stats["monitored_nodes"] == 3
+    assert stats["view_round"] > 0
+    assert stats["els_sent"] >= 0
+    assert stats["rha_executions"] >= 1

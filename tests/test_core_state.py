@@ -1,0 +1,32 @@
+"""Unit tests for the shared membership state."""
+
+from repro.core.state import MembershipState
+from repro.util.sets import NodeSet
+
+
+def test_initial_sets_empty():
+    state = MembershipState(capacity=16)
+    assert not state.view
+    assert not state.joining
+    assert not state.joining_aux
+    assert not state.leaving
+    assert not state.failed
+
+
+def test_initial_rhv_combines_sets():
+    state = MembershipState(capacity=16)
+    state.view = NodeSet([0, 1, 2], capacity=16)
+    state.joining = NodeSet([3], capacity=16)
+    state.leaving = NodeSet([1], capacity=16)
+    # Fig. 7 a03: (Vs | Vj) - Vl
+    assert sorted(state.initial_rhv()) == [0, 2, 3]
+
+
+def test_initial_rhv_empty_state():
+    assert not MembershipState(capacity=8).initial_rhv()
+
+
+def test_capacity_respected():
+    state = MembershipState(capacity=8)
+    assert state.view.capacity == 8
+    assert state.initial_rhv().capacity == 8

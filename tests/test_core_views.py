@@ -1,0 +1,32 @@
+"""Unit tests for membership views and change notifications."""
+
+from repro.core.views import MembershipChange, MembershipView
+from repro.util.sets import NodeSet
+
+
+def test_view_contains_and_len():
+    view = MembershipView(members=NodeSet([1, 3]), round_index=2, time=100)
+    assert 1 in view
+    assert 2 not in view
+    assert len(view) == 2
+
+
+def test_view_is_frozen():
+    view = MembershipView(members=NodeSet([1]), round_index=0, time=0)
+    try:
+        view.round_index = 5
+    except AttributeError:
+        return
+    raise AssertionError("view should be immutable")
+
+
+def test_change_carries_active_and_failed():
+    change = MembershipChange(
+        active=NodeSet([0, 1]),
+        failed=NodeSet([2]),
+        time=50,
+        local_node=0,
+    )
+    assert sorted(change.active) == [0, 1]
+    assert sorted(change.failed) == [2]
+    assert change.local_node == 0

@@ -1,0 +1,89 @@
+"""Unit tests for EDCAN (eager diffusion reliable broadcast)."""
+
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageType
+from repro.llc.edcan import Edcan
+
+
+def wire(net, j=2):
+    protocols = {}
+    delivered = {}
+    for node_id, layer in net.layers.items():
+        protocol = Edcan(layer, inconsistent_degree=j)
+        log = []
+        protocol.on_deliver(lambda s, r, d, log=log: log.append((s, r, d)))
+        protocols[node_id] = protocol
+        delivered[node_id] = log
+    return protocols, delivered
+
+
+def test_failure_free_broadcast_delivers_everywhere(raw_bus):
+    net = raw_bus(4)
+    protocols, delivered = wire(net)
+    ref = protocols[0].broadcast(b"hello")
+    net.sim.run()
+    for node_id in net.layers:
+        assert delivered[node_id] == [(0, ref, b"hello")]
+
+
+def test_failure_free_cost_is_two_physical_frames(raw_bus):
+    """Original + one clustered echo: the eager-diffusion price."""
+    net = raw_bus(5)
+    protocols, _ = wire(net)
+    protocols[0].broadcast(b"x")
+    net.sim.run()
+    assert net.bus.stats.physical_frames == 2
+
+
+def test_no_duplicate_deliveries(raw_bus):
+    net = raw_bus(4)
+    protocols, delivered = wire(net)
+    protocols[0].broadcast(b"a")
+    protocols[0].broadcast(b"b")
+    net.sim.run()
+    for log in delivered.values():
+        assert len(log) == 2
+        assert {d for _, _, d in log} == {b"a", b"b"}
+
+
+def test_refs_increment(raw_bus):
+    net = raw_bus(2)
+    protocols, _ = wire(net)
+    assert protocols[0].broadcast(b"") == 0
+    assert protocols[0].broadcast(b"") == 1
+
+
+def test_survives_inconsistent_omission_with_sender_crash(raw_bus):
+    """The headline property: delivery despite sender failure (LCAN2 fix)."""
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: f.mid.mtype is MessageType.DATA,
+        FaultKind.INCONSISTENT_OMISSION,
+        accepting=[2],
+        crash_sender=True,
+    )
+    net = raw_bus(4, injector=injector)
+    protocols, delivered = wire(net)
+    ref = protocols[0].broadcast(b"critical")
+    net.sim.run()
+    # Node 2 got the original; its echo must reach 1 and 3 even though the
+    # sender crashed before retransmitting.
+    for node_id in (1, 2, 3):
+        assert delivered[node_id] == [(0, ref, b"critical")]
+
+
+def test_duplicates_seen_counts_copies(raw_bus):
+    net = raw_bus(3)
+    protocols, _ = wire(net)
+    ref = protocols[0].broadcast(b"z")
+    net.sim.run()
+    assert protocols[1].duplicates_seen(0, ref) == 2  # original + echo
+
+
+def test_echo_aborted_after_j_copies(raw_bus):
+    """No more than j+1-ish copies circulate in the fault-free case."""
+    net = raw_bus(6)
+    protocols, _ = wire(net, j=1)
+    protocols[0].broadcast(b"q")
+    net.sim.run()
+    assert net.bus.stats.physical_frames <= 3

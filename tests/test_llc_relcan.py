@@ -1,0 +1,73 @@
+"""Unit tests for RELCAN (lazy two-phase reliable broadcast)."""
+
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageType
+from repro.llc.relcan import Relcan
+from repro.sim.clock import ms
+
+
+def wire(net, timeout=ms(5)):
+    protocols = {}
+    delivered = {}
+    for node_id, layer in net.layers.items():
+        protocol = Relcan(layer, net.timers[node_id], confirm_timeout=timeout)
+        log = []
+        protocol.on_deliver(lambda s, r, d, log=log: log.append((s, r, d)))
+        protocols[node_id] = protocol
+        delivered[node_id] = log
+    return protocols, delivered
+
+
+def test_failure_free_delivery_on_confirm(raw_bus):
+    net = raw_bus(4)
+    protocols, delivered = wire(net)
+    ref = protocols[0].broadcast(b"msg")
+    net.sim.run_until(ms(1))
+    for node_id in net.layers:
+        assert delivered[node_id] == [(0, ref, b"msg")]
+
+
+def test_failure_free_cost_is_message_plus_confirm(raw_bus):
+    net = raw_bus(4)
+    protocols, _ = wire(net)
+    protocols[0].broadcast(b"msg")
+    net.sim.run_until(ms(1))
+    assert net.bus.stats.physical_frames == 2  # data + confirm (remote)
+
+
+def test_delivery_exactly_once(raw_bus):
+    net = raw_bus(3)
+    protocols, delivered = wire(net)
+    protocols[0].broadcast(b"a")
+    protocols[1].broadcast(b"b")
+    net.sim.run_until(ms(20))
+    for log in delivered.values():
+        assert len(log) == 2
+
+
+def test_sender_crash_triggers_diffusion_fallback(raw_bus):
+    injector = FaultInjector()
+    injector.fault_on_frame(
+        lambda f: f.mid.mtype is MessageType.DATA,
+        FaultKind.INCONSISTENT_OMISSION,
+        accepting=[2],
+        crash_sender=True,
+    )
+    net = raw_bus(4, injector=injector)
+    protocols, delivered = wire(net)
+    ref = protocols[0].broadcast(b"lastword")
+    net.sim.run_until(ms(20))
+    # No confirm ever arrives; node 2 times out, diffuses, everyone delivers.
+    for node_id in (1, 2, 3):
+        assert delivered[node_id] == [(0, ref, b"lastword")]
+
+
+def test_interleaved_broadcasts_keep_identities(raw_bus):
+    net = raw_bus(3)
+    protocols, delivered = wire(net)
+    protocols[0].broadcast(b"from-0")
+    protocols[2].broadcast(b"from-2")
+    net.sim.run_until(ms(20))
+    for log in delivered.values():
+        senders = {s for s, _, _ in log}
+        assert senders == {0, 2}

@@ -1,0 +1,98 @@
+"""Unit tests for the CANopen heartbeat (producer-consumer) variant."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.cal_nm import CalHeartbeat
+from repro.sim.clock import ms
+
+
+def wire(raw_bus, node_count=4, producer_time=None, consumer_time=None):
+    producer_time = producer_time or ms(20)
+    consumer_time = consumer_time or ms(50)
+    net = raw_bus(node_count)
+    services = {}
+    for node_id, layer in net.layers.items():
+        watched = [n for n in range(node_count) if n != node_id]
+        services[node_id] = CalHeartbeat(
+            layer,
+            net.timers[node_id],
+            net.sim,
+            producer_time=producer_time,
+            consumer_time=consumer_time,
+            watched=watched,
+        )
+        services[node_id].start()
+    return net, services
+
+
+def test_steady_state_no_detection(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(500))
+    assert all(not s.detected for s in services.values())
+    assert all(s.heartbeats_sent >= 20 for s in services.values())
+
+
+def test_crash_detected_by_all_consumers(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(200))
+    net.controllers[2].crash()
+    crash_time = net.sim.now
+    net.sim.run_until(ms(500))
+    for node_id in (0, 1, 3):
+        assert set(services[node_id].detected) == {2}
+        latency = services[node_id].detected[2] - crash_time
+        assert latency <= services[node_id].consumer_time + ms(1)
+
+
+def test_consumers_time_out_independently_no_agreement(raw_bus):
+    """The paper's criticism: no consistency mechanism — each consumer
+    detects on its own local timer, so notification times differ."""
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(200))
+    net.controllers[3].crash()
+    net.sim.run_until(ms(500))
+    times = {services[n].detected[3] for n in (0, 1, 2)}
+    # The detections happen, but nothing synchronizes them: depending on
+    # each consumer's re-arm phase the instants may differ (they coincide
+    # here only if the heartbeats happened to arrive in lockstep).
+    assert all(t > 0 for t in times)
+
+
+def test_unwatched_producer_not_detected(raw_bus):
+    net = raw_bus(3)
+    service = CalHeartbeat(
+        net.layers[0],
+        net.timers[0],
+        net.sim,
+        producer_time=ms(20),
+        consumer_time=ms(50),
+        watched=[1],  # node 2 is not watched
+    )
+    service.start()
+    CalHeartbeat(
+        net.layers[1], net.timers[1], net.sim, ms(20), ms(50)
+    ).start()
+    net.sim.run_until(ms(400))
+    # Node 2 never produced a heartbeat, but it is not watched either.
+    assert 2 not in service.detected
+
+
+def test_recovered_producer_clears_detection(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(200))
+    net.controllers[1].crash()
+    net.sim.run_until(ms(400))
+    assert 1 in services[0].detected
+    net.controllers[1].crashed = False
+    net.controllers[1].tec = 0
+    net.sim.run_until(ms(600))
+    assert 1 not in services[0].detected  # heartbeats resumed
+
+
+def test_config_validation(raw_bus):
+    net = raw_bus(2)
+    with pytest.raises(ConfigurationError):
+        CalHeartbeat(net.layers[0], net.timers[0], net.sim, 0, ms(50))
+    with pytest.raises(ConfigurationError):
+        CalHeartbeat(net.layers[0], net.timers[0], net.sim, ms(50), ms(50))

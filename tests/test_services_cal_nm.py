@@ -1,0 +1,98 @@
+"""Unit tests for CAL/CANopen node guarding (Section 6.6 baseline)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.cal_nm import CalNodeGuarding
+from repro.sim.clock import ms
+
+
+def wire(raw_bus, node_count=5, guard_time=ms(20), life_time_factor=2):
+    net = raw_bus(node_count)
+    services = {}
+    slaves = list(range(1, node_count))
+    for node_id, layer in net.layers.items():
+        services[node_id] = CalNodeGuarding(
+            layer,
+            net.timers[node_id],
+            net.sim,
+            master_id=0,
+            slave_ids=slaves,
+            guard_time=guard_time,
+            life_time_factor=life_time_factor,
+        )
+        services[node_id].start()
+    return net, services
+
+
+def test_no_false_detection_when_healthy(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(1000))
+    assert services[0].detected == {}
+
+
+def test_slaves_answer_polls(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(500))
+    assert services[0].polls_sent > 0
+    assert all(services[s].statuses_sent > 0 for s in range(1, 5))
+
+
+def test_master_detects_crashed_slave(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(500))
+    net.controllers[3].crash()
+    crash_time = net.sim.now
+    net.sim.run_until(ms(2000))
+    assert 3 in services[0].detected
+    latency = services[0].detected[3] - crash_time
+    # Bounded by the node life time plus one polling round.
+    assert latency <= services[0].life_time + ms(100)
+
+
+def test_failure_listener_fires_at_master_only(raw_bus):
+    net, services = wire(raw_bus)
+    hits = {n: [] for n in services}
+    for node_id, service in services.items():
+        service.on_failure(hits[node_id].append)
+    net.sim.run_until(ms(500))
+    net.controllers[2].crash()
+    net.sim.run_until(ms(2000))
+    assert hits[0] == [2]
+    assert all(hits[n] == [] for n in range(1, 5))
+
+
+def test_master_crash_disables_detection(raw_bus):
+    """The paper's criticism of the centralized scheme."""
+    net, services = wire(raw_bus)
+    net.sim.run_until(ms(500))
+    net.controllers[0].crash()  # the master dies
+    net.controllers[3].crash()  # then a slave dies
+    net.sim.run_until(ms(3000))
+    assert all(not services[n].detected for n in range(1, 5))
+
+
+def test_detection_latency_scales_with_population(raw_bus):
+    small_net, small = wire(raw_bus, node_count=3)
+    large_net, large = wire(raw_bus, node_count=8)
+    assert large[0].life_time > small[0].life_time
+
+
+def test_config_validation(raw_bus):
+    net = raw_bus(2)
+    with pytest.raises(ConfigurationError):
+        CalNodeGuarding(net.layers[0], net.timers[0], net.sim, 0, [1], guard_time=0)
+    with pytest.raises(ConfigurationError):
+        CalNodeGuarding(
+            net.layers[0], net.timers[0], net.sim, 0, [0, 1], guard_time=ms(10)
+        )
+    with pytest.raises(ConfigurationError):
+        CalNodeGuarding(
+            net.layers[0],
+            net.timers[0],
+            net.sim,
+            0,
+            [1],
+            guard_time=ms(10),
+            life_time_factor=0,
+        )

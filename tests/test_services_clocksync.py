@@ -1,0 +1,106 @@
+"""Unit tests for the clock synchronization service."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.clocksync import ClockSyncService, VirtualClock, precision
+from repro.sim.clock import ms, us
+
+
+def test_virtual_clock_drift():
+    clock = VirtualClock(drift=1e-4)
+    assert clock.read(ms(100)) == pytest.approx(ms(100) * 1.0001)
+
+
+def test_virtual_clock_adjust():
+    clock = VirtualClock(drift=1e-4, offset=500.0)
+    clock.adjust_to(ms(10), float(ms(10)))
+    assert clock.read(ms(10)) == pytest.approx(float(ms(10)))
+
+
+def test_precision_of_unsynchronized_clocks_grows():
+    fast = VirtualClock(drift=1e-4)
+    slow = VirtualClock(drift=-1e-4)
+    clocks = {0: fast, 1: slow}
+    early = precision(clocks, ms(10))
+    late = precision(clocks, ms(100))
+    assert late > early
+
+
+def test_precision_empty():
+    assert precision({}, ms(1)) == 0.0
+
+
+def wire(raw_bus, node_count=4, period=ms(100), seed=0):
+    net = raw_bus(node_count)
+    rng = random.Random(seed)
+    clocks, services = {}, {}
+    for node_id, layer in net.layers.items():
+        clock = VirtualClock(drift=rng.uniform(-1e-4, 1e-4))
+        service = ClockSyncService(
+            layer,
+            net.timers[node_id],
+            net.sim,
+            clock,
+            resync_period=period,
+            reception_jitter_rng=random.Random(seed + node_id),
+        )
+        clocks[node_id] = clock
+        services[node_id] = service
+        service.start()
+    return net, clocks, services
+
+
+def test_synchronized_precision_tens_of_us(raw_bus):
+    """The Fig. 11 claim: clock sync precision in the tens of µs."""
+    net, clocks, _ = wire(raw_bus)
+    net.sim.run_until(ms(1000))
+    assert precision(clocks, net.sim.now) < us(50)
+
+
+def test_sync_beats_free_running(raw_bus):
+    net, clocks, services = wire(raw_bus)
+    net.sim.run_until(ms(1000))
+    synced = precision(clocks, net.sim.now)
+    # Free-running clocks with the same drifts diverge far more over 1 s.
+    free = {
+        node_id: VirtualClock(drift=clock.drift)
+        for node_id, clock in clocks.items()
+    }
+    assert synced < precision(free, net.sim.now)
+
+
+def test_resync_messages_cluster(raw_bus):
+    """All nodes request the round's resync; the bus carries few frames."""
+    net, _, services = wire(raw_bus)
+    net.sim.run_until(ms(350))  # ~3 rounds
+    csync_frames = [
+        r
+        for r in net.sim.trace.select(category="bus.tx")
+        if r.data["mid"].mtype.name == "CSYNC"
+    ]
+    assert len(csync_frames) <= 4  # one (clustered) frame per round
+
+
+def test_resync_counter(raw_bus):
+    net, _, services = wire(raw_bus)
+    net.sim.run_until(ms(550))
+    assert services[0].resyncs >= 5
+
+
+def test_stop_halts_participation(raw_bus):
+    net, _, services = wire(raw_bus, node_count=2)
+    services[0].stop()
+    services[1].stop()
+    net.sim.run_until(ms(500))
+    assert services[0].resyncs == 0
+
+
+def test_invalid_period_rejected(raw_bus):
+    net = raw_bus(1)
+    with pytest.raises(ConfigurationError):
+        ClockSyncService(
+            net.layers[0], net.timers[0], net.sim, VirtualClock(), resync_period=0
+        )

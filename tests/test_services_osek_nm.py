@@ -1,0 +1,146 @@
+"""Unit tests for OSEK network management (Section 6.6 baseline)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.osek_nm import OsekNetworkManagement
+from repro.sim.clock import ms, sec
+
+
+def wire(raw_bus, node_count=6, t_typ=ms(100)):
+    net = raw_bus(node_count)
+    services = {}
+    for node_id, layer in net.layers.items():
+        services[node_id] = OsekNetworkManagement(
+            layer,
+            net.timers[node_id],
+            net.sim,
+            ring_nodes=list(range(node_count)),
+            t_typ=t_typ,
+        )
+        services[node_id].start()
+    return net, services
+
+
+def test_ring_circulates_steadily(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(3))
+    # One ring message per TTyp bus-wide.
+    total = sum(s.ring_messages_sent for s in services.values())
+    assert 25 <= total <= 31
+    assert services[0].detected == {}
+
+
+def test_every_node_participates(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(3))
+    assert all(s.ring_messages_sent >= 3 for s in services.values())
+
+
+def test_crash_detected_by_all(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(3))
+    net.controllers[4].crash()
+    net.sim.run_until(sec(8))
+    for node_id in range(6):
+        if node_id != 4:
+            assert set(services[node_id].detected) == {4}
+
+
+def test_detection_latency_order_of_one_second(raw_bus):
+    """Section 6.6: for TTyp = 100 ms the latency is ~1 s (>= one ring
+    circulation in the worst case), versus CANELy's tens of ms."""
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(3))
+    net.controllers[4].crash()
+    crash_time = net.sim.now
+    net.sim.run_until(sec(8))
+    latency = services[0].detected[4] - crash_time
+    assert ms(100) <= latency <= sec(2)
+
+
+def test_ring_reconfigures_after_failure(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(3))
+    net.controllers[4].crash()
+    net.sim.run_until(sec(8))
+    sends_after_detection = services[0].ring_messages_sent
+    net.sim.run_until(sec(12))
+    # The ring keeps circulating without the dead node.
+    assert services[0].ring_messages_sent > sends_after_detection
+    assert 4 not in services[0].present_nodes
+
+
+def test_dead_bootstrapper_recovered(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(2))
+    net.controllers[0].crash()  # node 0 currently drives the ring start
+    net.sim.run_until(sec(10))
+    for node_id in range(1, 6):
+        assert 0 in services[node_id].detected
+
+
+def test_double_crash_recovered(raw_bus):
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(3))
+    net.controllers[2].crash()
+    net.controllers[3].crash()
+    net.sim.run_until(sec(12))
+    for node_id in (0, 1, 4, 5):
+        assert set(services[node_id].detected) == {2, 3}
+
+
+def test_continuous_bandwidth_cost(raw_bus):
+    """OSEK pays ring traffic forever, even with zero membership events."""
+    net, services = wire(raw_bus)
+    net.sim.run_until(sec(5))
+    nm_frames = [
+        r
+        for r in net.sim.trace.select(category="bus.tx")
+        if r.data["mid"].mtype.name == "NM"
+    ]
+    assert len(nm_frames) >= 45  # ~10 per second at TTyp=100ms
+
+
+def test_config_validation(raw_bus):
+    net = raw_bus(2)
+    with pytest.raises(ConfigurationError):
+        OsekNetworkManagement(
+            net.layers[0], net.timers[0], net.sim, [0, 1], t_typ=0
+        )
+    with pytest.raises(ConfigurationError):
+        OsekNetworkManagement(
+            net.layers[0], net.timers[0], net.sim, [1], t_typ=ms(100)
+        )
+    with pytest.raises(ConfigurationError):
+        OsekNetworkManagement(
+            net.layers[0],
+            net.timers[0],
+            net.sim,
+            [0, 1],
+            t_typ=ms(100),
+            t_progress_factor=1.0,
+        )
+
+
+def test_late_joiner_enters_ring(raw_bus):
+    net = raw_bus(5)
+    services = {}
+    for node_id, layer in net.layers.items():
+        services[node_id] = OsekNetworkManagement(
+            layer,
+            net.timers[node_id],
+            net.sim,
+            ring_nodes=list(range(5)),
+            t_typ=ms(100),
+        )
+    # Only nodes 0-3 start; node 4 joins two seconds in.
+    for node_id in range(4):
+        services[node_id].start()
+    net.sim.run_until(sec(2))
+    services[4].start()
+    net.sim.run_until(sec(6))
+    # The latecomer is present everywhere and forwards ring messages.
+    for node_id in range(4):
+        assert 4 in services[node_id].present_nodes
+    assert services[4].ring_messages_sent > 0

@@ -1,0 +1,110 @@
+"""Unit tests for the miniature TTP network."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.services.ttp import TtpNetwork
+from repro.sim.clock import ms, us
+from repro.sim.kernel import Simulator
+
+
+def make(node_count=4, slot_time=ms(1), channels=2):
+    sim = Simulator()
+    network = TtpNetwork(sim, node_count, slot_time, channels)
+    network.start()
+    return sim, network
+
+
+def test_steady_state_no_removals():
+    sim, ttp = make()
+    sim.run_until(ms(50))
+    assert ttp.memberships_agree()
+    assert ttp.agreed_membership() == {0, 1, 2, 3}
+    assert ttp.stats.rounds_completed >= 12
+
+
+def test_frames_every_slot():
+    sim, ttp = make()
+    sim.run_until(ms(40))  # 10 rounds of 4 slots
+    assert ttp.stats.frames_sent == 40
+
+
+def test_crash_detected_within_one_round():
+    sim, ttp = make()
+    sim.run_until(ms(20))
+    crash_time = sim.now
+    removals = []
+    ttp.nodes[0].on_membership_change(
+        lambda removed, view: removals.append((sim.now, removed))
+    )
+    ttp.nodes[2].crash()
+    sim.run_until(ms(40))
+    assert ttp.agreed_membership() == {0, 1, 3}
+    detected_at = next(at for at, removed in removals if removed == 2)
+    assert detected_at - crash_time <= ttp.round_time + ttp.slot_time
+
+
+def test_removal_consistent_at_all_nodes():
+    sim, ttp = make(node_count=6)
+    sim.run_until(ms(20))
+    ttp.nodes[4].crash()
+    sim.run_until(ms(40))
+    assert ttp.memberships_agree()
+
+
+def test_single_channel_omission_masked():
+    """TTP's omission handling: replication masks one channel's loss."""
+    sim, ttp = make()
+    ttp.script_omission(round_index=3, slot=1, channels_hit=1)
+    sim.run_until(ms(50))
+    assert ttp.agreed_membership() == {0, 1, 2, 3}
+    assert ttp.stats.frames_lost == 0
+
+
+def test_double_channel_omission_expels_sender():
+    sim, ttp = make()
+    ttp.script_omission(round_index=3, slot=1, channels_hit=2)
+    sim.run_until(ms(50))
+    assert 1 not in ttp.agreed_membership()
+    assert ttp.stats.frames_lost == 1
+    # The expelled node observed its own expulsion and went passive.
+    assert ttp.nodes[1].passive
+    assert not ttp.nodes[1].crashed
+
+
+def test_passive_node_stops_transmitting():
+    sim, ttp = make()
+    ttp.script_omission(round_index=2, slot=0, channels_hit=2)
+    sim.run_until(ms(12))  # through round 2
+    frames_at_expulsion = ttp.stats.frames_sent
+    sim.run_until(ms(16))  # one more round: only 3 senders now
+    assert ttp.stats.frames_sent - frames_at_expulsion == 3
+
+
+def test_single_channel_cluster_is_fragile():
+    """Without replication, one omission falsely expels a healthy node —
+    the fragility TTP's dual channels exist to mask."""
+    sim, ttp = make(channels=1)
+    ttp.script_omission(round_index=2, slot=3, channels_hit=1)
+    sim.run_until(ms(30))
+    assert 3 not in ttp.agreed_membership()
+
+
+def test_bandwidth_is_constant():
+    _, ttp = make(slot_time=ms(1))
+    assert ttp.bandwidth_frames_per_second() == 1000.0
+
+
+def test_config_validation():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        TtpNetwork(sim, 1, ms(1))
+    with pytest.raises(ConfigurationError):
+        TtpNetwork(sim, 4, 0)
+    with pytest.raises(ConfigurationError):
+        TtpNetwork(sim, 4, ms(1), channels=0)
+
+
+def test_round_time():
+    _, ttp = make(node_count=8, slot_time=us(500))
+    assert ttp.round_time == ms(4)

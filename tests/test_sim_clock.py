@@ -1,0 +1,32 @@
+"""Unit tests for time-unit helpers."""
+
+from repro.sim.clock import MS, SEC, US, format_time, ms, ns, sec, us
+
+
+def test_unit_constants_ratios():
+    assert US == 1_000
+    assert MS == 1_000 * US
+    assert SEC == 1_000 * MS
+
+
+def test_conversions_roundtrip():
+    assert ns(500) == 500
+    assert us(1) == 1_000
+    assert ms(2.5) == 2_500_000
+    assert sec(0.001) == ms(1)
+
+
+def test_fractional_microseconds_round():
+    assert us(2.3) == 2_300  # rounds, not truncates
+    assert us(0.0002) == 0
+
+
+def test_format_time_units():
+    assert format_time(500) == "500ns"
+    assert format_time(us(2)) == "2.000us"
+    assert format_time(ms(3)) == "3.000ms"
+    assert format_time(sec(4)) == "4.000s"
+
+
+def test_format_time_negative():
+    assert format_time(-ms(1)) == "-1.000ms"

@@ -1,0 +1,84 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.event import Event, EventQueue
+
+
+def test_push_pop_single():
+    queue = EventQueue()
+    fired = []
+    queue.push(10, lambda: fired.append(1))
+    event = queue.pop()
+    assert event.time == 10
+    event.action()
+    assert fired == [1]
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_time_ordering():
+    queue = EventQueue()
+    queue.push(30, lambda: None)
+    queue.push(10, lambda: None)
+    queue.push(20, lambda: None)
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [10, 20, 30]
+
+
+def test_fifo_tie_break_at_same_time():
+    queue = EventQueue()
+    order = []
+    queue.push(5, lambda: order.append("first"))
+    queue.push(5, lambda: order.append("second"))
+    queue.push(5, lambda: order.append("third"))
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_beats_insertion_order():
+    queue = EventQueue()
+    order = []
+    queue.push(5, lambda: order.append("low"), priority=1)
+    queue.push(5, lambda: order.append("high"), priority=0)
+    while (event := queue.pop()) is not None:
+        event.action()
+    assert order == ["high", "low"]
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    event = queue.push(1, lambda: None)
+    queue.push(2, lambda: None)
+    event.cancel()
+    assert queue.pop().time == 2
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1, lambda: None)
+    queue.push(7, lambda: None)
+    assert queue.peek_time() == 1
+    first.cancel()
+    assert queue.peek_time() == 7
+
+
+def test_peek_time_empty():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_and_bool():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+    queue.push(1, lambda: None)
+    assert queue
+    assert len(queue) == 1
+
+
+def test_clear():
+    queue = EventQueue()
+    queue.push(1, lambda: None)
+    queue.clear()
+    assert queue.pop() is None

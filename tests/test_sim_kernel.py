@@ -1,0 +1,126 @@
+"""Unit tests for the simulator kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_run_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(100, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [100]
+    assert sim.now == 100
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(50, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [50]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, lambda: seen.append("early"))
+    sim.schedule(100, lambda: seen.append("late"))
+    sim.run_until(50)
+    assert seen == ["early"]
+    assert sim.now == 50
+    sim.run_until(100)
+    assert seen == ["early", "late"]
+
+
+def test_run_until_includes_events_at_exact_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(50, lambda: seen.append(1))
+    sim.run_until(50)
+    assert seen == [1]
+
+
+def test_run_until_past_rejected():
+    sim = Simulator()
+    sim.run_until(10)
+    with pytest.raises(SimulationError):
+        sim.run_until(5)
+
+
+def test_run_for_advances_relative():
+    sim = Simulator()
+    sim.run_until(100)
+    sim.run_for(50)
+    assert sim.now == 150
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain():
+        seen.append(sim.now)
+        if sim.now < 30:
+            sim.schedule(10, chain)
+
+    sim.schedule(10, chain)
+    sim.run()
+    assert seen == [10, 20, 30]
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_run_max_events():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(i + 1, lambda i=i: seen.append(i))
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(10, lambda: seen.append("no"))
+    sim.schedule(5, event.cancel)
+    sim.run()
+    assert seen == []
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.schedule(i + 1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(10, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b"]

@@ -1,0 +1,154 @@
+"""Unit tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import ProcessEnv, spawn
+
+
+def test_timeout_sequencing():
+    sim = Simulator()
+    log = []
+
+    def script(env):
+        log.append(("start", env.now))
+        yield env.timeout(100)
+        log.append(("mid", env.now))
+        yield env.timeout(50)
+        log.append(("end", env.now))
+
+    spawn(sim, script)
+    sim.run()
+    assert log == [("start", 0), ("mid", 100), ("end", 150)]
+
+
+def test_until_condition():
+    sim = Simulator()
+    flag = []
+    log = []
+
+    def waiter(env):
+        yield env.until(lambda: bool(flag), poll=10)
+        log.append(env.now)
+
+    spawn(sim, waiter)
+    sim.schedule(95, lambda: flag.append(1))
+    sim.run()
+    assert log and 95 <= log[0] <= 110
+
+
+def test_join_on_child_process():
+    sim = Simulator()
+    log = []
+
+    def child(env):
+        yield env.timeout(200)
+        log.append(("child-done", env.now))
+
+    def parent(env):
+        handle = env.spawn(child)
+        yield env.timeout(50)
+        log.append(("parent-waiting", env.now))
+        yield handle
+        log.append(("parent-done", env.now))
+
+    spawn(sim, parent)
+    sim.run()
+    assert log == [
+        ("parent-waiting", 50),
+        ("child-done", 200),
+        ("parent-done", 200),
+    ]
+
+
+def test_join_on_finished_process_resumes_immediately():
+    sim = Simulator()
+    log = []
+
+    def quick(env):
+        yield env.timeout(1)
+
+    def parent(env):
+        handle = env.spawn(quick)
+        yield env.timeout(100)
+        yield handle  # already finished
+        log.append(env.now)
+
+    spawn(sim, parent)
+    sim.run()
+    assert log == [100]
+
+
+def test_multiple_waiters():
+    sim = Simulator()
+    log = []
+
+    def slow(env):
+        yield env.timeout(300)
+
+    def make_waiter(name, handle):
+        def waiter(env):
+            yield handle
+            log.append((name, env.now))
+
+        return waiter
+
+    handle = spawn(sim, slow)
+    spawn(sim, make_waiter("a", handle))
+    spawn(sim, make_waiter("b", handle))
+    sim.run()
+    assert sorted(log) == [("a", 300), ("b", 300)]
+
+
+def test_bad_yield_rejected():
+    sim = Simulator()
+
+    def broken(env):
+        yield 42
+
+    spawn(sim, broken)
+    with pytest.raises(ConfigurationError):
+        sim.run()
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+
+    def not_a_generator(env):
+        return None
+
+    with pytest.raises(ConfigurationError):
+        spawn(sim, not_a_generator)
+
+
+def test_negative_timeout_rejected():
+    env = ProcessEnv(Simulator())
+    with pytest.raises(ConfigurationError):
+        env.timeout(-1)
+    with pytest.raises(ConfigurationError):
+        env.until(lambda: True, poll=0)
+
+
+def test_process_drives_canely_scenario():
+    """The intended use: a readable scenario script over a live network."""
+    from repro.core.config import CanelyConfig
+    from repro.core.stack import CanelyNetwork
+    from repro.sim.clock import ms
+
+    config = CanelyConfig(capacity=16, tm=ms(50), tjoin_wait=ms(150))
+    net = CanelyNetwork(node_count=4, config=config)
+    checks = []
+
+    def scenario(env):
+        net.join_all()
+        yield env.until(lambda: net.views_agree() and len(net.member_views()) == 4)
+        checks.append(("formed", sorted(net.agreed_view())))
+        net.node(2).crash()
+        yield env.until(lambda: 2 not in net.node(0).view().members, poll=ms(1))
+        checks.append(("detected", env.now))
+
+    spawn(net.sim, scenario)
+    net.sim.run_until(ms(800))
+    assert checks[0] == ("formed", [0, 1, 2, 3])
+    assert checks[1][0] == "detected"

@@ -1,0 +1,41 @@
+"""Unit tests for named RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_sequence():
+    a = RngStreams(seed=7).stream("faults")
+    b = RngStreams(seed=7).stream("faults")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("faults")
+    b = RngStreams(seed=2).stream("faults")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_streams_are_independent_of_creation_order():
+    streams_a = RngStreams(seed=3)
+    streams_b = RngStreams(seed=3)
+    # Different creation order, same per-stream sequences.
+    first_a = streams_a.stream("x").random()
+    streams_b.stream("y")
+    first_b = streams_b.stream("x").random()
+    assert first_a == first_b
+
+
+def test_distinct_names_distinct_streams():
+    streams = RngStreams(seed=5)
+    x = [streams.stream("x").random() for _ in range(5)]
+    y = [streams.stream("y").random() for _ in range(5)]
+    assert x != y
+
+
+def test_stream_is_cached():
+    streams = RngStreams(seed=0)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_seed_property():
+    assert RngStreams(seed=42).seed == 42

@@ -1,0 +1,134 @@
+"""Unit tests for trace timelines and summaries."""
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+from repro.sim.timeline import bandwidth_profile, summarize, timeline
+from repro.sim.trace import TraceRecorder
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), tjoin_wait=ms(150))
+
+
+def run_scenario():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(2).crash()
+    net.run_for(ms(150))
+    return net
+
+
+def test_summary_counts():
+    net = run_scenario()
+    summary = summarize(net.sim.trace)
+    assert summary.physical_frames > 0
+    assert summary.crashes == [2]
+    assert summary.view_changes > 0
+    assert summary.change_notifications > 0
+    assert "ELS" in summary.frames_by_type
+    assert "FDA" in summary.frames_by_type
+    assert summary.duration <= net.sim.now
+
+
+def test_summary_empty_trace():
+    summary = summarize(TraceRecorder())
+    assert summary.physical_frames == 0
+    assert summary.crashes == []
+
+
+def test_timeline_chronological_and_formatted():
+    net = run_scenario()
+    lines = timeline(net.sim.trace)
+    assert lines
+    assert any("CRASHED" in line for line in lines)
+    assert any("FDA" in line for line in lines)
+
+
+def test_timeline_window():
+    net = run_scenario()
+    lines = timeline(net.sim.trace, start=ms(400), end=ms(420))
+    assert all("ms" in line for line in lines)
+    assert any("CRASHED" in line for line in lines)
+    # Nothing from the bootstrap window leaks in.
+    assert not any("JOIN" in line for line in lines)
+
+
+def test_timeline_limit():
+    net = run_scenario()
+    assert len(timeline(net.sim.trace, limit=5)) == 5
+
+
+def test_timeline_views_suppressed_by_default():
+    net = run_scenario()
+    assert not any("view ->" in line for line in timeline(net.sim.trace))
+    assert any(
+        "view ->" in line for line in timeline(net.sim.trace, include_views=True)
+    )
+
+
+def test_bandwidth_profile_covers_run():
+    net = run_scenario()
+    profile = bandwidth_profile(net.sim.trace, window=ms(100))
+    assert profile
+    starts = [start for start, _ in profile]
+    assert starts == sorted(starts)
+    assert sum(bits for _, bits in profile) > 0
+
+
+def test_bandwidth_profile_empty():
+    assert bandwidth_profile(TraceRecorder(), window=ms(10)) == []
+
+
+def test_view_history_collapses_repeats():
+    from repro.sim.timeline import view_history
+
+    net = run_scenario()
+    history = view_history(net.sim.trace, node=0)
+    assert history
+    # Consecutive entries always differ.
+    for (_, a), (_, b) in zip(history, history[1:]):
+        assert a != b
+    # The story: empty/bootstrap -> full view -> node 2 removed.
+    assert history[-1][1] == [0, 1, 3]
+    assert any(members == [0, 1, 2, 3] for _, members in history)
+
+
+def test_view_histories_are_mutually_consistent():
+    """Every pair of correct nodes sees the same sequence of distinct
+    views (ignoring timing) — the view-synchrony flavoured invariant."""
+    from repro.sim.timeline import view_history
+
+    net = run_scenario()
+    sequences = {
+        node: [members for _, members in view_history(net.sim.trace, node)]
+        for node in (0, 1, 3)
+    }
+    reference = sequences[0]
+    for node, sequence in sequences.items():
+        assert sequence == reference, node
+
+
+def test_timeline_describes_inaccessibility_and_recovery():
+    from repro.sim.timeline import timeline
+
+    net = CanelyNetwork(node_count=2, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(300))
+    net.bus.inject_inaccessibility(500)
+    net.node(1).crash()
+    net.run_for(ms(100))
+    net.node(1).recover()
+    net.run_for(ms(10))
+    text = "\n".join(timeline(net.sim.trace))
+    assert "bus inaccessible for 500 bit-times" in text
+    assert "node 1 recovered" in text
+
+
+def test_timeline_unknown_category_fallback():
+    from repro.sim.timeline import timeline
+
+    trace = TraceRecorder()
+    trace.record(5, "custom.event", node=2, info="x")
+    lines = timeline(trace)
+    assert len(lines) == 1
+    assert "custom.event" in lines[0]

@@ -1,0 +1,93 @@
+"""Unit tests for the start_alarm / cancel_alarm timer service."""
+
+from repro.sim.kernel import Simulator
+from repro.sim.timers import TimerService
+
+
+def make():
+    sim = Simulator()
+    return sim, TimerService(sim)
+
+
+def test_alarm_fires_at_deadline():
+    sim, timers = make()
+    fired = []
+    timers.start_alarm(100, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [100]
+
+
+def test_cancel_before_expiry():
+    sim, timers = make()
+    fired = []
+    alarm = timers.start_alarm(100, lambda: fired.append(1))
+    timers.cancel_alarm(alarm)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_none_is_noop():
+    _, timers = make()
+    timers.cancel_alarm(None)
+
+
+def test_cancel_after_fire_is_noop():
+    sim, timers = make()
+    alarm = timers.start_alarm(10, lambda: None)
+    sim.run()
+    timers.cancel_alarm(alarm)  # must not raise
+
+
+def test_is_pending_lifecycle():
+    sim, timers = make()
+    alarm = timers.start_alarm(10, lambda: None)
+    assert timers.is_pending(alarm)
+    sim.run()
+    assert not timers.is_pending(alarm)
+
+
+def test_is_pending_after_cancel():
+    _, timers = make()
+    alarm = timers.start_alarm(10, lambda: None)
+    timers.cancel_alarm(alarm)
+    assert not timers.is_pending(alarm)
+
+
+def test_is_pending_none():
+    _, timers = make()
+    assert not timers.is_pending(None)
+
+
+def test_pending_count():
+    sim, timers = make()
+    timers.start_alarm(10, lambda: None)
+    timers.start_alarm(20, lambda: None)
+    assert timers.pending_count == 2
+    sim.run_until(15)
+    assert timers.pending_count == 1
+
+
+def test_alarm_ids_unique():
+    _, timers = make()
+    first = timers.start_alarm(10, lambda: None)
+    second = timers.start_alarm(10, lambda: None)
+    assert first.alarm_id != second.alarm_id
+
+
+def test_deadline_recorded():
+    sim, timers = make()
+    sim.run_until(40)
+    alarm = timers.start_alarm(60, lambda: None)
+    assert alarm.deadline == 100
+
+
+def test_restart_pattern():
+    """The failure-detector idiom: cancel + re-arm postpones expiry."""
+    sim, timers = make()
+    fired = []
+    alarm = timers.start_alarm(100, lambda: fired.append(sim.now))
+    sim.run_until(50)
+    timers.cancel_alarm(alarm)
+    timers.start_alarm(100, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [150]

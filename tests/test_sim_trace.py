@@ -1,0 +1,74 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_record_and_len():
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx", node=0, bits=100)
+    assert len(trace) == 1
+
+
+def test_disabled_recorder_drops_records():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1, "bus.tx")
+    assert len(trace) == 0
+
+
+def test_select_exact_category():
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx")
+    trace.record(2, "bus.deliver")
+    assert len(trace.select(category="bus.tx")) == 1
+
+
+def test_select_prefix_category():
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx")
+    trace.record(2, "bus.deliver")
+    trace.record(3, "msh.view")
+    assert len(trace.select(category="bus.")) == 2
+
+
+def test_select_by_node():
+    trace = TraceRecorder()
+    trace.record(1, "bus.deliver", node=3)
+    trace.record(2, "bus.deliver", node=4)
+    assert [r.node for r in trace.select(node=3)] == [3]
+
+
+def test_select_with_predicate():
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx", bits=50)
+    trace.record(2, "bus.tx", bits=150)
+    heavy = trace.select(category="bus.tx", predicate=lambda r: r.data["bits"] > 100)
+    assert [r.time for r in heavy] == [2]
+
+
+def test_count():
+    trace = TraceRecorder()
+    for _ in range(3):
+        trace.record(1, "node.crash")
+    assert trace.count("node.crash") == 3
+
+
+def test_clear():
+    trace = TraceRecorder()
+    trace.record(1, "x")
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_iteration_preserves_order():
+    trace = TraceRecorder()
+    trace.record(5, "a")
+    trace.record(3, "b")  # append order, not time order
+    assert [r.category for r in trace] == ["a", "b"]
+
+
+def test_payload_accessible():
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx", node=2, mid="m", kind="none")
+    record = trace.select(category="bus.tx")[0]
+    assert record.data["kind"] == "none"
+    assert record.node == 2

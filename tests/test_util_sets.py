@@ -1,0 +1,130 @@
+"""Unit tests for the NodeSet bit vector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.sets import MAX_CAPACITY, NodeSet
+
+
+def test_empty_set():
+    empty = NodeSet.empty()
+    assert len(empty) == 0
+    assert not empty
+    assert list(empty) == []
+
+
+def test_construction_from_iterable():
+    s = NodeSet([3, 1, 5])
+    assert sorted(s) == [1, 3, 5]
+    assert len(s) == 3
+
+
+def test_universe():
+    u = NodeSet.universe(capacity=8)
+    assert sorted(u) == list(range(8))
+
+
+def test_single():
+    s = NodeSet.single(7)
+    assert list(s) == [7]
+
+
+def test_contains():
+    s = NodeSet([2, 4])
+    assert 2 in s
+    assert 3 not in s
+    assert -1 not in s
+    assert 1000 not in s
+
+
+def test_union():
+    assert sorted(NodeSet([1]) | NodeSet([2])) == [1, 2]
+
+
+def test_intersection():
+    assert sorted(NodeSet([1, 2, 3]) & NodeSet([2, 3, 4])) == [2, 3]
+
+
+def test_difference():
+    assert sorted(NodeSet([1, 2, 3]) - NodeSet([2])) == [1, 3]
+
+
+def test_complement():
+    s = NodeSet([0, 2], capacity=4)
+    assert sorted(s.complement()) == [1, 3]
+
+
+def test_add_remove_immutability():
+    s = NodeSet([1])
+    added = s.add(2)
+    assert sorted(added) == [1, 2]
+    assert sorted(s) == [1]  # original untouched
+    removed = added.remove(1)
+    assert sorted(removed) == [2]
+
+
+def test_remove_absent_is_noop():
+    s = NodeSet([1])
+    assert sorted(s.remove(5)) == [1]
+
+
+def test_isdisjoint_and_issubset():
+    assert NodeSet([1]).isdisjoint(NodeSet([2]))
+    assert not NodeSet([1, 2]).isdisjoint(NodeSet([2]))
+    assert NodeSet([1]).issubset(NodeSet([1, 2]))
+    assert not NodeSet([1, 3]).issubset(NodeSet([1, 2]))
+
+
+def test_equality_and_hash():
+    assert NodeSet([1, 2]) == NodeSet([2, 1])
+    assert hash(NodeSet([1, 2])) == hash(NodeSet([2, 1]))
+    assert NodeSet([1]) != NodeSet([2])
+
+
+def test_equality_requires_same_capacity():
+    assert NodeSet([1], capacity=8) != NodeSet([1], capacity=16)
+
+
+def test_serialization_roundtrip():
+    s = NodeSet([0, 7, 31, 63])
+    assert NodeSet.from_bytes(s.to_bytes()) == s
+
+
+def test_serialized_width():
+    assert len(NodeSet.empty(capacity=64).to_bytes()) == 8
+    assert len(NodeSet.empty(capacity=32).to_bytes()) == 4
+    assert len(NodeSet.empty(capacity=9).to_bytes()) == 2
+
+
+def test_from_bytes_rejects_overflow():
+    raw = NodeSet([40], capacity=64).to_bytes()
+    with pytest.raises(ConfigurationError):
+        NodeSet.from_bytes(raw, capacity=32)
+
+
+def test_out_of_range_member_rejected():
+    with pytest.raises(ConfigurationError):
+        NodeSet([8], capacity=8)
+    with pytest.raises(ConfigurationError):
+        NodeSet([-1])
+
+
+def test_capacity_bounds():
+    with pytest.raises(ConfigurationError):
+        NodeSet([], capacity=0)
+    with pytest.raises(ConfigurationError):
+        NodeSet([], capacity=MAX_CAPACITY + 1)
+
+
+def test_capacity_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        NodeSet([1], capacity=8) | NodeSet([1], capacity=16)
+
+
+def test_operations_with_non_nodeset_raise():
+    with pytest.raises(TypeError):
+        NodeSet([1]).union({2})
+
+
+def test_repr_lists_members():
+    assert "1, 3" in repr(NodeSet([1, 3]))

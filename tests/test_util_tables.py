@@ -1,0 +1,39 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+def test_basic_rendering():
+    out = render_table(["a", "bb"], [[1, 2], [30, 40]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "--" in lines[1]
+    assert "30" in lines[3]
+
+
+def test_title_included():
+    out = render_table(["x"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_column_width_fits_widest_cell():
+    out = render_table(["h"], [["wide-cell"]])
+    header_line = out.splitlines()[0]
+    assert len(header_line) == len("wide-cell")
+
+
+def test_mismatched_row_raises():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_cells_are_stringified():
+    out = render_table(["v"], [[3.14]])
+    assert "3.14" in out
+
+
+def test_empty_rows_ok():
+    out = render_table(["a"], [])
+    assert len(out.splitlines()) == 2  # header + separator

@@ -1,0 +1,79 @@
+"""Unit tests for scenario scripting helpers."""
+
+import pytest
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+from repro.workloads.scenarios import (
+    bootstrap_network,
+    detection_latencies,
+    first_change_with_failed,
+    schedule_crash,
+    schedule_join,
+    schedule_leave,
+)
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), tjoin_wait=ms(150))
+
+
+def test_bootstrap_network_converges():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    bootstrap_network(net)
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+
+
+def test_schedule_crash():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    bootstrap_network(net)
+    at = net.sim.now + ms(20)
+    schedule_crash(net, 2, at)
+    net.run_for(ms(200))
+    assert net.node(2).crashed
+    assert sorted(net.agreed_view()) == [0, 1]
+
+
+def test_schedule_join_and_leave():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    for node_id in range(3):
+        net.node(node_id).join()
+    net.run_for(ms(400))
+    schedule_join(net, 3, net.sim.now + ms(10))
+    schedule_leave(net, 0, net.sim.now + ms(10))
+    net.run_for(ms(300))
+    assert sorted(net.agreed_view()) == [1, 2, 3]
+
+
+def test_first_change_with_failed():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    bootstrap_network(net)
+    crash_at = net.sim.now
+    net.node(1).crash()
+    net.run_for(ms(200))
+    notified = first_change_with_failed(net, 1, after=crash_at)
+    assert notified is not None
+    assert notified >= crash_at
+
+
+def test_first_change_with_failed_none_when_absent():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    bootstrap_network(net)
+    assert first_change_with_failed(net, 2) is None
+
+
+def test_detection_latencies():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    bootstrap_network(net)
+    crash_time = net.sim.now
+    net.node(3).crash()
+    net.run_for(ms(200))
+    latencies = detection_latencies(net, {3: crash_time})
+    assert latencies[3] is not None
+    assert 0 < latencies[3] <= ms(30)
+
+
+def test_bootstrap_failure_raises():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    net.node(0).crash()  # one node can never join
+    with pytest.raises(AssertionError):
+        bootstrap_network(net)

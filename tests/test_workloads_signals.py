@@ -1,0 +1,101 @@
+"""Unit tests for the signal codec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.signals import MessageCodec, SignalSpec
+
+
+def codec():
+    return MessageCodec(
+        [
+            SignalSpec("rpm", start_bit=0, width=16, scale=0.25),
+            SignalSpec("temp", start_bit=16, width=8, scale=1.0, offset=-40.0),
+            SignalSpec("torque", start_bit=24, width=12, scale=0.5, signed=True),
+            SignalSpec("valid", start_bit=36, width=1),
+        ]
+    )
+
+
+def test_pack_unpack_roundtrip():
+    values = {"rpm": 3000.0, "temp": 90.0, "torque": -120.5, "valid": 1.0}
+    decoded = codec().unpack(codec().pack(values))
+    assert decoded["rpm"] == pytest.approx(3000.0, abs=0.25)
+    assert decoded["temp"] == pytest.approx(90.0)
+    assert decoded["torque"] == pytest.approx(-120.5, abs=0.5)
+    assert decoded["valid"] == 1.0
+
+
+def test_missing_signals_default_to_raw_zero():
+    decoded = codec().unpack(codec().pack({}))
+    assert decoded["rpm"] == 0.0
+    assert decoded["temp"] == -40.0  # raw 0 with offset
+
+
+def test_values_clamped_to_range():
+    packed = codec().pack({"temp": 10_000.0})
+    assert codec().unpack(packed)["temp"] == 215.0  # 255 - 40
+
+
+def test_signed_clamping():
+    spec = SignalSpec("s", start_bit=0, width=8, signed=True)
+    assert spec.encode_raw(-1000) == -128
+    assert spec.encode_raw(1000) == 127
+
+
+def test_physical_range():
+    spec = SignalSpec("temp", start_bit=0, width=8, offset=-40.0)
+    assert spec.physical_range == (-40.0, 215.0)
+
+
+def test_unknown_signal_rejected():
+    with pytest.raises(ConfigurationError):
+        codec().pack({"nope": 1.0})
+    with pytest.raises(ConfigurationError):
+        codec().signal("nope")
+
+
+def test_overlap_rejected():
+    with pytest.raises(ConfigurationError):
+        MessageCodec(
+            [
+                SignalSpec("a", start_bit=0, width=8),
+                SignalSpec("b", start_bit=4, width=8),
+            ]
+        )
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ConfigurationError):
+        MessageCodec(
+            [
+                SignalSpec("a", start_bit=0, width=4),
+                SignalSpec("a", start_bit=8, width=4),
+            ]
+        )
+
+
+def test_dlc_bound():
+    with pytest.raises(ConfigurationError):
+        MessageCodec([SignalSpec("a", start_bit=20, width=8)], dlc=2)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SignalSpec("", start_bit=0, width=8)
+    with pytest.raises(ConfigurationError):
+        SignalSpec("x", start_bit=0, width=0)
+    with pytest.raises(ConfigurationError):
+        SignalSpec("x", start_bit=60, width=8)
+    with pytest.raises(ConfigurationError):
+        SignalSpec("x", start_bit=0, width=8, scale=0)
+
+
+def test_short_frame_rejected_on_unpack():
+    with pytest.raises(ConfigurationError):
+        codec().unpack(b"\x00\x01")
+
+
+def test_packed_width_matches_dlc():
+    small = MessageCodec([SignalSpec("a", start_bit=0, width=8)], dlc=2)
+    assert len(small.pack({"a": 1})) == 2

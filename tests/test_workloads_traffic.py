@@ -1,0 +1,108 @@
+"""Unit tests for traffic generators."""
+
+import random
+
+import pytest
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.errors import ConfigurationError
+from repro.sim.clock import ms
+from repro.workloads.traffic import PeriodicSource, SporadicSource, TrafficSet
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), tjoin_wait=ms(150))
+
+
+def bootstrap(node_count=3):
+    net = CanelyNetwork(node_count=node_count, config=CONFIG)
+    net.join_all()
+    net.run_for(ms(400))
+    return net
+
+
+def test_periodic_source_rate():
+    net = bootstrap()
+    source = PeriodicSource(net.sim, net.node(0), period=ms(10))
+    net.run_for(ms(105))
+    assert 9 <= source.sent <= 11
+
+
+def test_periodic_source_stop():
+    net = bootstrap()
+    source = PeriodicSource(net.sim, net.node(0), period=ms(10))
+    net.run_for(ms(50))
+    source.stop()
+    sent = source.sent
+    net.run_for(ms(50))
+    assert source.sent == sent
+
+
+def test_periodic_source_halts_on_crash():
+    net = bootstrap()
+    source = PeriodicSource(net.sim, net.node(0), period=ms(10))
+    net.run_for(ms(30))
+    net.node(0).crash()
+    net.run_for(ms(50))
+    assert source.sent <= 4
+
+
+def test_periodic_offset_delays_start():
+    net = bootstrap()
+    source = PeriodicSource(net.sim, net.node(0), period=ms(10), offset=ms(40))
+    net.run_for(ms(45))
+    assert source.sent == 1
+
+
+def test_periodic_validation():
+    net = bootstrap()
+    with pytest.raises(ConfigurationError):
+        PeriodicSource(net.sim, net.node(0), period=0)
+    with pytest.raises(ConfigurationError):
+        PeriodicSource(net.sim, net.node(0), period=ms(1), payload_size=9)
+
+
+def test_periodic_traffic_characterization():
+    net = bootstrap()
+    source = PeriodicSource(net.sim, net.node(1), period=ms(7))
+    traffic = source.traffic()
+    assert traffic.node_id == 1
+    assert traffic.min_period == ms(7)
+
+
+def test_sporadic_source_sends():
+    net = bootstrap()
+    source = SporadicSource(
+        net.sim, net.node(0), mean_interarrival=ms(5), rng=random.Random(1)
+    )
+    net.run_for(ms(200))
+    assert source.sent > 10
+
+
+def test_sporadic_characterization_has_no_period():
+    net = bootstrap()
+    source = SporadicSource(
+        net.sim, net.node(0), mean_interarrival=ms(5), rng=random.Random(1)
+    )
+    assert source.traffic().min_period is None
+
+
+def test_sporadic_validation():
+    net = bootstrap()
+    with pytest.raises(ConfigurationError):
+        SporadicSource(net.sim, net.node(0), mean_interarrival=0, rng=random.Random(1))
+
+
+def test_traffic_set_aggregates():
+    net = bootstrap()
+    bundle = TrafficSet()
+    bundle.add(PeriodicSource(net.sim, net.node(0), period=ms(10)))
+    bundle.add(
+        SporadicSource(net.sim, net.node(1), mean_interarrival=ms(20), rng=random.Random(2))
+    )
+    net.run_for(ms(100))
+    assert bundle.total_sent > 0
+    assert len(bundle.characterization()) == 2
+    bundle.stop_all()
+    total = bundle.total_sent
+    net.run_for(ms(100))
+    assert bundle.total_sent == total
