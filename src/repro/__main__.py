@@ -9,6 +9,8 @@ Commands:
   run the benchmark suite for the measured cells).
 * ``inaccessibility`` — print the scenario catalogue and bounds.
 * ``bounds``    — print the latency bounds for a configuration.
+* ``trace``     — run a scenario and query/export its trace (JSONL).
+* ``metrics``   — run a scenario and print the metrics registry.
 """
 
 from __future__ import annotations
@@ -154,9 +156,71 @@ def _cmd_run(args) -> int:
 
     with open(args.scenario) as handle:
         spec = ScenarioSpec.from_json(handle.read())
-    report = run_scenario(spec)
+    report = run_scenario(spec, monitors=getattr(args, "monitors", False))
     print(json.dumps(report.to_dict(), indent=2))
     return 0 if report.views_agree else 1
+
+
+def _observed_network(args):
+    """Run the demo scenario (or ``--scenario FILE``) under the standard
+    invariant monitors and return the finished network."""
+    if getattr(args, "scenario", None):
+        from repro.workloads.script import ScenarioSpec, run_scenario_detailed
+
+        with open(args.scenario) as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+        _report, net = run_scenario_detailed(spec, monitors=True)
+        return net
+
+    from repro.analysis.latency import latency_bounds
+    from repro.obs.monitors import standard_monitors
+
+    net = CanelyNetwork(node_count=8)
+    standard_monitors(
+        net.sim.trace,
+        detection_bound=latency_bounds(net.config).notification,
+        metrics=net.sim.metrics,
+    )
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(5).crash()
+    net.run_for(ms(150))
+    return net
+
+
+def _cmd_trace(args) -> int:
+    from repro.sim.trace import JsonlSink, record_to_dict
+
+    net = _observed_network(args)
+    trace = net.sim.trace
+    selected = trace.select(category=args.category, node=args.node)
+    if args.export:
+        with JsonlSink(args.export) as sink:
+            for record in selected:
+                sink(record)
+        print(f"exported {len(selected)} records to {args.export}")
+        return 0
+    print(
+        render_table(
+            ["category", "records"],
+            [[name, str(count)] for name, count in trace.categories().items()],
+            title=f"Trace: {len(trace)} records, {format_time(trace.last_time)}",
+        )
+    )
+    if args.category is not None or args.node is not None:
+        shown = selected if args.limit is None else selected[: args.limit]
+        print(f"\n{len(selected)} matching records:")
+        for record in shown:
+            print(f"  {record_to_dict(record)}")
+        if len(shown) < len(selected):
+            print(f"  ... {len(selected) - len(shown)} more (raise --limit)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    net = _observed_network(args)
+    print(net.sim.metrics.render())
+    return 0
 
 
 def main(argv=None) -> int:
@@ -195,7 +259,32 @@ def main(argv=None) -> int:
     bounds.set_defaults(func=_cmd_bounds)
     run = sub.add_parser("run", help="execute a JSON scenario script")
     run.add_argument("scenario", help="path to the scenario JSON file")
+    run.add_argument(
+        "--monitors",
+        action="store_true",
+        help="fail fast on online invariant violations during the run",
+    )
     run.set_defaults(func=_cmd_run)
+    trace = sub.add_parser(
+        "trace", help="run a scenario and query/export its trace"
+    )
+    trace.add_argument(
+        "--scenario", help="scenario JSON (default: the demo scenario)"
+    )
+    trace.add_argument("--category", help='e.g. "bus.tx" or the prefix "msh."')
+    trace.add_argument("--node", type=int, help="filter by node identifier")
+    trace.add_argument(
+        "--limit", type=int, default=20, help="max records to print"
+    )
+    trace.add_argument("--export", metavar="PATH", help="write JSONL instead")
+    trace.set_defaults(func=_cmd_trace)
+    metrics = sub.add_parser(
+        "metrics", help="run a scenario and print the metrics registry"
+    )
+    metrics.add_argument(
+        "--scenario", help="scenario JSON (default: the demo scenario)"
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)
     try:

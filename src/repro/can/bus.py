@@ -95,6 +95,13 @@ class CanBus:
         self._current: Optional[_Transmission] = None
         self._tx_index = 0
         self.stats = BusStats()
+        # Metric handles resolved once: the completion path runs per frame.
+        metrics = sim.metrics
+        self._m_frames = metrics.counter("bus.frames")
+        self._m_errors = metrics.counter("bus.error_frames")
+        self._m_clustered = metrics.counter("bus.clustered_requests")
+        self._m_busy_bits = metrics.counter("bus.busy_bits")
+        self._m_utilization = metrics.gauge("bus.utilization")
 
     # -- topology -----------------------------------------------------------
 
@@ -209,6 +216,8 @@ class CanBus:
             started_at=self._sim.now,
         )
         self.stats.clustered_requests += len(requests) - 1
+        if len(requests) > 1:
+            self._m_clustered.inc(len(requests) - 1)
         duration = self.timing.bits_to_ticks(
             winner.frame.wire_bits(with_interframe=False)
         )
@@ -228,6 +237,7 @@ class CanBus:
         self._current = None
         self._tx_index += 1
         self.stats.physical_frames += 1
+        self._m_frames.inc()
 
         alive = self.alive_controllers()
         sender_ids = [c.node_id for c in tx.senders]
@@ -244,6 +254,7 @@ class CanBus:
             self._deliver_all(tx, alive)
         else:
             self.stats.error_frames += 1
+            self._m_errors.inc()
             overhead_bits += ERROR_FRAME_BITS
             if any(
                 s.state is ControllerState.ERROR_PASSIVE and s.alive
@@ -253,6 +264,8 @@ class CanBus:
             self._resolve_fault(tx, alive, verdict)
 
         self.stats.charge(type_name, frame_bits + overhead_bits)
+        self._m_busy_bits.inc(frame_bits + overhead_bits)
+        self._m_utilization.set(self.utilization())
         self._sim.trace.record(
             self._sim.now,
             "bus.tx",

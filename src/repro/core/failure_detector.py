@@ -43,6 +43,7 @@ class FailureDetector:
     ) -> None:
         self._layer = layer
         self._timers = timers
+        self._sim = timers.sim
         self._config = config
         self._fda = fda
         # i00: surveillance timer identifiers, kept per monitored node.
@@ -114,9 +115,17 @@ class FailureDetector:
             # f08: the local node stayed silent for Thb — broadcast an
             # explicit life-sign. The returning indication restarts the timer.
             self.els_sent += 1
+            self._sim.metrics.counter("fd.els_sent").inc()
             self._layer.rtr_req(MessageId(MessageType.ELS, node=node_id))
         else:
             # f10: a remote node stayed silent beyond Thb + Ttd — it failed.
+            self._sim.metrics.counter("fd.detections").inc()
+            self._sim.trace.record(
+                self._sim.now,
+                "fd.detect",
+                node=self._layer.node_id,
+                failed=node_id,
+            )
             self._fda.request(node_id)
 
     def _on_failure_sign(self, node_id: int) -> None:

@@ -79,6 +79,7 @@ class MembershipProtocol:
         self._timer_kind = "cycle"
         self._listeners: List[ChangeCallback] = []
         self._round_index = 0
+        self._last_view_time: Optional[int] = None
         self._was_member = False
         self._has_left = False
         self._removed_at: Optional[int] = None
@@ -156,6 +157,7 @@ class MembershipProtocol:
         self._state.failed = empty
         self._was_member = False
         self._has_left = False
+        self._last_view_time = None
         # A rebooted node has no memory of its removal; honouring the
         # cooldown across reboots is the operator's responsibility.
         self._removed_at = None
@@ -215,6 +217,9 @@ class MembershipProtocol:
             # s19: the join-wait delay elapsed with no full member heard —
             # bootstrap the view from the joiners.
             self._state.view = self._state.joining
+        # Cycle boundary housekeeping: let the FDA retire counter pairs
+        # whose failure this layer never got to fold into a view.
+        self._fda.advance_cycle()
         self._arm_timer(self._config.tm)  # s21: membership cycle period
         if self._state.joining or self._state.leaving:  # s22
             self._rha.request()  # s23
@@ -251,6 +256,15 @@ class MembershipProtocol:
             # The failure was folded into a view: retire the FDA counters so
             # a (much later) reintegration of the identifier works afresh.
             self._fda.reset(node_id)
+        metrics = self._sim.metrics
+        metrics.counter("msh.views_installed").inc()
+        if removed_failed:
+            metrics.counter("msh.failures_folded").inc(len(removed_failed))
+        if self._last_view_time is not None:
+            metrics.histogram("msh.cycle_ticks").observe(
+                self._sim.now - self._last_view_time
+            )
+        self._last_view_time = self._sim.now
         self._sim.trace.record(
             self._sim.now,
             "msh.view",
@@ -321,6 +335,7 @@ class MembershipProtocol:
             )
 
     def _deliver(self, change: MembershipChange) -> None:
+        self._sim.metrics.counter("msh.change_notifications").inc()
         self._sim.trace.record(
             change.time,
             "msh.change",

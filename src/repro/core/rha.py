@@ -92,6 +92,7 @@ class RhaProtocol:
     def _init_send(self, received: NodeSet) -> None:
         local = self._layer.node_id
         self.executions += 1
+        self._timers.sim.metrics.counter("rha.executions").inc()
         # a01: protocol timer bounding the RHA termination time.
         self._tid = self._timers.start_alarm(self._config.trha, self._on_expire)
         if local in self._state.view:  # a02
@@ -109,6 +110,7 @@ class RhaProtocol:
             MessageType.RHA, node=self._layer.node_id, ref=len(self._rhv)
         )
         self.frames_sent += 1
+        self._timers.sim.metrics.counter("rha.frames_sent").inc()
         self._layer.data_req(mid, self._rhv.to_bytes())
 
     def _own_mid(self) -> MessageId:

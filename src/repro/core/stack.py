@@ -66,7 +66,7 @@ class CanelyNode:
             self.controller = layer.controller
         self.timers = TimerService(sim, drift=timer_drift)
         self.state = MembershipState(capacity=config.capacity)
-        self.fda = FdaProtocol(self.layer)
+        self.fda = FdaProtocol(self.layer, sim=sim)
         self.rha = RhaProtocol(self.layer, self.timers, config, self.state)
         self.detector = FailureDetector(self.layer, self.timers, config, self.fda)
         self.membership = MembershipProtocol(

@@ -1,0 +1,38 @@
+"""Observability: metrics registry and online invariant monitors.
+
+``repro.obs`` is the runtime counterpart of the post-hoc trace queries:
+:mod:`repro.obs.metrics` exposes counters, gauges and fixed-bucket
+histograms that the hot paths update inline (reachable as ``sim.metrics``),
+and :mod:`repro.obs.monitors` checks protocol invariants on the live trace
+stream, failing fast with the offending trace slice.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.monitors import (
+    DetectionLatencyMonitor,
+    DuplicateFailureSignMonitor,
+    InvariantMonitor,
+    InvariantViolation,
+    ViewAgreementMonitor,
+    standard_monitors,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DetectionLatencyMonitor",
+    "DuplicateFailureSignMonitor",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "ViewAgreementMonitor",
+    "standard_monitors",
+]

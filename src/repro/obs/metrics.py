@@ -1,0 +1,234 @@
+"""Runtime metrics: counters, gauges and fixed-bucket histograms.
+
+De Florio & Blondia's failure-detection design survey argues a detector
+should expose its timing behavior as *queryable signals*, not buried logs;
+this module is that surface for the whole stack. Every
+:class:`~repro.sim.kernel.Simulator` owns a :class:`MetricsRegistry`
+(``sim.metrics``) and the hot paths — bus arbitration, life-sign handling,
+FDA dissemination, membership cycles — update it inline, so a running
+campaign can be observed without replaying the trace.
+
+Metrics are keyed by name plus optional labels
+(``registry.counter("fd.detect", node=3)``); histograms use fixed bucket
+boundaries chosen at creation, so observing a value is O(log buckets) and
+rendering never needs the raw samples.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: Default histogram boundaries, in kernel ticks (ns): 100 µs .. 500 ms.
+#: Sized for the protocol latencies of the paper's Section 6.5 regime
+#: (heartbeats of ~10 ms, membership cycles of tens of ms).
+DEFAULT_LATENCY_BUCKETS: Tuple[int, ...] = (
+    100_000,  # 100 µs
+    1_000_000,  # 1 ms
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,  # 500 ms
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current utilization)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-boundary histogram of observations.
+
+    ``boundaries`` are the inclusive upper edges of the finite buckets; an
+    implicit overflow bucket catches everything beyond the last edge.
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "total", "count", "_min", "_max")
+
+    def __init__(
+        self, boundaries: Sequence[Union[int, float]] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        edges = tuple(boundaries)
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError(f"boundaries must strictly increase: {edges}")
+        self.boundaries = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.total = 0.0
+        self.count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.count += 1
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> Optional[float]:
+        """Smallest observation, or ``None`` when empty."""
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[float]:
+        """Largest observation, or ``None`` when empty."""
+        return self._max
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket edge containing the ``q``-quantile observation.
+
+        Bucket-resolution only (that is the histogram trade-off); returns
+        the exact maximum for the overflow bucket and ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for edge, bucket in zip(self.boundaries, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                return edge
+        return self._max
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and shared by name+labels."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, key: str, factory, kind) -> Metric:
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter registered under ``name`` (+ labels)."""
+        return self._get_or_create(_key(name, labels), Counter, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge registered under ``name`` (+ labels)."""
+        return self._get_or_create(_key(name, labels), Gauge, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Optional[Sequence[Union[int, float]]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram registered under ``name`` (+ labels).
+
+        ``boundaries`` only applies on first creation; later calls reuse
+        the existing buckets.
+        """
+        edges = boundaries if boundaries is not None else DEFAULT_LATENCY_BUCKETS
+        return self._get_or_create(
+            _key(name, labels), lambda: Histogram(edges), Histogram
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+    def __iter__(self) -> Iterator[Tuple[str, Metric]]:
+        return iter(sorted(self._metrics.items()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-data dump of every metric, keyed by full name."""
+        out: Dict[str, Any] = {}
+        for key, metric in self:
+            if isinstance(metric, (Counter, Gauge)):
+                out[key] = metric.value
+            else:
+                out[key] = {
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "mean": metric.mean,
+                    "min": metric.minimum,
+                    "max": metric.maximum,
+                    "buckets": dict(
+                        zip(
+                            [*map(str, metric.boundaries), "+inf"],
+                            metric.bucket_counts,
+                        )
+                    ),
+                }
+        return out
+
+    def render(self) -> str:
+        """Human-readable one-metric-per-line rendering."""
+        lines: List[str] = []
+        for key, metric in self:
+            if isinstance(metric, Counter):
+                lines.append(f"{key} = {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{key} = {metric.value:.6g}")
+            else:
+                lines.append(
+                    f"{key} count={metric.count} mean={metric.mean:.6g} "
+                    f"min={metric.minimum} max={metric.maximum} "
+                    f"p95<={metric.quantile(0.95)}"
+                )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Forget every metric."""
+        self._metrics.clear()

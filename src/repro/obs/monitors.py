@@ -1,0 +1,251 @@
+"""Online invariant monitors over the live trace stream.
+
+Post-hoc assertions (``tests/``, :mod:`repro.llc.properties`) only tell you
+a week-long campaign went wrong *after* it finished. These monitors
+subscribe to the :class:`~repro.sim.trace.TraceRecorder` as streaming
+sinks and check MCAN/LCAN-style protocol properties on every record, so a
+violation stops the run at the offending instant — and the raised
+:class:`InvariantViolation` carries the trace slice around it, which is
+usually the whole diagnosis.
+
+Monitors watch these record categories (emitted by the instrumented
+protocol layers):
+
+* ``fda.nty`` — failure-sign delivered upward at a node (``node`` is the
+  receiver, ``data["failed"]`` the failed identifier).
+* ``fda.reset`` — FDA counters retired for one failed identifier.
+* ``msh.view`` — a node installed a membership view.
+* ``node.crash`` / ``node.recover`` — fault scripting events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import format_time
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+#: How much context (in ticks) around a violation goes into the report.
+_SLICE_MARGIN = 2_000_000  # 2 ms
+
+#: Agreement bookkeeping horizon: rounds this far behind the newest one
+#: are settled and dropped, bounding monitor memory on long campaigns.
+_ROUND_HORIZON = 16
+
+
+class InvariantViolation(AssertionError):
+    """An online monitor caught a protocol property violation.
+
+    Attributes:
+        monitor: name of the violated invariant.
+        records: the offending trace slice (chronological).
+    """
+
+    def __init__(
+        self, monitor: str, message: str, records: List[TraceRecord]
+    ) -> None:
+        self.monitor = monitor
+        self.records = records
+        lines = [f"[{monitor}] {message}"]
+        if records:
+            lines.append("offending trace slice:")
+            for record in records:
+                lines.append(
+                    f"  {format_time(record.time):>12}  {record.category}"
+                    f" node={record.node} {record.data}"
+                )
+        super().__init__("\n".join(lines))
+
+
+class InvariantMonitor:
+    """Base class: a named trace sink that can fail fast."""
+
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self._trace: Optional[TraceRecorder] = None
+        self.records_seen = 0
+
+    def attach(self, trace: TraceRecorder) -> "InvariantMonitor":
+        """Subscribe to ``trace``; returns self for chaining."""
+        self._trace = trace
+        trace.add_sink(self.observe)
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the trace."""
+        if self._trace is not None:
+            self._trace.remove_sink(self.observe)
+            self._trace = None
+
+    def observe(self, record: TraceRecord) -> None:
+        """Inspect one record; must raise :class:`InvariantViolation` on
+        a property violation."""
+        raise NotImplementedError
+
+    def fail(self, message: str, start: int, end: int) -> None:
+        """Raise a violation carrying the trace slice ``[start, end]``."""
+        records: List[TraceRecord] = []
+        if self._trace is not None:
+            records = self._trace.window(
+                max(0, start - _SLICE_MARGIN), end + _SLICE_MARGIN
+            )
+        raise InvariantViolation(self.name, message, records)
+
+
+class DuplicateFailureSignMonitor(InvariantMonitor):
+    """No node delivers two failure-signs for the same failed identifier.
+
+    The FDA duplicate counters (Fig. 6, r01-r02) guarantee at-most-once
+    upward delivery per failed node until the membership layer retires the
+    counters (``fda.reset``) or the receiver reboots. A second ``fda.nty``
+    in between means the dedup state was lost or corrupted.
+    """
+
+    name = "no-duplicate-failure-sign"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # (receiver, failed) -> time of the first delivery.
+        self._delivered: Dict[Tuple[int, int], int] = {}
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        if record.category == "fda.nty":
+            key = (record.node, record.data["failed"])
+            first = self._delivered.get(key)
+            if first is not None:
+                self.fail(
+                    f"node {record.node} delivered a second failure-sign "
+                    f"for node {record.data['failed']} at "
+                    f"{format_time(record.time)} (first at "
+                    f"{format_time(first)})",
+                    first,
+                    record.time,
+                )
+            self._delivered[key] = record.time
+        elif record.category in ("fda.reset", "fda.evict"):
+            self._delivered.pop((record.node, record.data["failed"]), None)
+        elif record.category == "node.recover":
+            for key in [k for k in self._delivered if k[0] == record.node]:
+                del self._delivered[key]
+
+
+class ViewAgreementMonitor(InvariantMonitor):
+    """Views installed at the same membership round agree across nodes.
+
+    Two nodes are only compared when each one's reported view contains both
+    of them — i.e. both believe they share full membership for that round.
+    This sidesteps the benign cases (late joiners whose local round counter
+    lags, rebooted nodes) while still catching the property the paper's
+    Fig. 9 exists to enforce: full members never install divergent views.
+    """
+
+    name = "view-agreement"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # round_index -> {node: (time, frozenset(members))}
+        self._rounds: Dict[int, Dict[int, Tuple[int, frozenset]]] = {}
+        self._max_round = 0
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        if record.category != "msh.view":
+            return
+        round_index = record.data["round_index"]
+        members = frozenset(record.data["members"])
+        peers = self._rounds.setdefault(round_index, {})
+        for peer, (peer_time, peer_members) in peers.items():
+            mutual = (
+                record.node in peer_members
+                and peer in members
+                and record.node in members
+                and peer in peer_members
+            )
+            if mutual and members != peer_members:
+                self.fail(
+                    f"round {round_index}: node {record.node} installed "
+                    f"{sorted(members)} but node {peer} installed "
+                    f"{sorted(peer_members)}",
+                    min(peer_time, record.time),
+                    record.time,
+                )
+        peers[record.node] = (record.time, members)
+        if round_index > self._max_round:
+            self._max_round = round_index
+            for settled in [
+                r for r in self._rounds if r < round_index - _ROUND_HORIZON
+            ]:
+                del self._rounds[settled]
+
+
+class DetectionLatencyMonitor(InvariantMonitor):
+    """A member crash is signalled within the analytical latency bound.
+
+    ``bound`` is the worst-case crash-to-failure-sign-delivery latency:
+    ``Thb + Ttd`` silence detection (MCAN4) plus the FDA dissemination
+    slack. Every observed latency also lands in the
+    ``fd.detection_latency_ticks`` histogram of ``metrics``, making the
+    detector's timing behavior a queryable signal.
+    """
+
+    name = "detection-latency"
+
+    def __init__(
+        self, bound: int, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
+        super().__init__()
+        self.bound = bound
+        self._metrics = metrics
+        self._crash_times: Dict[int, int] = {}
+        self._members_ever: Set[int] = set()
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        if record.category == "msh.view":
+            self._members_ever.update(record.data["members"])
+        elif record.category == "node.crash":
+            self._crash_times.setdefault(record.node, record.time)
+        elif record.category == "node.recover":
+            self._crash_times.pop(record.node, None)
+        elif record.category == "fda.nty":
+            failed = record.data["failed"]
+            crashed_at = self._crash_times.get(failed)
+            if crashed_at is None or failed not in self._members_ever:
+                return
+            latency = record.time - crashed_at
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    "fd.detection_latency_ticks", node=failed
+                ).observe(latency)
+            if latency > self.bound:
+                self.fail(
+                    f"failure-sign for node {failed} reached node "
+                    f"{record.node} {format_time(latency)} after the crash "
+                    f"(bound {format_time(self.bound)})",
+                    crashed_at,
+                    record.time,
+                )
+
+
+def standard_monitors(
+    trace: TraceRecorder,
+    detection_bound: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> List[InvariantMonitor]:
+    """Attach the standard monitor set to ``trace`` and return it.
+
+    ``detection_bound`` enables the latency monitor; without it only the
+    structural invariants (duplicate failure-signs, view agreement) run.
+    """
+    monitors: List[InvariantMonitor] = [
+        DuplicateFailureSignMonitor().attach(trace),
+        ViewAgreementMonitor().attach(trace),
+    ]
+    if detection_bound is not None:
+        monitors.append(
+            DetectionLatencyMonitor(detection_bound, metrics).attach(trace)
+        )
+    return monitors

@@ -3,6 +3,12 @@
 Events are ordered by ``(time, priority, seq)``. The sequence number breaks
 ties deterministically in insertion order, so two events scheduled for the
 same instant always fire in the order they were scheduled.
+
+Cancelled events stay in the heap (removing an arbitrary heap entry is
+O(n)) but the queue counts them, so ``len(queue)`` reports *live* events
+only, and compacts the heap once dead entries dominate — long membership
+campaigns cancel-and-rearm surveillance timers on every frame, and without
+the purge those dead entries would accumulate for the whole run.
 """
 
 from __future__ import annotations
@@ -11,6 +17,9 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
+
+#: Compact the heap only past this size (small heaps aren't worth it).
+_PURGE_MIN_HEAP = 64
 
 
 @dataclass(order=True)
@@ -30,10 +39,18 @@ class Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: Optional["EventQueue"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+            self._queue = None
 
 
 class EventQueue:
@@ -42,12 +59,14 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) pending events."""
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self._heap) > self._cancelled
 
     def push(
         self,
@@ -62,8 +81,21 @@ class EventQueue:
             seq=next(self._counter),
             action=action,
         )
+        event._queue = self
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        # Lazy purge: rebuild the heap once cancelled entries outnumber the
+        # live ones, so dead entries never occupy more than half the heap.
+        if (
+            len(self._heap) > _PURGE_MIN_HEAP
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` if empty.
@@ -72,18 +104,26 @@ class EventQueue:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            # A late cancel() on a fired event must not skew the count.
+            event._queue = None
+            return event
         return None
 
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the earliest live event, if any."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._cancelled = 0

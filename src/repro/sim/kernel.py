@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.event import Event, EventQueue
 from repro.sim.trace import TraceRecorder
 
@@ -21,10 +22,15 @@ class SimulationError(Exception):
 class Simulator:
     """Deterministic discrete-event simulator with integer-tick time."""
 
-    def __init__(self, trace: Optional[TraceRecorder] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._now = 0
         self._queue = EventQueue()
         self._trace = trace if trace is not None else TraceRecorder()
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._running = False
         self._events_processed = 0
 
@@ -44,8 +50,13 @@ class Simulator:
         return self._events_processed
 
     @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry shared by every component in this simulation."""
+        return self._metrics
+
+    @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of live (non-cancelled) events still queued."""
         return len(self._queue)
 
     def schedule(

@@ -39,36 +39,26 @@ class TraceSummary:
 
 
 def summarize(trace: TraceRecorder) -> TraceSummary:
-    """Compute a :class:`TraceSummary` from a finished trace."""
-    duration = 0
-    physical_frames = 0
+    """Compute a :class:`TraceSummary` from a finished trace.
+
+    Runs on the recorder's category indexes, so the cost is proportional
+    to the bus transmissions, not the total record count.
+    """
     faulty_frames = 0
     frames_by_type: Dict[str, int] = {}
-    crashes: List[int] = []
-    view_changes = 0
-    change_notifications = 0
-    for record in trace:
-        duration = max(duration, record.time)
-        if record.category == "bus.tx":
-            physical_frames += 1
-            if record.data["kind"] != "none":
-                faulty_frames += 1
-            type_name = record.data["mid"].mtype.name
-            frames_by_type[type_name] = frames_by_type.get(type_name, 0) + 1
-        elif record.category == "node.crash":
-            crashes.append(record.node)
-        elif record.category == "msh.view":
-            view_changes += 1
-        elif record.category == "msh.change":
-            change_notifications += 1
+    for record in trace.select(category="bus.tx"):
+        if record.data["kind"] != "none":
+            faulty_frames += 1
+        type_name = record.data["mid"].mtype.name
+        frames_by_type[type_name] = frames_by_type.get(type_name, 0) + 1
     return TraceSummary(
-        duration=duration,
-        physical_frames=physical_frames,
+        duration=trace.last_time,
+        physical_frames=trace.count("bus.tx"),
         faulty_frames=faulty_frames,
         frames_by_type=frames_by_type,
-        crashes=crashes,
-        view_changes=view_changes,
-        change_notifications=change_notifications,
+        crashes=[r.node for r in trace.select(category="node.crash")],
+        view_changes=trace.count("msh.view"),
+        change_notifications=trace.count("msh.change"),
     )
 
 
@@ -103,6 +93,14 @@ def _describe(record: TraceRecord) -> str:
     return f"{record.category} node={record.node} {data}"
 
 
+#: Observability records (monitor/metrics feeds) mirror protocol events the
+#: timeline already shows via ``bus.tx``/``msh.change``; rendering them too
+#: would only duplicate lines, once per receiving node.
+_OBSERVABILITY_CATEGORIES = frozenset(
+    ("fd.detect", "fda.nty", "fda.reset", "fda.evict")
+)
+
+
 def timeline(
     trace: TraceRecorder,
     start: int = 0,
@@ -120,6 +118,8 @@ def timeline(
         if record.time < start:
             continue
         if end is not None and record.time > end:
+            continue
+        if record.category in _OBSERVABILITY_CATEGORIES:
             continue
         if record.category in ("msh.view",) and not include_views:
             continue

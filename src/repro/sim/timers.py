@@ -52,13 +52,28 @@ class TimerService:
         """The oscillator deviation applied to every duration."""
         return self._drift
 
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this service schedules on."""
+        return self._sim
+
     def start_alarm(
         self,
         duration: int,
         on_expire: Callable[[], None],
     ) -> Alarm:
-        """Arm an alarm ``duration`` ticks from now; returns its handle."""
-        if self._drift:
+        """Arm an alarm ``duration`` ticks from now; returns its handle.
+
+        A zero-duration alarm fires at the current instant regardless of
+        drift — drift stretches a *duration*, and a zero duration has
+        nothing to stretch. Negative durations are a caller bug.
+        """
+        if duration < 0:
+            raise ValueError(f"alarm duration must be non-negative: {duration}")
+        if self._drift and duration:
+            # A nonzero duration never rounds below one tick: an alarm that
+            # was armed to fire strictly later must not fire immediately
+            # just because the oscillator runs fast.
             duration = max(1, round(duration * (1.0 + self._drift)))
         alarm_id = next(self._ids)
 

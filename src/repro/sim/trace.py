@@ -2,13 +2,46 @@
 
 Every layer appends typed records (category + payload dict) to a shared
 :class:`TraceRecorder`. Tests and the MCAN/LCAN property monitors query the
-trace after a run; benchmarks use it to account bandwidth.
+trace after a run; benchmarks use it to account bandwidth; the online
+invariant monitors of :mod:`repro.obs.monitors` subscribe as streaming
+sinks and check properties *while* the run is in progress.
+
+The recorder keeps per-category and per-node indexes alongside the record
+list, so :meth:`TraceRecorder.select` and :meth:`TraceRecorder.count` cost
+O(matches) and O(1) instead of a scan over the whole trace — the difference
+between interactive and unusable on the 100k-record traces a long
+membership campaign produces (see ``benchmarks/bench_trace_queries.py``).
+
+Long campaigns that only need live monitoring can cap memory with
+``TraceRecorder(capacity=...)``: the recorder becomes a ring buffer that
+evicts the oldest records (indexes included) while sinks still observe
+every record as it happens. Finished traces stream to disk with
+:meth:`TraceRecorder.export_jsonl` or live through a :class:`JsonlSink`.
 """
 
 from __future__ import annotations
 
+import heapq
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+from collections import deque
+
+TraceSink = Callable[["TraceRecord"], None]
+
+#: Compact the backing list once this much dead space accumulates in ring
+#: mode (and the dead space dominates), keeping eviction amortized O(1).
+_COMPACT_THRESHOLD = 1024
 
 
 @dataclass(frozen=True)
@@ -28,18 +61,125 @@ class TraceRecord:
     data: Dict[str, Any] = field(default_factory=dict)
 
 
-class TraceRecorder:
-    """Append-only list of :class:`TraceRecord` with query helpers."""
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON projection of a trace payload value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    try:
+        # NodeSet and friends: iterable containers serialize as lists.
+        return [_jsonable(item) for item in value]
+    except TypeError:
+        return repr(value)
 
-    def __init__(self, enabled: bool = True) -> None:
+
+def record_to_dict(record: TraceRecord) -> Dict[str, Any]:
+    """A JSON-serializable projection of ``record``."""
+    return {
+        "time": record.time,
+        "category": record.category,
+        "node": record.node,
+        "data": {key: _jsonable(value) for key, value in record.data.items()},
+    }
+
+
+class JsonlSink:
+    """A streaming sink writing each record as one JSON line.
+
+    Register with :meth:`TraceRecorder.add_sink`; pairs with ring-buffer
+    mode for long campaigns: the in-memory trace stays bounded while the
+    full history lands on disk.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.records_written = 0
+
+    def __call__(self, record: TraceRecord) -> None:
+        self._handle.write(json.dumps(record_to_dict(record)) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (if this sink opened it)."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class TraceRecorder:
+    """Append-only sequence of :class:`TraceRecord` with indexed queries."""
+
+    def __init__(
+        self, enabled: bool = True, capacity: Optional[int] = None
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
         self.enabled = enabled
+        self._capacity = capacity
+        # Records live in ``_records[_offset:]``; each carries an absolute,
+        # ever-increasing sequence number so index entries stay valid across
+        # ring-buffer evictions. Record seq -> list slot translation is
+        # ``seq - _first_seq + _offset``.
         self._records: List[TraceRecord] = []
+        self._offset = 0
+        self._first_seq = 0
+        self._next_seq = 0
+        self._by_category: Dict[str, Deque[int]] = {}
+        self._by_node: Dict[int, Deque[int]] = {}
+        self._sinks: List[TraceSink] = []
+        self._max_time = 0
+
+    # -- container protocol -------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._records) - self._offset
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        for slot in range(self._offset, len(self._records)):
+            yield self._records[slot]
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Ring-buffer size, or ``None`` for an unbounded trace."""
+        return self._capacity
+
+    @property
+    def evicted(self) -> int:
+        """Records dropped so far by the ring buffer."""
+        return self._first_seq
+
+    @property
+    def last_time(self) -> int:
+        """Largest record time seen so far (0 on an empty trace)."""
+        return self._max_time
+
+    # -- recording ---------------------------------------------------------------
+
+    def add_sink(self, sink: TraceSink) -> TraceSink:
+        """Stream every future record to ``sink`` (returns it for removal)."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: TraceSink) -> None:
+        """Stop streaming to ``sink`` (missing sinks are ignored)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
 
     def record(
         self,
@@ -51,28 +191,104 @@ class TraceRecorder:
         """Append a record (no-op while the recorder is disabled)."""
         if not self.enabled:
             return
-        self._records.append(TraceRecord(time, category, node, data))
+        entry = TraceRecord(time, category, node, data)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if time > self._max_time:
+            self._max_time = time
+        self._records.append(entry)
+        self._by_category.setdefault(category, deque()).append(seq)
+        self._by_node.setdefault(node, deque()).append(seq)
+        if self._capacity is not None and len(self) > self._capacity:
+            self._evict_oldest()
+        for sink in self._sinks:
+            sink(entry)
+
+    def _evict_oldest(self) -> None:
+        oldest = self._records[self._offset]
+        seq = self._first_seq
+        for index in (
+            self._by_category[oldest.category],
+            self._by_node[oldest.node],
+        ):
+            if index and index[0] == seq:
+                index.popleft()
+        self._offset += 1
+        self._first_seq += 1
+        if (
+            self._offset > _COMPACT_THRESHOLD
+            and self._offset * 2 > len(self._records)
+        ):
+            del self._records[: self._offset]
+            self._offset = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def _get(self, seq: int) -> TraceRecord:
+        return self._records[seq - self._first_seq + self._offset]
+
+    def _candidate_seqs(
+        self, category: Optional[str], node: Optional[int]
+    ) -> Iterator[int]:
+        """Sequence numbers to inspect, narrowed by the cheapest index."""
+        if category is not None and not category.endswith("."):
+            exact = self._by_category.get(category)
+            if exact is None:
+                return iter(())
+            if node is not None:
+                by_node = self._by_node.get(node)
+                if by_node is None:
+                    return iter(())
+                return iter(exact if len(exact) <= len(by_node) else by_node)
+            return iter(exact)
+        if category is not None:
+            # Prefix query: merge the per-category runs back into insertion
+            # order. Distinct categories are few, so this stays O(matches).
+            runs = [
+                index
+                for key, index in self._by_category.items()
+                if key.startswith(category)
+            ]
+            if not runs:
+                return iter(())
+            if len(runs) == 1:
+                return iter(runs[0])
+            return heapq.merge(*runs)
+        if node is not None:
+            index = self._by_node.get(node)
+            return iter(index) if index is not None else iter(())
+        return iter(range(self._first_seq, self._next_seq))
 
     def select(
         self,
         category: Optional[str] = None,
         node: Optional[int] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
     ) -> List[TraceRecord]:
-        """Return records matching every given filter.
+        """Return records matching every given filter, in insertion order.
 
         ``category`` matches exactly, or as a prefix when it ends with
         ``"."`` (so ``select(category="bus.")`` returns all bus events).
+        ``start``/``end`` bound the record time (inclusive). The category
+        and node filters are answered from indexes, so the cost is
+        proportional to the candidate matches, not the trace length.
         """
+        prefix = category is not None and category.endswith(".")
         result = []
-        for record in self._records:
-            if category is not None:
-                if category.endswith("."):
-                    if not record.category.startswith(category):
-                        continue
-                elif record.category != category:
+        for seq in self._candidate_seqs(category, node):
+            record = self._get(seq)
+            if prefix and not record.category.startswith(category):
+                continue
+            if not prefix and category is not None:
+                if record.category != category:
                     continue
             if node is not None and record.node != node:
+                continue
+            if start is not None and record.time < start:
+                continue
+            if end is not None and record.time > end:
                 continue
             if predicate is not None and not predicate(record):
                 continue
@@ -80,9 +296,52 @@ class TraceRecorder:
         return result
 
     def count(self, category: str) -> int:
-        """Number of records with the exact given category."""
-        return len(self.select(category=category))
+        """Number of records with the given category (index lookup).
+
+        A trailing ``"."`` counts the whole prefix, summing over the
+        distinct matching categories.
+        """
+        if category.endswith("."):
+            return sum(
+                len(index)
+                for key, index in self._by_category.items()
+                if key.startswith(category)
+            )
+        index = self._by_category.get(category)
+        return len(index) if index is not None else 0
+
+    def categories(self) -> Dict[str, int]:
+        """Record count per category, sorted by category name."""
+        return {
+            key: len(index)
+            for key, index in sorted(self._by_category.items())
+            if index
+        }
+
+    def window(self, start: int, end: int) -> List[TraceRecord]:
+        """All records with ``start <= time <= end``, in insertion order.
+
+        The slice the invariant monitors attach to a violation report.
+        """
+        return self.select(start=start, end=end)
+
+    # -- export ------------------------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write the retained records as JSON lines; returns the count."""
+        sink = JsonlSink(target)
+        try:
+            for record in self:
+                sink(record)
+        finally:
+            sink.close()
+        return sink.records_written
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records and indexes (sinks stay registered)."""
         self._records.clear()
+        self._offset = 0
+        self._first_seq = self._next_seq
+        self._by_category.clear()
+        self._by_node.clear()
+        self._max_time = 0

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
@@ -172,14 +172,42 @@ class ScenarioReport:
         }
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
-    """Execute a scenario and collect its report."""
+def run_scenario(spec: ScenarioSpec, monitors: bool = False) -> ScenarioReport:
+    """Execute a scenario and collect its report.
+
+    With ``monitors=True`` the standard online invariant monitors (see
+    :mod:`repro.obs.monitors`) run during the scenario and raise
+    :class:`~repro.obs.monitors.InvariantViolation` the moment a protocol
+    property breaks, instead of the report merely noting disagreement.
+    """
+    report, _net = run_scenario_detailed(spec, monitors=monitors)
+    return report
+
+
+def run_scenario_detailed(
+    spec: ScenarioSpec, monitors: bool = False
+) -> "Tuple[ScenarioReport, Any]":
+    """Like :func:`run_scenario`, but also returns the finished network.
+
+    The network gives observability consumers (the ``repro trace`` /
+    ``repro metrics`` CLI) access to ``net.sim.trace`` and
+    ``net.sim.metrics`` after the run.
+    """
     if spec.channels == 2:
         from repro.core.stack import DualChannelNetwork
 
         net = DualChannelNetwork(node_count=spec.nodes, config=spec.config)
     else:
         net = CanelyNetwork(node_count=spec.nodes, config=spec.config)
+    if monitors:
+        from repro.analysis.latency import latency_bounds
+        from repro.obs.monitors import standard_monitors
+
+        standard_monitors(
+            net.sim.trace,
+            detection_bound=latency_bounds(spec.config).notification,
+            metrics=net.sim.metrics,
+        )
     net.join_all()
     # Let the network form before the scripted timeline starts.
     net.run_for(spec.config.tjoin_wait + 4 * spec.config.tm)
@@ -219,7 +247,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
         utilization = sum(bus.utilization() for bus in net.buses) / 2
     else:
         utilization = net.bus.utilization()
-    return ScenarioReport(
+    report = ScenarioReport(
         final_view=sorted(net.agreed_view()) if net.views_agree() else [],
         views_agree=net.views_agree(),
         crash_latencies_ms={
@@ -231,3 +259,4 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioReport:
         faulty_frames=summary.faulty_frames,
         frames_by_type=summary.frames_by_type,
     )
+    return report, net

@@ -60,3 +60,61 @@ def test_demo_with_timeline(capsys):
     assert "timeline around the crash" in out
     assert "FDA" in out
     assert "summary:" in out
+
+
+SCENARIO = """{
+  "nodes": 4,
+  "events": [{"at_ms": 100, "action": "crash", "node": 2}],
+  "duration_ms": 400
+}"""
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(SCENARIO)
+    return str(path)
+
+
+def test_trace_summary_table(capsys, scenario_file):
+    assert main(["trace", "--scenario", scenario_file]) == 0
+    out = capsys.readouterr().out
+    assert "Trace:" in out
+    assert "bus.tx" in out
+
+
+def test_trace_category_filter(capsys, scenario_file):
+    assert main(
+        ["trace", "--scenario", scenario_file, "--category", "fda.nty",
+         "--limit", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "matching records" in out
+    assert "'category': 'fda.nty'" in out
+
+
+def test_trace_export_jsonl(capsys, scenario_file, tmp_path):
+    import json
+
+    target = tmp_path / "out.jsonl"
+    assert main(
+        ["trace", "--scenario", scenario_file, "--category", "node.crash",
+         "--export", str(target)]
+    ) == 0
+    lines = [json.loads(line) for line in target.read_text().splitlines()]
+    assert [entry["category"] for entry in lines] == ["node.crash"]
+    assert lines[0]["node"] == 2
+
+
+def test_metrics_report(capsys, scenario_file):
+    assert main(["metrics", "--scenario", scenario_file]) == 0
+    out = capsys.readouterr().out
+    assert "fd.detections" in out
+    assert "msh.views_installed" in out
+    assert "fd.detection_latency_ticks{node=2}" in out
+
+
+def test_run_with_monitors(capsys, scenario_file):
+    assert main(["run", scenario_file, "--monitors"]) == 0
+    out = capsys.readouterr().out
+    assert '"views_agree": true' in out

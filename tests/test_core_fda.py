@@ -1,5 +1,7 @@
 """Unit tests for the FDA micro-protocol (paper Fig. 6)."""
 
+import pytest
+
 from repro.can.errormodel import FaultInjector, FaultKind
 from repro.can.identifiers import MessageType
 from repro.core.fda import FdaProtocol
@@ -102,6 +104,67 @@ def test_reset_allows_reuse_of_identifier(raw_bus):
     net.sim.run()
     for log in notified.values():
         assert log == [2, 2]
+
+
+def test_eviction_cycles_must_be_positive(raw_bus):
+    net = raw_bus(2)
+    with pytest.raises(ValueError):
+        FdaProtocol(net.layers[0], eviction_cycles=0)
+
+
+def test_untouched_counters_evicted_after_cycles(raw_bus):
+    """Counters the membership layer never retires must not leak forever."""
+    net = raw_bus(3)
+    protocols, _ = wire(net)
+    protocols[0].request(2)
+    net.sim.run()
+    assert all(p.tracked_mids >= 1 for p in protocols.values())
+    evicted = 0
+    for _ in range(4):  # DEFAULT_EVICTION_CYCLES
+        for protocol in protocols.values():
+            evicted += protocol.advance_cycle()
+    assert evicted >= 1
+    assert all(p.tracked_mids == 0 for p in protocols.values())
+
+
+def test_touch_postpones_eviction(raw_bus):
+    net = raw_bus(3)
+    protocols, _ = wire(net)
+    fda = protocols[0]
+    fda.request(2)
+    net.sim.run()
+    for _ in range(3):
+        fda.advance_cycle()
+    fda.request(2)  # activity refreshes the last-touch cycle
+    assert fda.advance_cycle() == 0
+    assert fda.tracked_mids == 1
+    for _ in range(3):
+        fda.advance_cycle()
+    assert fda.tracked_mids == 0
+
+
+def test_eviction_allows_identifier_reuse(raw_bus):
+    """After eviction a reused identifier notifies afresh, like reset."""
+    net = raw_bus(3)
+    protocols, notified = wire(net)
+    protocols[0].request(2)
+    net.sim.run()
+    for protocol in protocols.values():
+        for _ in range(4):
+            protocol.advance_cycle()
+    protocols[1].request(2)
+    net.sim.run()
+    for log in notified.values():
+        assert log == [2, 2]
+
+
+def test_reset_all_clears_touch_tracking(raw_bus):
+    net = raw_bus(3)
+    protocols, _ = wire(net)
+    protocols[0].request(2)
+    net.sim.run()
+    protocols[0].reset_all()
+    assert protocols[0].tracked_mids == 0
 
 
 def test_uses_remote_frames_only(raw_bus):

@@ -1,0 +1,141 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().inc(-1)
+
+
+def test_gauge_set_and_inc():
+    gauge = Gauge()
+    gauge.set(2.5)
+    gauge.inc(-1.0)
+    assert gauge.value == 1.5
+
+
+def test_histogram_needs_boundaries():
+    with pytest.raises(ValueError):
+        Histogram(())
+
+
+def test_histogram_boundaries_must_increase():
+    with pytest.raises(ValueError):
+        Histogram((10, 5))
+    with pytest.raises(ValueError):
+        Histogram((10, 10))
+
+
+def test_histogram_bucketing():
+    hist = Histogram((10, 100))
+    for value in (5, 10, 50, 1000):
+        hist.observe(value)
+    assert hist.bucket_counts == [2, 1, 1]
+    assert hist.count == 4
+    assert hist.total == 1065
+    assert hist.minimum == 5
+    assert hist.maximum == 1000
+
+
+def test_histogram_mean_and_empty_stats():
+    hist = Histogram((10,))
+    assert hist.mean == 0.0
+    assert hist.minimum is None and hist.maximum is None
+    assert hist.quantile(0.5) is None
+    hist.observe(4)
+    hist.observe(6)
+    assert hist.mean == 5.0
+
+
+def test_histogram_quantile_bucket_resolution():
+    hist = Histogram((10, 100, 1000))
+    for _ in range(99):
+        hist.observe(5)
+    hist.observe(50_000)  # lands in the overflow bucket
+    assert hist.quantile(0.5) == 10
+    assert hist.quantile(1.0) == 50_000  # exact max for the overflow bucket
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_registry_shares_by_name():
+    registry = MetricsRegistry()
+    registry.counter("a").inc()
+    registry.counter("a").inc()
+    assert registry.counter("a").value == 2
+
+
+def test_registry_labels_create_distinct_metrics():
+    registry = MetricsRegistry()
+    registry.counter("fd.detect", node=1).inc()
+    registry.counter("fd.detect", node=2).inc(5)
+    assert registry.counter("fd.detect", node=1).value == 1
+    assert registry.counter("fd.detect", node=2).value == 5
+    assert "fd.detect{node=1}" in registry
+
+
+def test_registry_label_order_is_canonical():
+    registry = MetricsRegistry()
+    registry.counter("x", b=2, a=1).inc()
+    assert registry.counter("x", a=1, b=2).value == 1
+
+
+def test_registry_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_registry_histogram_default_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency")
+    assert hist.boundaries == DEFAULT_LATENCY_BUCKETS
+
+
+def test_snapshot_shapes():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.gauge("g").set(0.5)
+    registry.histogram("h", boundaries=(10,)).observe(3)
+    snap = registry.snapshot()
+    assert snap["c"] == 2
+    assert snap["g"] == 0.5
+    assert snap["h"]["count"] == 1
+    assert snap["h"]["buckets"] == {"10": 1, "+inf": 0}
+
+
+def test_render_mentions_every_metric():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(1.0)
+    registry.histogram("h", boundaries=(10,)).observe(3)
+    text = registry.render()
+    assert "c = 1" in text
+    assert "g = 1" in text
+    assert "h count=1" in text
+
+
+def test_iteration_is_sorted_and_clear_forgets():
+    registry = MetricsRegistry()
+    registry.counter("b")
+    registry.counter("a")
+    assert [key for key, _ in registry] == ["a", "b"]
+    registry.clear()
+    assert "a" not in registry

@@ -82,3 +82,61 @@ def test_clear():
     queue.push(1, lambda: None)
     queue.clear()
     assert queue.pop() is None
+
+
+def test_len_excludes_cancelled():
+    queue = EventQueue()
+    keep = queue.push(1, lambda: None)
+    drop = queue.push(2, lambda: None)
+    drop.cancel()
+    assert len(queue) == 1
+    assert bool(queue)
+    keep.cancel()
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_cancel_is_idempotent_for_the_count():
+    queue = EventQueue()
+    queue.push(1, lambda: None)
+    event = queue.push(2, lambda: None)
+    event.cancel()
+    event.cancel()  # double cancel must not double-count
+    assert len(queue) == 1
+
+
+def test_cancel_after_pop_does_not_skew_count():
+    queue = EventQueue()
+    event = queue.push(1, lambda: None)
+    queue.push(2, lambda: None)
+    popped = queue.pop()
+    assert popped is event
+    event.cancel()  # the event already left the queue
+    assert len(queue) == 1
+
+
+def test_lazy_purge_compacts_dominating_dead_entries():
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    # The purge rebuilt the heap: far fewer entries than were pushed.
+    assert len(queue._heap) < 100
+    assert len(queue) == 50
+    times = []
+    while (event := queue.pop()) is not None:
+        times.append(event.time)
+    assert times == list(range(150, 200))
+
+
+def test_pop_all_after_mixed_cancellations():
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in range(20)]
+    for event in events[::2]:
+        event.cancel()
+    assert len(queue) == 10
+    remaining = []
+    while (event := queue.pop()) is not None:
+        remaining.append(event.time)
+    assert remaining == list(range(1, 20, 2))
+    assert len(queue) == 0

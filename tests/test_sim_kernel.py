@@ -117,6 +117,32 @@ def test_events_processed_counter():
     assert sim.events_processed == 4
 
 
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    event = sim.schedule(20, lambda: None)
+    assert sim.pending_events == 2
+    event.cancel()
+    assert sim.pending_events == 1
+
+
+def test_pending_events_survives_heavy_cancel_rearm():
+    """The surveillance-timer idiom: cancel + re-arm on every frame."""
+    sim = Simulator()
+    live = None
+    for i in range(500):
+        if live is not None:
+            live.cancel()
+        live = sim.schedule(1000 + i, lambda: None)
+    assert sim.pending_events == 1
+
+
+def test_metrics_registry_attached():
+    sim = Simulator()
+    sim.metrics.counter("x").inc(3)
+    assert sim.metrics.counter("x").value == 3
+
+
 def test_same_time_events_fire_in_schedule_order():
     sim = Simulator()
     order = []

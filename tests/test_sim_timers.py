@@ -1,5 +1,7 @@
 """Unit tests for the start_alarm / cancel_alarm timer service."""
 
+import pytest
+
 from repro.sim.kernel import Simulator
 from repro.sim.timers import TimerService
 
@@ -79,6 +81,43 @@ def test_deadline_recorded():
     sim.run_until(40)
     alarm = timers.start_alarm(60, lambda: None)
     assert alarm.deadline == 100
+
+
+def test_negative_duration_rejected():
+    _, timers = make()
+    with pytest.raises(ValueError):
+        timers.start_alarm(-1, lambda: None)
+
+
+def test_zero_duration_fires_now_even_with_drift():
+    sim = Simulator()
+    timers = TimerService(sim, drift=1e-4)
+    fired = []
+    timers.start_alarm(0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [0]
+
+
+def test_drift_stretches_duration():
+    sim = Simulator()
+    timers = TimerService(sim, drift=0.5)
+    fired = []
+    timers.start_alarm(100, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [150]
+
+
+def test_fast_clock_never_rounds_a_duration_to_zero():
+    """duration=1 with a fast oscillator must still fire strictly later."""
+    sim = Simulator()
+    timers = TimerService(sim, drift=-0.9)
+    alarm = timers.start_alarm(1, lambda: None)
+    assert alarm.deadline == 1
+
+
+def test_sim_property_exposes_kernel():
+    sim, timers = make()
+    assert timers.sim is sim
 
 
 def test_restart_pattern():

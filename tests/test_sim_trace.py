@@ -1,6 +1,11 @@
 """Unit tests for the trace recorder."""
 
-from repro.sim.trace import TraceRecorder
+import io
+import json
+
+import pytest
+
+from repro.sim.trace import JsonlSink, TraceRecorder, record_to_dict
 
 
 def test_record_and_len():
@@ -72,3 +77,170 @@ def test_payload_accessible():
     record = trace.select(category="bus.tx")[0]
     assert record.data["kind"] == "none"
     assert record.node == 2
+
+
+def test_select_time_window():
+    trace = TraceRecorder()
+    for t in range(10):
+        trace.record(t, "bus.tx")
+    bounded = trace.select(category="bus.tx", start=3, end=6)
+    assert [r.time for r in bounded] == [3, 4, 5, 6]
+
+
+def test_window_is_inclusive_and_cross_category():
+    trace = TraceRecorder()
+    trace.record(1, "a")
+    trace.record(2, "b")
+    trace.record(3, "c")
+    assert [r.category for r in trace.window(2, 3)] == ["b", "c"]
+
+
+def test_count_prefix():
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx")
+    trace.record(2, "bus.deliver")
+    trace.record(3, "msh.view")
+    assert trace.count("bus.") == 2
+    assert trace.count("bus.tx") == 1
+    assert trace.count("nothing") == 0
+
+
+def test_categories_breakdown():
+    trace = TraceRecorder()
+    trace.record(1, "b")
+    trace.record(2, "a")
+    trace.record(3, "a")
+    assert trace.categories() == {"a": 2, "b": 1}
+
+
+def test_last_time_tracks_maximum():
+    trace = TraceRecorder()
+    assert trace.last_time == 0
+    trace.record(7, "a")
+    trace.record(3, "b")  # out-of-order append must not lower it
+    assert trace.last_time == 7
+
+
+def test_select_category_and_node_combined():
+    trace = TraceRecorder()
+    trace.record(1, "bus.deliver", node=0)
+    trace.record(2, "bus.deliver", node=1)
+    trace.record(3, "bus.tx", node=1)
+    hits = trace.select(category="bus.deliver", node=1)
+    assert [(r.time, r.node) for r in hits] == [(2, 1)]
+
+
+def test_prefix_select_preserves_insertion_order():
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx")
+    trace.record(2, "bus.deliver")
+    trace.record(3, "bus.tx")
+    assert [r.time for r in trace.select(category="bus.")] == [1, 2, 3]
+
+
+# -- ring-buffer mode ---------------------------------------------------------
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TraceRecorder(capacity=0)
+
+
+def test_ring_buffer_evicts_oldest():
+    trace = TraceRecorder(capacity=3)
+    for t in range(5):
+        trace.record(t, "a", node=t)
+    assert len(trace) == 3
+    assert trace.evicted == 2
+    assert [r.time for r in trace] == [2, 3, 4]
+
+
+def test_ring_buffer_indexes_stay_consistent():
+    trace = TraceRecorder(capacity=4)
+    for t in range(10):
+        trace.record(t, "even" if t % 2 == 0 else "odd", node=t % 3)
+    assert trace.count("even") + trace.count("odd") == 4
+    for category in ("even", "odd"):
+        for record in trace.select(category=category):
+            assert record.category == category
+    for node in (0, 1, 2):
+        for record in trace.select(node=node):
+            assert record.node == node
+
+
+def test_ring_buffer_compaction_keeps_queries_correct():
+    # Push far past the compaction threshold so the backing list shifts.
+    trace = TraceRecorder(capacity=10)
+    total = 5000
+    for t in range(total):
+        trace.record(t, f"c{t % 4}", node=t % 2)
+    assert len(trace) == 10
+    assert trace.evicted == total - 10
+    expected = list(range(total - 10, total))
+    assert [r.time for r in trace] == expected
+    got = sorted(r.time for c in range(4) for r in trace.select(category=f"c{c}"))
+    assert got == expected
+
+
+# -- sinks and export ---------------------------------------------------------
+
+
+def test_sink_sees_every_record_even_past_capacity():
+    trace = TraceRecorder(capacity=2)
+    seen = []
+    trace.add_sink(lambda record: seen.append(record.time))
+    for t in range(5):
+        trace.record(t, "a")
+    assert seen == [0, 1, 2, 3, 4]
+    assert len(trace) == 2
+
+
+def test_remove_sink_stops_streaming():
+    trace = TraceRecorder()
+    seen = []
+    sink = trace.add_sink(lambda record: seen.append(record.time))
+    trace.record(1, "a")
+    trace.remove_sink(sink)
+    trace.record(2, "a")
+    assert seen == [1]
+
+
+def test_clear_keeps_sinks_registered():
+    trace = TraceRecorder()
+    seen = []
+    trace.add_sink(lambda record: seen.append(record.time))
+    trace.record(1, "a")
+    trace.clear()
+    assert len(trace) == 0
+    trace.record(2, "a")
+    assert seen == [1, 2]
+
+
+def test_record_to_dict_projects_payload():
+    trace = TraceRecorder()
+    trace.record(5, "msh.view", node=1, members={3, 1, 2})
+    out = record_to_dict(next(iter(trace)))
+    assert out["time"] == 5 and out["node"] == 1
+    assert sorted(out["data"]["members"]) == [1, 2, 3]
+
+
+def test_export_jsonl_round_trips():
+    trace = TraceRecorder()
+    trace.record(1, "a", node=0, bits=10)
+    trace.record(2, "b", node=1)
+    buffer = io.StringIO()
+    assert trace.export_jsonl(buffer) == 2
+    lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert [entry["category"] for entry in lines] == ["a", "b"]
+    assert lines[0]["data"] == {"bits": 10}
+
+
+def test_jsonl_sink_streams_live(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    trace = TraceRecorder(capacity=1)
+    with JsonlSink(str(path)) as sink:
+        trace.add_sink(sink)
+        for t in range(4):
+            trace.record(t, "a")
+    assert sink.records_written == 4
+    assert len(path.read_text().splitlines()) == 4
