@@ -3,119 +3,48 @@
 Beyond the paper's analytical evaluation: a statistical robustness campaign
 over randomized scenarios — population, crash count, crash instants and
 stochastic bus faults (within the model's degree philosophy) all drawn from
-seeded RNG streams. For every scenario the invariant is checked (all
-correct full members agree on exactly the survivor set) and the crash
-notification latency is recorded; the report gives the distribution.
+seeded RNG streams. For every scenario the online invariant monitors run
+and the crash notification latency is recorded; the report gives the
+distribution.
 
 This is the evidence a dependability paper's reviewers ask for: not one
 scenario that works, but a population of scenarios with zero violations
 and a latency distribution that respects the analytical bound.
-"""
 
-import random
+The campaign runs on :mod:`repro.campaign` (in-process, ``workers=0``, so
+the benchmark times the scenarios themselves, not process management);
+``python -m repro campaign --scenarios 30`` reproduces the same seeds,
+verdicts and latencies on any worker count.
+"""
 
 from conftest import emit
 
-from repro.analysis.latency import latency_bounds
-from repro.can.errormodel import FaultInjector
-from repro.core.config import CanelyConfig
-from repro.core.stack import CanelyNetwork
-from repro.sim.clock import ms
-from repro.util.tables import render_table
-from repro.workloads.scenarios import detection_latencies
-from repro.workloads.traffic import PeriodicSource
+from repro.campaign import CampaignReport, CampaignSpec, run_campaign
 
 SCENARIOS = 30
-CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
-
-
-def run_one(seed: int):
-    rng = random.Random(seed)
-    node_count = rng.randint(6, 12)
-    crash_count = rng.randint(1, 3)
-    injector = FaultInjector(
-        rng=random.Random(seed + 1),
-        consistent_probability=rng.uniform(0.0, 0.02),
-        inconsistent_probability=rng.uniform(0.0, 0.005),
-    )
-    net = CanelyNetwork(node_count=node_count, config=CONFIG, injector=injector)
-    net.join_all()
-    net.run_for(CONFIG.tjoin_wait + 5 * CONFIG.tm)
-    if not net.views_agree() or len(net.member_views()) != node_count:
-        return {"seed": seed, "bootstrap_failed": True}
-
-    # Background traffic on a random half of the nodes.
-    for node_id in rng.sample(range(node_count), node_count // 2):
-        PeriodicSource(net.sim, net.node(node_id), period=ms(rng.randint(4, 9)))
-
-    victims = rng.sample(range(node_count), crash_count)
-    crash_times = {}
-    base = net.sim.now
-    for victim in victims:
-        at = base + ms(rng.randint(0, 100))
-        crash_times[victim] = at
-        net.sim.schedule_at(at, net.node(victim).crash)
-    net.run_for(ms(400))
-
-    survivors = set(range(node_count)) - set(victims)
-    agree = net.views_agree() and set(net.agreed_view()) == survivors
-    latencies = detection_latencies(net, crash_times)
-    return {
-        "seed": seed,
-        "bootstrap_failed": False,
-        "nodes": node_count,
-        "crashes": crash_count,
-        "agree": agree,
-        "latencies": [v for v in latencies.values() if v is not None],
-        "missed": sum(1 for v in latencies.values() if v is None),
-        "injected": injector.omissions_injected,
-    }
-
-
-def percentile(values, fraction):
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
-    return ordered[index]
+SPEC = CampaignSpec(scenarios=SCENARIOS, seed=0)
 
 
 def bench_campaign_robustness(benchmark):
     def campaign():
-        return [run_one(seed) for seed in range(SCENARIOS)]
+        return run_campaign(SPEC, workers=0)
 
     results = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    report = CampaignReport(SPEC, results)
 
-    bootstrap_failures = [r for r in results if r["bootstrap_failed"]]
-    completed = [r for r in results if not r["bootstrap_failed"]]
-    violations = [r for r in completed if not r["agree"]]
-    missed = sum(r["missed"] for r in completed)
-    latencies = [v for r in completed for v in r["latencies"]]
-    injected = sum(r["injected"] for r in completed)
-    bound = latency_bounds(CONFIG).notification
-
-    table = render_table(
-        ["metric", "value"],
-        [
-            ["scenarios", SCENARIOS],
-            ["bootstrap failures", len(bootstrap_failures)],
-            ["agreement violations", len(violations)],
-            ["crashes never notified", missed],
-            ["faults injected (bus)", injected],
-            ["detections measured", len(latencies)],
-            ["latency p50", f"{percentile(latencies, 0.50) / ms(1):.1f} ms"],
-            ["latency p95", f"{percentile(latencies, 0.95) / ms(1):.1f} ms"],
-            ["latency max", f"{max(latencies) / ms(1):.1f} ms"],
-            ["analytic bound", f"{bound / ms(1):.1f} ms"],
-        ],
-        title=(
-            "EXT-1 — randomized fault-injection campaign "
-            f"({SCENARIOS} scenarios, 6-12 nodes, 1-3 crashes, "
-            "stochastic bus faults)"
+    emit(
+        "campaign_robustness",
+        report.render(
+            title=(
+                "EXT-1 — randomized fault-injection campaign "
+                f"({SCENARIOS} scenarios, {SPEC.node_min}-{SPEC.node_max} "
+                f"nodes, {SPEC.crash_min}-{SPEC.crash_max} crashes, "
+                "stochastic bus faults)"
+            )
         ),
     )
-    emit("campaign_robustness", table)
 
-    assert not bootstrap_failures
-    assert not violations
-    assert missed == 0
-    assert latencies
-    assert max(latencies) <= bound
+    assert report.success, [r.detail for r in results if not r.ok]
+    assert report.missed == 0
+    assert report.latencies
+    assert max(report.latencies) <= report.notification_bound

@@ -11,6 +11,8 @@ Commands:
 * ``bounds``    — print the latency bounds for a configuration.
 * ``trace``     — run a scenario and query/export its trace (JSONL).
 * ``metrics``   — run a scenario and print the metrics registry.
+* ``campaign``  — run a parallel randomized fault-scenario campaign with
+  checkpoint/resume (see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
@@ -223,6 +225,53 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign import (
+        CampaignReport,
+        CampaignSpec,
+        default_workers,
+        run_campaign,
+    )
+
+    spec = CampaignSpec(
+        scenarios=args.scenarios,
+        seed=args.seed,
+        node_min=args.node_min,
+        node_max=args.node_max,
+        crash_min=args.crash_min,
+        crash_max=args.crash_max,
+    )
+
+    def progress(result):
+        latencies = ", ".join(format_time(v) for v in result.latencies)
+        print(
+            f"scenario {result.index:>3} seed={result.seed} "
+            f"verdict={result.verdict} nodes={result.nodes} "
+            f"crashes={result.crashes} latencies=[{latencies}] "
+            f"({result.elapsed_s:.2f}s, attempt {result.attempts})"
+        )
+
+    results = run_campaign(
+        spec,
+        workers=args.workers if args.workers is not None else default_workers(),
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        progress=progress if args.verbose else None,
+    )
+    report = CampaignReport(spec, results)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"report written to {args.report}")
+    return 0 if report.success else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -285,6 +334,64 @@ def main(argv=None) -> int:
         "--scenario", help="scenario JSON (default: the demo scenario)"
     )
     metrics.set_defaults(func=_cmd_metrics)
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a parallel randomized fault-scenario campaign",
+    )
+    campaign.add_argument(
+        "--scenarios", type=int, default=30, help="scenario count"
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = in-process; default: CPU count, max 8)",
+    )
+    campaign.add_argument("--seed", type=int, default=0, help="root seed")
+    campaign.add_argument(
+        "--node-min", type=int, default=6, help="smallest population"
+    )
+    campaign.add_argument(
+        "--node-max", type=int, default=12, help="largest population"
+    )
+    campaign.add_argument(
+        "--crash-min", type=int, default=1, help="fewest crashes per scenario"
+    )
+    campaign.add_argument(
+        "--crash-max", type=int, default=3, help="most crashes per scenario"
+    )
+    campaign.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-scenario wall-clock budget, seconds",
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries after a worker timeout/crash",
+    )
+    campaign.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="append completed results to this JSONL file",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip scenarios already in the checkpoint file",
+    )
+    campaign.add_argument(
+        "--report", metavar="PATH", help="also write the JSON report here"
+    )
+    campaign.add_argument(
+        "--json", action="store_true", help="print the JSON report"
+    )
+    campaign.add_argument(
+        "--verbose", action="store_true", help="print one line per scenario"
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     args = parser.parse_args(argv)
     try:

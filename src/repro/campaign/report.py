@@ -1,0 +1,158 @@
+"""Aggregation and rendering of campaign results.
+
+A :class:`CampaignReport` folds the per-scenario results into the
+statistics a dependability argument needs — verdict counts, injected
+omission totals (k and j), the detection-latency distribution against the
+analytic bound — and renders them as the standard report table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.latency import latency_bounds
+from repro.campaign.spec import (
+    VERDICT_BOOTSTRAP_FAILED,
+    VERDICT_ERROR,
+    VERDICT_OK,
+    VERDICT_TIMEOUT,
+    VERDICT_VIOLATION,
+    VERDICT_WORKER_CRASH,
+    CampaignSpec,
+    ScenarioResult,
+)
+from repro.sim.clock import ms
+from repro.util.tables import render_table
+
+
+def percentile(values: Sequence[float], fraction: float):
+    """The ``fraction``-quantile by nearest-rank; ``None`` when empty."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated view over one campaign's results."""
+
+    spec: CampaignSpec
+    results: List[ScenarioResult]
+
+    def by_verdict(self, verdict: str) -> List[ScenarioResult]:
+        """The results carrying ``verdict``."""
+        return [r for r in self.results if r.verdict == verdict]
+
+    @property
+    def latencies(self) -> List[int]:
+        """Every measured detection latency, in ticks."""
+        return [value for r in self.results for value in r.latencies]
+
+    @property
+    def missed(self) -> int:
+        """Crashes that were never notified, over the whole campaign."""
+        return sum(r.missed for r in self.results)
+
+    @property
+    def injected_omissions(self) -> int:
+        """Total omissions injected (the model's k tally)."""
+        return sum(r.injected_omissions for r in self.results)
+
+    @property
+    def injected_inconsistent(self) -> int:
+        """Total inconsistent omissions injected (the j tally)."""
+        return sum(r.injected_inconsistent for r in self.results)
+
+    @property
+    def notification_bound(self) -> int:
+        """The analytic worst-case notification latency, in ticks."""
+        return latency_bounds(self.spec.config()).notification
+
+    @property
+    def success(self) -> bool:
+        """True when every scenario completed with verdict ``ok``."""
+        return len(self.results) == self.spec.scenarios and all(
+            r.ok for r in self.results
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data report (for ``--report`` files)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "success": self.success,
+            "verdicts": {
+                verdict: len(self.by_verdict(verdict))
+                for verdict in (
+                    VERDICT_OK,
+                    VERDICT_BOOTSTRAP_FAILED,
+                    VERDICT_VIOLATION,
+                    VERDICT_ERROR,
+                    VERDICT_TIMEOUT,
+                    VERDICT_WORKER_CRASH,
+                )
+            },
+            "missed": self.missed,
+            "injected_omissions": self.injected_omissions,
+            "injected_inconsistent": self.injected_inconsistent,
+            "latency_ticks": {
+                "count": len(self.latencies),
+                "p50": percentile(self.latencies, 0.50),
+                "p95": percentile(self.latencies, 0.95),
+                "max": max(self.latencies) if self.latencies else None,
+                "bound": self.notification_bound,
+            },
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    def render(self, title: Optional[str] = None) -> str:
+        """The standard human-readable summary table."""
+        latencies = self.latencies
+
+        def latency_ms(value) -> str:
+            return "-" if value is None else f"{value / ms(1):.1f} ms"
+
+        rows = [
+            ["scenarios", str(self.spec.scenarios)],
+            ["completed ok", str(len(self.by_verdict(VERDICT_OK)))],
+            [
+                "bootstrap failures",
+                str(len(self.by_verdict(VERDICT_BOOTSTRAP_FAILED))),
+            ],
+            [
+                "agreement violations",
+                str(len(self.by_verdict(VERDICT_VIOLATION))),
+            ],
+            ["worker errors", str(len(self.by_verdict(VERDICT_ERROR)))],
+            ["worker timeouts", str(len(self.by_verdict(VERDICT_TIMEOUT)))],
+            [
+                "worker crashes",
+                str(len(self.by_verdict(VERDICT_WORKER_CRASH))),
+            ],
+            ["crashes never notified", str(self.missed)],
+            ["faults injected (k)", str(self.injected_omissions)],
+            ["inconsistent faults (j)", str(self.injected_inconsistent)],
+            ["detections measured", str(len(latencies))],
+            ["latency p50", latency_ms(percentile(latencies, 0.50))],
+            ["latency p95", latency_ms(percentile(latencies, 0.95))],
+            ["latency max", latency_ms(max(latencies) if latencies else None)],
+            ["analytic bound", latency_ms(self.notification_bound)],
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title=title
+            or (
+                f"scenario campaign ({self.spec.scenarios} scenarios, "
+                f"{self.spec.node_min}-{self.spec.node_max} nodes, "
+                f"{self.spec.crash_min}-{self.spec.crash_max} crashes, "
+                f"seed {self.spec.seed})"
+            ),
+        )

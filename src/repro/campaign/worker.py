@@ -1,0 +1,130 @@
+"""One campaign scenario, end to end, inside one worker.
+
+:func:`run_scenario` is the unit of work the engine fans out: derive the
+scenario's private seed, build the randomized network, attach the online
+invariant monitors, bootstrap, inject crashes under stochastic bus faults,
+and fold everything into a :class:`~repro.campaign.spec.ScenarioResult`.
+It never raises — every failure mode maps to a verdict — so the engine
+only has to handle the process-level failures (hangs, killed workers).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Dict
+
+from repro.analysis.latency import latency_bounds
+from repro.campaign.spec import (
+    VERDICT_BOOTSTRAP_FAILED,
+    VERDICT_ERROR,
+    VERDICT_OK,
+    VERDICT_VIOLATION,
+    CampaignSpec,
+    ScenarioResult,
+)
+from repro.can.errormodel import FaultInjector
+from repro.core.stack import CanelyNetwork
+from repro.errors import ScenarioError
+from repro.obs.monitors import InvariantViolation, standard_monitors
+from repro.sim.clock import ms
+from repro.sim.rng import RngStreams
+from repro.sim.trace import record_to_dict
+from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.traffic import PeriodicSource
+
+#: Cap on how many trace records a violation slice carries back.
+_SLICE_LIMIT = 120
+
+
+def run_scenario(spec: CampaignSpec, index: int) -> ScenarioResult:
+    """Run scenario ``index`` of ``spec`` and classify the outcome."""
+    seed = spec.scenario_seed(index)
+    started = time.perf_counter()
+    result = ScenarioResult(index=index, seed=seed, verdict=VERDICT_ERROR)
+    try:
+        _simulate(spec, result)
+    except ScenarioError as error:
+        result.verdict = VERDICT_BOOTSTRAP_FAILED
+        result.detail = str(error)
+    except InvariantViolation as violation:
+        result.verdict = VERDICT_VIOLATION
+        result.detail = f"[{violation.monitor}] {violation}"
+        result.violation_slice = [
+            record_to_dict(record)
+            for record in violation.records[:_SLICE_LIMIT]
+        ]
+    except Exception:
+        result.verdict = VERDICT_ERROR
+        result.detail = traceback.format_exc()
+    result.elapsed_s = time.perf_counter() - started
+    return result
+
+
+def _simulate(spec: CampaignSpec, result: ScenarioResult) -> None:
+    """Mutate ``result`` in place with the scenario's outcome."""
+    streams = RngStreams(result.seed)
+    topology = streams.stream("topology")
+    node_count = topology.randint(spec.node_min, spec.node_max)
+    crash_hi = max(spec.crash_min, min(spec.crash_max, node_count - 2))
+    crash_count = topology.randint(spec.crash_min, crash_hi)
+    result.nodes = node_count
+    result.crashes = crash_count
+
+    injector = FaultInjector(
+        rng=streams.stream("faults"),
+        consistent_probability=topology.uniform(
+            0.0, spec.consistent_probability
+        ),
+        inconsistent_probability=topology.uniform(
+            0.0, spec.inconsistent_probability
+        ),
+    )
+    config = spec.config()
+    net = CanelyNetwork(
+        node_count=node_count, config=config, injector=injector
+    )
+    if spec.monitors:
+        standard_monitors(
+            net.sim.trace,
+            detection_bound=latency_bounds(config).notification,
+            metrics=net.sim.metrics,
+        )
+    try:
+        bootstrap_network(net)
+
+        # Background traffic on a random half of the nodes.
+        traffic = streams.stream("traffic")
+        for node_id in traffic.sample(range(node_count), node_count // 2):
+            PeriodicSource(
+                net.sim, net.node(node_id), period=ms(traffic.randint(4, 9))
+            )
+
+        victims = topology.sample(range(node_count), crash_count)
+        crash_times: Dict[int, int] = {}
+        base = net.sim.now
+        for victim in victims:
+            at = base + ms(topology.randint(0, int(spec.crash_window_ms)))
+            crash_times[victim] = at
+            net.sim.schedule_at(at, net.node(victim).crash)
+        net.run_for(ms(spec.run_ms))
+    finally:
+        result.injected_omissions = injector.omissions_injected
+        result.injected_inconsistent = injector.inconsistent_injected
+        result.metrics = net.sim.metrics.snapshot()
+
+    latencies = detection_latencies(net, crash_times)
+    result.latencies = sorted(v for v in latencies.values() if v is not None)
+    result.missed = sum(1 for v in latencies.values() if v is None)
+
+    survivors = set(range(node_count)) - set(victims)
+    agree = net.views_agree() and set(net.agreed_view()) == survivors
+    if agree and result.missed == 0:
+        result.verdict = VERDICT_OK
+    else:
+        result.verdict = VERDICT_VIOLATION
+        result.detail = (
+            f"final views disagree or miss survivors: "
+            f"views={ {n: sorted(v) for n, v in net.member_views().items()} } "
+            f"survivors={sorted(survivors)} missed={result.missed}"
+        )

@@ -158,9 +158,13 @@ class FaultInjector:
         tx_index: int,
     ) -> FaultVerdict:
         """Decide the outcome of one physical transmission attempt."""
-        for fault in self._scheduled:
+        for position, fault in enumerate(self._scheduled):
             if fault.matches(frame, tx_index):
                 fault.remaining -= 1
+                if fault.remaining <= 0:
+                    # Evict spent entries so long campaigns do not re-scan
+                    # every exhausted fault on each transmission.
+                    del self._scheduled[position]
                 return self._account(fault.verdict)
         if self._rng is not None and (self._p_consistent or self._p_inconsistent):
             draw = self._rng.random()
@@ -172,6 +176,11 @@ class FaultInjector:
                     return self._account(
                         FaultVerdict(FaultKind.INCONSISTENT_OMISSION, subset)
                     )
+                # No receiver other than the sender(s) can accept the frame,
+                # so the draw degrades to a consistent omission: everyone
+                # sees the error. Returning OK here would silently inject
+                # below the configured fault rate.
+                return self._account(FaultVerdict(FaultKind.CONSISTENT_OMISSION))
             elif draw < self._p_inconsistent + self._p_consistent:
                 return self._account(FaultVerdict(FaultKind.CONSISTENT_OMISSION))
         return OK_VERDICT

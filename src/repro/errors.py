@@ -25,3 +25,16 @@ class ProtocolError(ReproError):
 
 class MembershipError(ProtocolError):
     """Invalid membership operation (e.g. joining twice)."""
+
+
+class ScenarioError(ReproError):
+    """A scripted scenario could not be executed as specified.
+
+    Raised, for example, when a cold-start bootstrap does not converge.
+    Campaign workers catch this to classify a scenario as
+    ``bootstrap_failed`` instead of pattern-matching assertion text.
+    """
+
+
+class CampaignError(ReproError):
+    """The campaign engine was driven with an invalid configuration."""

@@ -13,6 +13,17 @@ import zlib
 from typing import Dict
 
 
+def derive_seed(root: int, name: str) -> int:
+    """Deterministically mix ``root`` with ``name`` into a child seed.
+
+    This is the derivation :class:`RngStreams` uses per stream; it is also
+    how the campaign engine turns a root seed plus a scenario index into
+    that scenario's private seed, so results are reproducible one scenario
+    at a time, in any order, on any worker.
+    """
+    return (root * 0x9E3779B1 + zlib.crc32(name.encode())) % 2**63
+
+
 class RngStreams:
     """A family of independent ``random.Random`` instances."""
 
@@ -32,6 +43,5 @@ class RngStreams:
         streams are stable across runs and independent of creation order.
         """
         if name not in self._streams:
-            derived = (self._seed * 0x9E3779B1 + zlib.crc32(name.encode())) % 2**63
-            self._streams[name] = random.Random(derived)
+            self._streams[name] = random.Random(derive_seed(self._seed, name))
         return self._streams[name]

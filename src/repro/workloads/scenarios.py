@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.core.stack import CanelyNetwork, CanelyNode
+from repro.errors import ScenarioError
 
 
 def bootstrap_network(
@@ -12,8 +13,10 @@ def bootstrap_network(
 ) -> None:
     """Cold-start: every node joins, then the network settles.
 
-    After this returns, all nodes are full members with an agreed view
-    (asserted), ready for scenario injection.
+    After this returns, all nodes are full members with an agreed view,
+    ready for scenario injection; :class:`~repro.errors.ScenarioError` is
+    raised on non-convergence so campaign workers can classify bootstrap
+    failures without pattern-matching assertion text.
     """
     network.join_all()
     network.run_for(network.config.tjoin_wait)
@@ -21,7 +24,7 @@ def bootstrap_network(
     views = network.member_views()
     expected = set(network.nodes)
     if set(views) != expected or not network.views_agree():
-        raise AssertionError(
+        raise ScenarioError(
             f"bootstrap did not converge: members={sorted(views)} "
             f"expected={sorted(expected)}"
         )
@@ -59,11 +62,17 @@ def detection_latencies(
 
     ``crash_times`` maps node id -> crash time; the result maps node id ->
     (first notification time - crash time), or ``None`` if never notified.
+    All latencies are computed in one pass over the ``msh.change`` trace,
+    not one full scan per crashed node.
     """
-    latencies = {}
-    for node_id, crashed_at in crash_times.items():
-        notified_at = first_change_with_failed(network, node_id, after=crashed_at)
-        latencies[node_id] = (
-            None if notified_at is None else notified_at - crashed_at
-        )
+    latencies = {node_id: None for node_id in crash_times}
+    pending = set(crash_times)
+    for record in network.sim.trace.select(category="msh.change"):
+        if not pending:
+            break
+        failed = record.data["failed"]
+        for node_id in [n for n in pending if n in failed]:
+            if record.time >= crash_times[node_id]:
+                latencies[node_id] = record.time - crash_times[node_id]
+                pending.discard(node_id)
     return latencies

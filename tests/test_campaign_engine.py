@@ -1,0 +1,253 @@
+"""Tests for the parallel, crash-tolerant campaign engine.
+
+The custom scenario functions live at module level so they survive both
+fork- and spawn-based multiprocessing; the deliberately hostile ones
+(``os._exit``, long sleeps) are only ever run with ``workers >= 1`` so the
+test process itself stays alive.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    VERDICT_ERROR,
+    VERDICT_OK,
+    VERDICT_TIMEOUT,
+    VERDICT_WORKER_CRASH,
+    CampaignReport,
+    CampaignSpec,
+    ScenarioResult,
+    load_checkpoint,
+    run_campaign,
+    run_scenario,
+)
+from repro.errors import CampaignError
+
+#: A real but tiny campaign: 4-5 node populations, one crash each.
+TINY = CampaignSpec(
+    scenarios=3,
+    seed=3,
+    node_min=4,
+    node_max=5,
+    crash_min=1,
+    crash_max=1,
+    crash_window_ms=30.0,
+    run_ms=250.0,
+)
+
+
+def _fingerprint(results):
+    return [
+        (r.index, r.seed, r.verdict, r.nodes, r.crashes, r.latencies, r.missed)
+        for r in results
+    ]
+
+
+def quick(spec, index):
+    """A fast fake scenario whose result encodes its index."""
+    return ScenarioResult(
+        index=index,
+        seed=spec.scenario_seed(index),
+        verdict=VERDICT_OK,
+        latencies=[index + 1],
+    )
+
+
+def sleepy_first(spec, index):
+    if index == 0:
+        time.sleep(30)
+    return quick(spec, index)
+
+
+def always_crash(spec, index):
+    os._exit(3)
+
+
+def crash_until_flag(spec, index):
+    flag = os.environ["CAMPAIGN_TEST_FLAG"]
+    if not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os._exit(1)
+    return quick(spec, index)
+
+
+def recording(spec, index):
+    with open(os.environ["CAMPAIGN_TEST_LOG"], "a") as handle:
+        handle.write(f"{index}\n")
+    return quick(spec, index)
+
+
+def raising(spec, index):
+    raise ValueError("scripted failure")
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_scenario_is_deterministic_per_seed():
+    first = run_scenario(TINY, 1)
+    second = run_scenario(TINY, 1)
+    assert _fingerprint([first]) == _fingerprint([second])
+    assert first.verdict == VERDICT_OK
+    assert first.metrics == second.metrics
+
+
+def test_results_independent_of_worker_count():
+    inline = run_campaign(TINY, workers=0)
+    parallel = run_campaign(TINY, workers=2)
+    assert _fingerprint(inline) == _fingerprint(parallel)
+    assert [r.index for r in parallel] == [0, 1, 2]
+    assert all(r.verdict == VERDICT_OK for r in parallel)
+
+
+def test_campaign_report_aggregates():
+    results = run_campaign(TINY, workers=0)
+    report = CampaignReport(TINY, results)
+    assert report.success
+    assert report.missed == 0
+    assert len(report.latencies) == sum(len(r.latencies) for r in results)
+    assert max(report.latencies) <= report.notification_bound
+    assert "completed ok" in report.render()
+    assert json.loads(report.to_json())["verdicts"][VERDICT_OK] == 3
+
+
+# -- checkpointing and resume --------------------------------------------------
+
+
+def test_checkpoint_resume_skips_completed(tmp_path, monkeypatch):
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    log = tmp_path / "ran.log"
+    monkeypatch.setenv("CAMPAIGN_TEST_LOG", str(log))
+
+    head = CampaignSpec(scenarios=2, seed=5)
+    run_campaign(head, workers=0, checkpoint=checkpoint, scenario_fn=recording)
+    assert log.read_text().splitlines() == ["0", "1"]
+
+    full = CampaignSpec(scenarios=4, seed=5)
+    results = run_campaign(
+        full,
+        workers=0,
+        checkpoint=checkpoint,
+        resume=True,
+        scenario_fn=recording,
+    )
+    # Only the two missing scenarios ran; all four results came back.
+    assert log.read_text().splitlines() == ["0", "1", "2", "3"]
+    assert [r.index for r in results] == [0, 1, 2, 3]
+    assert len(load_checkpoint(checkpoint, full)) == 4
+
+
+def test_resume_never_reruns_finished_seeds(tmp_path):
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    spec = CampaignSpec(scenarios=3, seed=8)
+    first = run_campaign(spec, workers=0, checkpoint=checkpoint, scenario_fn=quick)
+    # If resume reran anything the always-crashing worker would report it.
+    resumed = run_campaign(
+        spec,
+        workers=2,
+        retries=0,
+        checkpoint=checkpoint,
+        resume=True,
+        scenario_fn=always_crash,
+    )
+    assert _fingerprint(resumed) == _fingerprint(first)
+    assert all(r.verdict == VERDICT_OK for r in resumed)
+
+
+def test_checkpoint_tolerates_truncated_and_stale_lines(tmp_path):
+    spec = CampaignSpec(scenarios=4, seed=5)
+    good = ScenarioResult(index=1, seed=spec.scenario_seed(1), verdict=VERDICT_OK)
+    stale = ScenarioResult(index=2, seed=999, verdict=VERDICT_OK)
+    out_of_range = ScenarioResult(index=9, seed=spec.scenario_seed(3), verdict=VERDICT_OK)
+    path = tmp_path / "campaign.jsonl"
+    path.write_text(
+        json.dumps(good.to_dict())
+        + "\n"
+        + json.dumps(stale.to_dict())
+        + "\n"
+        + json.dumps(out_of_range.to_dict())
+        + "\n"
+        + '{"index": 3, "seed'  # a write cut off mid-line by a kill
+    )
+    completed = load_checkpoint(str(path), spec)
+    assert list(completed) == [1]
+
+
+def test_load_checkpoint_missing_file_is_empty(tmp_path):
+    assert load_checkpoint(str(tmp_path / "nope.jsonl"), TINY) == {}
+
+
+# -- worker failure handling ---------------------------------------------------
+
+
+def test_worker_timeout_retried_then_reported():
+    spec = CampaignSpec(scenarios=2, seed=1)
+    results = run_campaign(
+        spec, workers=2, timeout=1.0, retries=1, scenario_fn=sleepy_first
+    )
+    by_index = {r.index: r for r in results}
+    assert by_index[0].verdict == VERDICT_TIMEOUT
+    assert by_index[0].attempts == 2
+    assert "budget" in by_index[0].detail
+    assert by_index[1].verdict == VERDICT_OK
+
+
+def test_worker_crash_retried_then_reported():
+    spec = CampaignSpec(scenarios=1, seed=1)
+    results = run_campaign(
+        spec, workers=1, retries=2, scenario_fn=always_crash
+    )
+    assert results[0].verdict == VERDICT_WORKER_CRASH
+    assert results[0].attempts == 3
+    assert "exited with code 3" in results[0].detail
+
+
+def test_worker_crash_then_success_on_retry(tmp_path, monkeypatch):
+    monkeypatch.setenv("CAMPAIGN_TEST_FLAG", str(tmp_path / "flag"))
+    spec = CampaignSpec(scenarios=1, seed=1)
+    results = run_campaign(
+        spec, workers=1, retries=1, scenario_fn=crash_until_flag
+    )
+    assert results[0].verdict == VERDICT_OK
+    assert results[0].attempts == 2
+
+
+def test_scenario_exception_reported_not_retried():
+    spec = CampaignSpec(scenarios=2, seed=1)
+    results = run_campaign(spec, workers=2, scenario_fn=raising)
+    for result in results:
+        assert result.verdict == VERDICT_ERROR
+        assert result.attempts == 1
+        assert "ValueError: scripted failure" in result.detail
+
+
+def test_progress_called_once_per_scenario():
+    seen = []
+    run_campaign(
+        CampaignSpec(scenarios=3, seed=2),
+        workers=0,
+        scenario_fn=quick,
+        progress=seen.append,
+    )
+    assert sorted(r.index for r in seen) == [0, 1, 2]
+
+
+# -- argument validation -------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"workers": -1},
+        {"timeout": 0},
+        {"retries": -1},
+        {"resume": True},  # resume without a checkpoint path
+    ],
+)
+def test_run_campaign_validates_arguments(kwargs):
+    with pytest.raises(CampaignError):
+        run_campaign(TINY, scenario_fn=quick, **kwargs)

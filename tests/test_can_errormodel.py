@@ -122,6 +122,59 @@ def test_stochastic_inconsistent_subsets_exclude_senders():
             assert 1 not in verdict.accepting
 
 
+def test_spent_scripted_faults_are_evicted():
+    injector = FaultInjector()
+    injector.fault_on_transmission(0, FaultKind.CONSISTENT_OMISSION)
+    injector.fault_on_frame(lambda f: True, FaultKind.CONSISTENT_OMISSION, count=2)
+    assert len(injector._scheduled) == 2
+    injector.verdict(FRAME, [1], [2], 0)  # tx-index fault fires and drops
+    assert len(injector._scheduled) == 1
+    injector.verdict(FRAME, [1], [2], 1)
+    assert len(injector._scheduled) == 1  # one firing left on the predicate
+    injector.verdict(FRAME, [1], [2], 2)
+    assert injector._scheduled == []  # nothing left to re-scan, ever
+    assert injector.omissions_injected == 3
+
+
+def test_unspent_scripted_faults_are_kept():
+    injector = FaultInjector()
+    injector.fault_on_frame(lambda f: False, FaultKind.CONSISTENT_OMISSION)
+    injector.fault_on_transmission(9, FaultKind.CONSISTENT_OMISSION)
+    injector.verdict(FRAME, [1], [2], 0)
+    assert len(injector._scheduled) == 2
+
+
+def test_inconsistent_band_falls_back_to_consistent_omission():
+    # No receiver other than the sender: an inconsistent omission cannot
+    # form, but the draw must still inject (as a consistent omission)
+    # instead of silently returning OK below the configured rate.
+    rng = random.Random(3)
+    injector = FaultInjector(rng=rng, inconsistent_probability=0.4)
+    draws = 1000
+    kinds = [injector.verdict(FRAME, [1], [1], i).kind for i in range(draws)]
+    assert FaultKind.INCONSISTENT_OMISSION not in kinds
+    assert injector.inconsistent_injected == 0
+    rate = injector.omissions_injected / draws
+    assert abs(rate - 0.4) < 0.05, rate
+
+
+def test_injected_rate_matches_configured_rate():
+    rng = random.Random(11)
+    p_consistent, p_inconsistent = 0.15, 0.10
+    injector = FaultInjector(
+        rng=rng,
+        consistent_probability=p_consistent,
+        inconsistent_probability=p_inconsistent,
+    )
+    draws = 4000
+    for i in range(draws):
+        injector.verdict(FRAME, [1], [1, 2, 3, 4], i)
+    total_rate = injector.omissions_injected / draws
+    inconsistent_rate = injector.inconsistent_injected / draws
+    assert abs(total_rate - (p_consistent + p_inconsistent)) < 0.02, total_rate
+    assert abs(inconsistent_rate - p_inconsistent) < 0.02, inconsistent_rate
+
+
 def test_stochastic_determinism_per_seed():
     def run(seed):
         injector = FaultInjector(

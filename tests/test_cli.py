@@ -118,3 +118,46 @@ def test_run_with_monitors(capsys, scenario_file):
     assert main(["run", scenario_file, "--monitors"]) == 0
     out = capsys.readouterr().out
     assert '"views_agree": true' in out
+
+
+CAMPAIGN_ARGS = [
+    "campaign", "--scenarios", "2", "--seed", "3",
+    "--node-min", "4", "--node-max", "5",
+    "--crash-min", "1", "--crash-max", "1",
+]
+
+
+def test_campaign_summary_table(capsys):
+    assert main(CAMPAIGN_ARGS + ["--workers", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "completed ok" in out
+    assert "analytic bound" in out
+
+
+def test_campaign_verbose_json_and_report(capsys, tmp_path):
+    import json
+
+    report_path = tmp_path / "report.json"
+    assert main(
+        CAMPAIGN_ARGS
+        + ["--workers", "0", "--verbose", "--json", "--report", str(report_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "scenario   0" in out and "scenario   1" in out
+    report = json.loads(report_path.read_text())
+    assert report["success"] is True
+    assert report["verdicts"]["ok"] == 2
+
+
+def test_campaign_checkpoint_resume(capsys, tmp_path):
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    assert main(CAMPAIGN_ARGS + ["--workers", "0", "--checkpoint", checkpoint]) == 0
+    capsys.readouterr()
+    # Resuming a finished campaign runs nothing new but reports all of it.
+    assert main(
+        CAMPAIGN_ARGS
+        + ["--workers", "0", "--checkpoint", checkpoint, "--resume", "--verbose"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "scenario   0" not in out  # nothing reran
+    assert "completed ok" in out

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
+from repro.errors import ReproError, ScenarioError
 from repro.sim.clock import ms
 from repro.workloads.scenarios import (
     bootstrap_network,
@@ -72,8 +73,40 @@ def test_detection_latencies():
     assert 0 < latencies[3] <= ms(30)
 
 
-def test_bootstrap_failure_raises():
+def test_bootstrap_failure_raises_typed_error():
     net = CanelyNetwork(node_count=3, config=CONFIG)
     net.node(0).crash()  # one node can never join
-    with pytest.raises(AssertionError):
+    with pytest.raises(ScenarioError) as excinfo:
         bootstrap_network(net)
+    assert "did not converge" in str(excinfo.value)
+    # Campaign workers classify on the type, so it must be a ReproError —
+    # not a bare AssertionError matched by message.
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_detection_latencies_multiple_crashes_single_pass():
+    net = CanelyNetwork(node_count=5, config=CONFIG)
+    bootstrap_network(net)
+    crash_times = {}
+    for victim in (1, 4):
+        crash_times[victim] = net.sim.now
+        net.node(victim).crash()
+        net.run_for(ms(60))
+    net.run_for(ms(200))
+    latencies = detection_latencies(net, crash_times)
+    # The one-pass computation must agree with the per-node trace scans.
+    for victim, crashed_at in crash_times.items():
+        notified_at = first_change_with_failed(net, victim, after=crashed_at)
+        assert latencies[victim] == notified_at - crashed_at
+
+
+def test_detection_latencies_ignores_changes_before_crash():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    bootstrap_network(net)
+    crash_time = net.sim.now
+    net.node(2).crash()
+    net.run_for(ms(200))
+    # A claimed crash far in the future has no matching change record.
+    latencies = detection_latencies(net, {2: crash_time, 3: net.sim.now + ms(500)})
+    assert latencies[2] is not None
+    assert latencies[3] is None
