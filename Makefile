@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples demo clean
+.PHONY: install test bench bench-json examples demo clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Refresh the committed hot-path report and gate against the previous one.
+# Speedup ratios are machine-portable; absolute rates are informational.
+bench-json:
+	PYTHONPATH=src $(PYTHON) -m repro bench \
+		--baseline BENCH_core.json --portable-only --json BENCH_core.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -13,6 +13,8 @@ Commands:
 * ``metrics``   — run a scenario and print the metrics registry.
 * ``campaign``  — run a parallel randomized fault-scenario campaign with
   checkpoint/resume (see :mod:`repro.campaign`).
+* ``bench``     — run the core hot-path benchmarks, write ``BENCH_core.json``
+  and optionally gate on a regression threshold (see :mod:`repro.perf`).
 """
 
 from __future__ import annotations
@@ -272,6 +274,39 @@ def _cmd_campaign(args) -> int:
     return 0 if report.success else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf import (
+        compare_reports,
+        load_report,
+        render_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    # Load the baseline up front: --baseline and --json may name the same
+    # file (the `make bench-json` refresh-and-gate idiom).
+    baseline = load_report(args.baseline) if args.baseline else None
+    report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    print(render_report(report))
+    if args.json:
+        write_report(report, args.json)
+        print(f"report written to {args.json}")
+    if baseline is not None:
+        regressions = compare_reports(
+            baseline,
+            report,
+            threshold=args.threshold,
+            portable_only=args.portable_only,
+        )
+        if regressions:
+            print(f"\nREGRESSIONS vs {args.baseline}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"\nno regressions vs {args.baseline} (threshold {args.threshold:.0%})")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -392,6 +427,44 @@ def main(argv=None) -> int:
         "--verbose", action="store_true", help="print one line per scenario"
     )
     campaign.set_defaults(func=_cmd_campaign)
+    bench = sub.add_parser(
+        "bench",
+        help="run the core hot-path benchmarks (frame encoding, event "
+        "throughput, campaign wall-clock)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller corpus and fewer repeats (CI-friendly)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override the best-of repeat count for the timed benchmarks",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the machine-readable report here (e.g. BENCH_core.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a previous report; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="regression threshold as a fraction (default 0.25 = 25%%)",
+    )
+    bench.add_argument(
+        "--portable-only",
+        action="store_true",
+        help="compare only machine-independent speedup ratios",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     try:

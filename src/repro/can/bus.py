@@ -66,6 +66,10 @@ class _Transmission:
     senders: List[CanController]
     requests: List[TxRequest]
     started_at: int
+    #: Exact stuffed frame length (no interframe), computed once when
+    #: arbitration resolves and reused by the completion path — each
+    #: physical frame is encoded at most once.
+    wire_bits: int = 0
 
 
 class CanBus:
@@ -95,13 +99,18 @@ class CanBus:
         self._current: Optional[_Transmission] = None
         self._tx_index = 0
         self.stats = BusStats()
-        # Metric handles resolved once: the completion path runs per frame.
+        #: The recorder, aliased once — completion guards every record call
+        #: on ``wants(...)`` so disabled traces skip payload construction.
+        self._trace = sim.trace
+        # Bound metric methods resolved once: the completion path runs per
+        # frame, and ``registry.counter(...)`` plus attribute dispatch per
+        # frame is measurable at campaign scale.
         metrics = sim.metrics
-        self._m_frames = metrics.counter("bus.frames")
-        self._m_errors = metrics.counter("bus.error_frames")
-        self._m_clustered = metrics.counter("bus.clustered_requests")
-        self._m_busy_bits = metrics.counter("bus.busy_bits")
-        self._m_utilization = metrics.gauge("bus.utilization")
+        self._m_frames_inc = metrics.counter("bus.frames").inc
+        self._m_errors_inc = metrics.counter("bus.error_frames").inc
+        self._m_clustered_inc = metrics.counter("bus.clustered_requests").inc
+        self._m_busy_bits_inc = metrics.counter("bus.busy_bits").inc
+        self._m_utilization_set = metrics.gauge("bus.utilization").set
 
     # -- topology -----------------------------------------------------------
 
@@ -208,19 +217,19 @@ class CanBus:
             owner.take(request)
             senders.append(owner)
 
+        frame_bits = winner.frame.wire_bits(with_interframe=False)
         self._busy = True
         self._current = _Transmission(
             frame=winner.frame,
             senders=senders,
             requests=requests,
             started_at=self._sim.now,
+            wire_bits=frame_bits,
         )
         self.stats.clustered_requests += len(requests) - 1
         if len(requests) > 1:
-            self._m_clustered.inc(len(requests) - 1)
-        duration = self.timing.bits_to_ticks(
-            winner.frame.wire_bits(with_interframe=False)
-        )
+            self._m_clustered_inc(len(requests) - 1)
+        duration = self.timing.bits_to_ticks(frame_bits)
         self._sim.schedule(duration, self._complete)
 
     def _owner_of(self, request: TxRequest) -> CanController:
@@ -237,7 +246,7 @@ class CanBus:
         self._current = None
         self._tx_index += 1
         self.stats.physical_frames += 1
-        self._m_frames.inc()
+        self._m_frames_inc()
 
         alive = self.alive_controllers()
         sender_ids = [c.node_id for c in tx.senders]
@@ -246,7 +255,7 @@ class CanBus:
             tx.frame, sender_ids, receiver_ids, self._tx_index - 1
         )
 
-        frame_bits = tx.frame.wire_bits(with_interframe=False)
+        frame_bits = tx.wire_bits
         overhead_bits = INTERFRAME_BITS
         type_name = tx.frame.mid.mtype.name
 
@@ -254,7 +263,7 @@ class CanBus:
             self._deliver_all(tx, alive)
         else:
             self.stats.error_frames += 1
-            self._m_errors.inc()
+            self._m_errors_inc()
             overhead_bits += ERROR_FRAME_BITS
             if any(
                 s.state is ControllerState.ERROR_PASSIVE and s.alive
@@ -264,19 +273,20 @@ class CanBus:
             self._resolve_fault(tx, alive, verdict)
 
         self.stats.charge(type_name, frame_bits + overhead_bits)
-        self._m_busy_bits.inc(frame_bits + overhead_bits)
-        self._m_utilization.set(self.utilization())
-        self._sim.trace.record(
-            self._sim.now,
-            "bus.tx",
-            node=sender_ids[0] if sender_ids else -1,
-            mid=tx.frame.mid,
-            remote=tx.frame.remote,
-            senders=tuple(sender_ids),
-            bits=frame_bits + overhead_bits,
-            kind=verdict.kind.value,
-            attempt=tx.requests[0].attempts,
-        )
+        self._m_busy_bits_inc(frame_bits + overhead_bits)
+        self._m_utilization_set(self.utilization())
+        if self._trace.wants("bus.tx"):
+            self._trace.record(
+                self._sim.now,
+                "bus.tx",
+                node=sender_ids[0] if sender_ids else -1,
+                mid=tx.frame.mid,
+                remote=tx.frame.remote,
+                senders=tuple(sender_ids),
+                bits=frame_bits + overhead_bits,
+                kind=verdict.kind.value,
+                attempt=tx.requests[0].attempts,
+            )
 
         # Bus stays busy through the interframe space / error frame.
         self._sim.schedule(
@@ -287,17 +297,21 @@ class CanBus:
         for sender, request in zip(tx.senders, tx.requests):
             if sender.alive:
                 sender.finish_success(request)
+        # Hoisted out of the per-recipient loop: delivery is the hottest
+        # trace site (one record per alive controller per frame).
+        record_delivery = self._trace.wants("bus.deliver")
         for controller in alive:
             # .ind includes own transmissions (paper Fig. 4).
             if controller.alive:
                 controller.deliver(tx.frame)
-                self._sim.trace.record(
-                    self._sim.now,
-                    "bus.deliver",
-                    node=controller.node_id,
-                    mid=tx.frame.mid,
-                    remote=tx.frame.remote,
-                )
+                if record_delivery:
+                    self._trace.record(
+                        self._sim.now,
+                        "bus.deliver",
+                        node=controller.node_id,
+                        mid=tx.frame.mid,
+                        remote=tx.frame.remote,
+                    )
 
     def _resolve_fault(
         self,
@@ -306,19 +320,21 @@ class CanBus:
         verdict: FaultVerdict,
     ) -> None:
         sender_set = {c.node_id for c in tx.senders}
+        record_delivery = self._trace.wants("bus.deliver")
         for controller in alive:
             if controller.node_id in sender_set:
                 continue
             if controller.node_id in verdict.accepting:
                 controller.deliver(tx.frame)
-                self._sim.trace.record(
-                    self._sim.now,
-                    "bus.deliver",
-                    node=controller.node_id,
-                    mid=tx.frame.mid,
-                    remote=tx.frame.remote,
-                    inconsistent=True,
-                )
+                if record_delivery:
+                    self._trace.record(
+                        self._sim.now,
+                        "bus.deliver",
+                        node=controller.node_id,
+                        mid=tx.frame.mid,
+                        remote=tx.frame.remote,
+                        inconsistent=True,
+                    )
             else:
                 controller.rx_error()
         # Senders see the error and schedule the automatic retransmission.

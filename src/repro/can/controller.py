@@ -88,8 +88,13 @@ class CanController:
 
     @property
     def alive(self) -> bool:
-        """True while the node participates in bus traffic."""
-        return not self.crashed and self.state is not ControllerState.BUS_OFF
+        """True while the node participates in bus traffic.
+
+        Checked several times per frame by the bus; reads the bus-off
+        condition (``tec > BUS_OFF_THRESHOLD``) directly instead of
+        chaining through the :attr:`state` property.
+        """
+        return not self.crashed and self.tec <= BUS_OFF_THRESHOLD
 
     def crash(self) -> None:
         """Fail silent: stop transmitting and receiving, drop the queue.

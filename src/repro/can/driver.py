@@ -23,7 +23,7 @@ primitive           semantics
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.can.controller import CanController
 from repro.can.frame import CanFrame, data_frame, remote_frame
@@ -40,11 +40,15 @@ class CanStandardLayer:
 
     def __init__(self, controller: CanController) -> None:
         self._controller = controller
-        self._data_ind: List[Tuple[Optional[MessageType], DataIndListener]] = []
-        self._rtr_ind: List[Tuple[Optional[MessageType], RtrIndListener]] = []
-        self._data_cnf: List[Tuple[Optional[MessageType], CnfListener]] = []
-        self._rtr_cnf: List[Tuple[Optional[MessageType], CnfListener]] = []
-        self._data_nty: List[NtyListener] = []
+        # Listener tables are immutable tuples rebuilt on subscription:
+        # dispatch runs once per frame per node, and iterating a tuple
+        # needs no defensive copy (a listener registered mid-dispatch
+        # takes effect from the next frame, as before).
+        self._data_ind: Tuple[Tuple[Optional[MessageType], DataIndListener], ...] = ()
+        self._rtr_ind: Tuple[Tuple[Optional[MessageType], RtrIndListener], ...] = ()
+        self._data_cnf: Tuple[Tuple[Optional[MessageType], CnfListener], ...] = ()
+        self._rtr_cnf: Tuple[Tuple[Optional[MessageType], CnfListener], ...] = ()
+        self._data_nty: Tuple[NtyListener, ...] = ()
         controller.on_rx = self._handle_rx
         controller.on_tx_success = self._handle_cnf
 
@@ -82,48 +86,50 @@ class CanStandardLayer:
         self, listener: DataIndListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-data.ind`` (optionally one message type only)."""
-        self._data_ind.append((mtype, listener))
+        self._data_ind += ((mtype, listener),)
 
     def add_rtr_ind(
         self, listener: RtrIndListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-rtr.ind``."""
-        self._rtr_ind.append((mtype, listener))
+        self._rtr_ind += ((mtype, listener),)
 
     def add_data_cnf(
         self, listener: CnfListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-data.cnf``."""
-        self._data_cnf.append((mtype, listener))
+        self._data_cnf += ((mtype, listener),)
 
     def add_rtr_cnf(
         self, listener: CnfListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-rtr.cnf``."""
-        self._rtr_cnf.append((mtype, listener))
+        self._rtr_cnf += ((mtype, listener),)
 
     def add_data_nty(self, listener: NtyListener) -> None:
         """Subscribe to the ``can-data.nty`` extension (all data frames)."""
-        self._data_nty.append(listener)
+        self._data_nty += (listener,)
 
     # -- controller upcalls -----------------------------------------------------
 
     def _handle_rx(self, frame: CanFrame) -> None:
+        mid = frame.mid
         if frame.remote:
-            for mtype, listener in list(self._rtr_ind):
-                if mtype is None or frame.mid.mtype is mtype:
-                    listener(frame.mid)
+            for mtype, listener in self._rtr_ind:
+                if mtype is None or mid.mtype is mtype:
+                    listener(mid)
             return
         # The .nty extension fires before .ind: it carries no data and is
         # what the failure-detection protocol taps for implicit life-signs.
-        for listener in list(self._data_nty):
-            listener(frame.mid)
-        for mtype, listener in list(self._data_ind):
-            if mtype is None or frame.mid.mtype is mtype:
-                listener(frame.mid, frame.data)
+        for listener in self._data_nty:
+            listener(mid)
+        for mtype, listener in self._data_ind:
+            if mtype is None or mid.mtype is mtype:
+                listener(mid, frame.data)
 
     def _handle_cnf(self, frame: CanFrame) -> None:
         listeners = self._rtr_cnf if frame.remote else self._data_cnf
-        for mtype, listener in list(listeners):
-            if mtype is None or frame.mid.mtype is mtype:
-                listener(frame.mid)
+        mid = frame.mid
+        for mtype, listener in listeners:
+            if mtype is None or mid.mtype is mtype:
+                listener(mid)

@@ -50,6 +50,10 @@ class FailureDetector:
         self._tid: Dict[int, Optional[Alarm]] = {}
         self._listeners: List[FailureCallback] = []
         self.els_sent = 0
+        # Bound metric methods resolved once — expiries run per heartbeat.
+        metrics = self._sim.metrics
+        self._inc_els_sent = metrics.counter("fd.els_sent").inc
+        self._inc_detections = metrics.counter("fd.detections").inc
         layer.add_data_nty(self._on_activity)  # f03: implicit life-signs
         layer.add_rtr_ind(self._on_els, mtype=MessageType.ELS)  # f03: explicit
         fda.on_failure_sign(self._on_failure_sign)  # f13
@@ -115,17 +119,18 @@ class FailureDetector:
             # f08: the local node stayed silent for Thb — broadcast an
             # explicit life-sign. The returning indication restarts the timer.
             self.els_sent += 1
-            self._sim.metrics.counter("fd.els_sent").inc()
+            self._inc_els_sent()
             self._layer.rtr_req(MessageId(MessageType.ELS, node=node_id))
         else:
             # f10: a remote node stayed silent beyond Thb + Ttd — it failed.
-            self._sim.metrics.counter("fd.detections").inc()
-            self._sim.trace.record(
-                self._sim.now,
-                "fd.detect",
-                node=self._layer.node_id,
-                failed=node_id,
-            )
+            self._inc_detections()
+            if self._sim.trace.wants("fd.detect"):
+                self._sim.trace.record(
+                    self._sim.now,
+                    "fd.detect",
+                    node=self._layer.node_id,
+                    failed=node_id,
+                )
             self._fda.request(node_id)
 
     def _on_failure_sign(self, node_id: int) -> None:

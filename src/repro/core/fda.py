@@ -40,6 +40,10 @@ FailureSignCallback = Callable[[int], None]
 DEFAULT_EVICTION_CYCLES = 4
 
 
+def _metrics_noop(amount: int = 1) -> None:
+    """Stand-in for a counter ``inc`` when no simulator is attached."""
+
+
 class FdaProtocol:
     """Per-node FDA protocol entity.
 
@@ -62,6 +66,21 @@ class FdaProtocol:
         self._layer = layer
         self._sim = sim
         self._eviction_cycles = eviction_cycles
+        # Bound metric methods resolved once — reception runs per frame.
+        if sim is not None:
+            metrics = sim.metrics
+            self._inc_requests = metrics.counter("fda.requests").inc
+            self._inc_delivered = metrics.counter("fda.delivered").inc
+            self._inc_retransmissions = metrics.counter(
+                "fda.retransmissions"
+            ).inc
+            self._inc_evicted = metrics.counter("fda.evicted").inc
+        else:
+            noop = _metrics_noop
+            self._inc_requests = noop
+            self._inc_delivered = noop
+            self._inc_retransmissions = noop
+            self._inc_evicted = noop
         # i00-i01: number of failure-sign duplicates / transmit requests,
         # kept per message identifier (i.e. per failed-node identifier).
         self._fs_ndup: Dict[MessageId, int] = {}
@@ -76,10 +95,6 @@ class FdaProtocol:
         """Register an ``fda-can.nty`` listener, called with the failed id."""
         self._listeners.append(callback)
 
-    def _count(self, name: str) -> None:
-        if self._sim is not None:
-            self._sim.metrics.counter(name).inc()
-
     # -- sender side (s00-s05) ----------------------------------------------------
 
     def request(self, failed_node: int) -> None:
@@ -88,7 +103,7 @@ class FdaProtocol:
         self._last_touch[mid] = self._cycle
         self._fs_nreq[mid] = self._fs_nreq.get(mid, 0) + 1  # s01
         if self._fs_nreq[mid] == 1:  # s02
-            self._count("fda.requests")
+            self._inc_requests()
             self._layer.rtr_req(mid)  # s03: failure-sign transmit request
 
     # -- recipient side (r00-r09) -----------------------------------------------------
@@ -98,19 +113,21 @@ class FdaProtocol:
         self._fs_ndup[mid] = self._fs_ndup.get(mid, 0) + 1  # r01
         if self._fs_ndup[mid] != 1:  # r02
             return
-        if self._sim is not None:
-            self._count("fda.delivered")
-            self._sim.trace.record(
-                self._sim.now,
-                "fda.nty",
-                node=self._layer.node_id,
-                failed=mid.node,
-            )
+        sim = self._sim
+        if sim is not None:
+            self._inc_delivered()
+            if sim.trace.wants("fda.nty"):
+                sim.trace.record(
+                    sim.now,
+                    "fda.nty",
+                    node=self._layer.node_id,
+                    failed=mid.node,
+                )
         for listener in list(self._listeners):  # r03: fda-can.nty upward
             listener(mid.node)
         self._fs_nreq[mid] = self._fs_nreq.get(mid, 0) + 1  # r04
         if self._fs_nreq[mid] == 1:  # r05
-            self._count("fda.retransmissions")
+            self._inc_retransmissions()
             self._layer.rtr_req(mid)  # r06: failure-sign retransmission
 
     # -- housekeeping ------------------------------------------------------------------
@@ -169,8 +186,8 @@ class FdaProtocol:
                     node=self._layer.node_id,
                     failed=mid.node,
                 )
-        if stale and self._sim is not None:
-            self._sim.metrics.counter("fda.evicted").inc(len(stale))
+        if stale:
+            self._inc_evicted(len(stale))
         return len(stale)
 
     @property

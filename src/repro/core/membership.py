@@ -83,6 +83,14 @@ class MembershipProtocol:
         self._was_member = False
         self._has_left = False
         self._removed_at: Optional[int] = None
+        # Bound metric methods resolved once — view installs run per cycle.
+        metrics = sim.metrics
+        self._inc_views_installed = metrics.counter("msh.views_installed").inc
+        self._inc_failures_folded = metrics.counter("msh.failures_folded").inc
+        self._observe_cycle_ticks = metrics.histogram("msh.cycle_ticks").observe
+        self._inc_change_notifications = metrics.counter(
+            "msh.change_notifications"
+        ).inc
         layer.add_rtr_ind(self._on_join_ind, mtype=MessageType.JOIN)  # s04
         layer.add_rtr_ind(self._on_leave_ind, mtype=MessageType.LEAVE)  # s10
         detector.on_failure(self._on_failure)  # s13
@@ -256,22 +264,20 @@ class MembershipProtocol:
             # The failure was folded into a view: retire the FDA counters so
             # a (much later) reintegration of the identifier works afresh.
             self._fda.reset(node_id)
-        metrics = self._sim.metrics
-        metrics.counter("msh.views_installed").inc()
+        self._inc_views_installed()
         if removed_failed:
-            metrics.counter("msh.failures_folded").inc(len(removed_failed))
+            self._inc_failures_folded(len(removed_failed))
         if self._last_view_time is not None:
-            metrics.histogram("msh.cycle_ticks").observe(
-                self._sim.now - self._last_view_time
-            )
+            self._observe_cycle_ticks(self._sim.now - self._last_view_time)
         self._last_view_time = self._sim.now
-        self._sim.trace.record(
-            self._sim.now,
-            "msh.view",
-            node=self._layer.node_id,
-            members=state.view,
-            round_index=self._round_index,
-        )
+        if self._sim.trace.wants("msh.view"):
+            self._sim.trace.record(
+                self._sim.now,
+                "msh.view",
+                node=self._layer.node_id,
+                members=state.view,
+                round_index=self._round_index,
+            )
 
     # -- msh-data-proc (a03-a09) --------------------------------------------------------------
 
@@ -335,7 +341,7 @@ class MembershipProtocol:
             )
 
     def _deliver(self, change: MembershipChange) -> None:
-        self._sim.metrics.counter("msh.change_notifications").inc()
+        self._inc_change_notifications()
         self._sim.trace.record(
             change.time,
             "msh.change",

@@ -63,6 +63,10 @@ class RhaProtocol:
         self._end_listeners: List[EndCallback] = []
         self.executions = 0
         self.frames_sent = 0
+        # Bound metric methods resolved once — broadcasts run per cycle.
+        metrics = timers.sim.metrics
+        self._inc_executions = metrics.counter("rha.executions").inc
+        self._inc_frames_sent = metrics.counter("rha.frames_sent").inc
         layer.add_data_ind(self._on_data_ind, mtype=MessageType.RHA)
 
     # -- upper-layer interface --------------------------------------------------
@@ -92,7 +96,7 @@ class RhaProtocol:
     def _init_send(self, received: NodeSet) -> None:
         local = self._layer.node_id
         self.executions += 1
-        self._timers.sim.metrics.counter("rha.executions").inc()
+        self._inc_executions()
         # a01: protocol timer bounding the RHA termination time.
         self._tid = self._timers.start_alarm(self._config.trha, self._on_expire)
         if local in self._state.view:  # a02
@@ -110,7 +114,7 @@ class RhaProtocol:
             MessageType.RHA, node=self._layer.node_id, ref=len(self._rhv)
         )
         self.frames_sent += 1
-        self._timers.sim.metrics.counter("rha.frames_sent").inc()
+        self._inc_frames_sent()
         self._layer.data_req(mid, self._rhv.to_bytes())
 
     def _own_mid(self) -> MessageId:

@@ -1,0 +1,25 @@
+"""Performance tooling: benchmark runner and seed-faithful reference core."""
+
+from repro.perf.bench import (
+    DEFAULT_THRESHOLD,
+    SCHEMA,
+    compare_reports,
+    load_report,
+    render_report,
+    run_benchmarks,
+    write_report,
+)
+from repro.perf.legacy import LegacyEvent, LegacyEventQueue, legacy_core
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "SCHEMA",
+    "compare_reports",
+    "load_report",
+    "render_report",
+    "run_benchmarks",
+    "write_report",
+    "LegacyEvent",
+    "LegacyEventQueue",
+    "legacy_core",
+]

@@ -1,0 +1,334 @@
+"""Micro + macro benchmark runner with a machine-readable trajectory.
+
+``repro bench`` times the three layers the hot-path overhaul touched and
+emits ``BENCH_core.json``:
+
+* **frame_encoding** (micro) — exact stuffed wire lengths over a
+  deterministic corpus of distinct frames. ``reference`` is the bit-list
+  seed path, ``cold`` the table/integer path with the memo cache cleared
+  every round, ``cached`` the steady-state dict-hit path.
+* **event_throughput** (macro) — simulated events per wall-second on the
+  canonical 10-node membership scenario (bootstrap, crash, detection,
+  view change). ``reference`` runs the same scenario under
+  :func:`repro.perf.legacy.legacy_core` — the seed's event queue and
+  encoder — and the runner asserts both cores fire the *same number of
+  events*, so the speedup is measured on provably identical work.
+* **campaign_wallclock** (macro) — wall-clock seconds for a small
+  sequential in-process campaign (``workers=0``), the unit of work large
+  statistical campaigns fan out.
+
+Every report carries environment metadata; :func:`compare_reports` checks
+a current report against a committed baseline with a configurable
+regression threshold. Machine-portable metrics (the ``speedup`` ratios)
+are compared directly; machine-dependent absolutes (throughput, wall
+seconds) are only compared when the baseline was recorded on request
+(``repro bench`` against a local baseline), which CI does on one runner
+class.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.can.bitstream import (
+    clear_encoding_cache,
+    encoding_cache_info,
+    exact_frame_bits,
+    exact_frame_bits_reference,
+)
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.perf.legacy import legacy_core
+from repro.sim.clock import ms
+
+#: Report schema identifier; bump on incompatible layout changes.
+SCHEMA = "repro.bench/1"
+
+#: Default regression threshold: fail when a metric drops by more than 25%.
+DEFAULT_THRESHOLD = 0.25
+
+#: The canonical membership scenario the macro benchmark times.
+CANONICAL_NODES = 10
+CANONICAL_CONFIG = dict(capacity=16, tm_ms=50, thb_ms=10, tjoin_wait_ms=150)
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Smallest wall-clock duration of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _frame_corpus(count: int) -> List[tuple]:
+    """A deterministic mix of extended data/remote frames (no RNG)."""
+    corpus = []
+    for index in range(count):
+        identifier = (index * 0x9E3779B1) & ((1 << 29) - 1)
+        remote = index % 3 == 0
+        if remote:
+            data = b""
+        else:
+            dlc = index % 9
+            data = bytes(((index * 37 + offset * 11) & 0xFF) for offset in range(dlc))
+        corpus.append((identifier, data, remote, True))
+    return corpus
+
+
+def bench_frame_encoding(
+    quick: bool = False, repeats: Optional[int] = None
+) -> Dict[str, Any]:
+    """Micro: reference vs cold-fast vs cached wire-length computation."""
+    corpus = _frame_corpus(100 if quick else 400)
+    rounds = 5 if quick else 20
+    reps = repeats if repeats is not None else (3 if quick else 5)
+
+    def run_reference() -> None:
+        for _ in range(rounds):
+            for frame in corpus:
+                exact_frame_bits_reference(*frame)
+
+    def run_cold() -> None:
+        for _ in range(rounds):
+            clear_encoding_cache()
+            for frame in corpus:
+                exact_frame_bits(*frame)
+
+    def run_cached() -> None:
+        for frame in corpus:
+            exact_frame_bits(*frame)
+        for _ in range(rounds):
+            for frame in corpus:
+                exact_frame_bits(*frame)
+
+    encodes = len(corpus) * rounds
+    t_reference = _best_of(run_reference, reps)
+    t_cold = _best_of(run_cold, reps)
+    t_cached = _best_of(run_cached, reps)
+    reference_rate = encodes / t_reference
+    cold_rate = encodes / t_cold
+    cached_rate = encodes / t_cached
+    return {
+        "unit": "encodes/s",
+        "encodes": encodes,
+        "reference_value": reference_rate,
+        "value": cold_rate,
+        "cached_value": cached_rate,
+        "speedup": cold_rate / reference_rate,
+        "cached_speedup": cached_rate / reference_rate,
+    }
+
+
+def _run_canonical_scenario(run_ms: float) -> int:
+    """The canonical 10-node membership scenario; returns events fired."""
+    config = CanelyConfig(
+        capacity=CANONICAL_CONFIG["capacity"],
+        tm=ms(CANONICAL_CONFIG["tm_ms"]),
+        thb=ms(CANONICAL_CONFIG["thb_ms"]),
+        tjoin_wait=ms(CANONICAL_CONFIG["tjoin_wait_ms"]),
+    )
+    net = CanelyNetwork(node_count=CANONICAL_NODES, config=config)
+    net.join_all()
+    net.run_for(ms(400))
+    net.node(7).crash()
+    net.run_for(ms(run_ms))
+    assert net.views_agree()
+    return net.sim.events_processed
+
+
+def bench_event_throughput(
+    quick: bool = False, repeats: Optional[int] = None
+) -> Dict[str, Any]:
+    """Macro: events/sec on the canonical scenario, fast core vs seed core."""
+    run_ms = 200 if quick else 600
+    reps = repeats if repeats is not None else (2 if quick else 3)
+
+    events_fast = _run_canonical_scenario(run_ms)  # warm-up + event count
+    with legacy_core():
+        events_legacy = _run_canonical_scenario(run_ms)
+    if events_fast != events_legacy:
+        raise RuntimeError(
+            "fast and legacy cores fired different event counts "
+            f"({events_fast} vs {events_legacy}); equivalence is broken"
+        )
+
+    t_fast = _best_of(lambda: _run_canonical_scenario(run_ms), reps)
+
+    def run_legacy() -> None:
+        with legacy_core():
+            _run_canonical_scenario(run_ms)
+
+    t_legacy = _best_of(run_legacy, reps)
+    fast_rate = events_fast / t_fast
+    legacy_rate = events_legacy / t_legacy
+    return {
+        "unit": "events/s",
+        "events": events_fast,
+        "scenario": {
+            "nodes": CANONICAL_NODES,
+            "run_ms": run_ms,
+            **CANONICAL_CONFIG,
+        },
+        "reference_value": legacy_rate,
+        "value": fast_rate,
+        "speedup": fast_rate / legacy_rate,
+    }
+
+
+def bench_campaign_wallclock(quick: bool = False) -> Dict[str, Any]:
+    """Macro: wall-clock of a small sequential in-process campaign."""
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        scenarios=2 if quick else 6,
+        seed=2003,
+        node_min=6,
+        node_max=10,
+        run_ms=150.0 if quick else 300.0,
+    )
+    started = time.perf_counter()
+    results = run_campaign(spec, workers=0)
+    elapsed = time.perf_counter() - started
+    return {
+        "unit": "s",
+        "value": elapsed,
+        "lower_is_better": True,
+        "scenarios": spec.scenarios,
+        "verdicts": sorted(r.verdict for r in results),
+    }
+
+
+def environment() -> Dict[str, Any]:
+    """Host metadata stamped into every report."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_benchmarks(
+    quick: bool = False, repeats: Optional[int] = None
+) -> Dict[str, Any]:
+    """Run the full suite and return the report dict (``SCHEMA`` layout)."""
+    results = {
+        "frame_encoding": bench_frame_encoding(quick=quick, repeats=repeats),
+        "event_throughput": bench_event_throughput(quick=quick, repeats=repeats),
+        "campaign_wallclock": bench_campaign_wallclock(quick=quick),
+    }
+    return {
+        "schema": SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "environment": environment(),
+        "encoding_cache": encoding_cache_info(),
+        "results": results,
+    }
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    """Write ``report`` as pretty-printed JSON (trailing newline included)."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a report produced by :func:`write_report`."""
+    with open(path) as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported schema {report.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    return report
+
+
+def _comparable_metrics(entry: Dict[str, Any]) -> Dict[str, float]:
+    """The metrics of one result entry that participate in regression checks.
+
+    ``speedup`` ratios are machine-portable and always compared; raw
+    values are compared too (same-machine baselines), inverted for
+    lower-is-better entries so "bigger is better" holds uniformly.
+    """
+    metrics: Dict[str, float] = {}
+    if "speedup" in entry:
+        metrics["speedup"] = entry["speedup"]
+    value = entry.get("value")
+    if isinstance(value, (int, float)) and value > 0:
+        if entry.get("lower_is_better"):
+            metrics["value"] = 1.0 / value
+        else:
+            metrics["value"] = float(value)
+    return metrics
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    portable_only: bool = False,
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Returns human-readable descriptions of every metric that dropped by
+    more than ``threshold`` (a fraction, e.g. ``0.25``). With
+    ``portable_only`` only machine-independent ``speedup`` ratios are
+    checked — the right mode when baseline and current ran on different
+    hardware.
+    """
+    if not 0 < threshold < 1:
+        raise ValueError(f"threshold must be in (0, 1): {threshold}")
+    regressions: List[str] = []
+    base_results = baseline.get("results", {})
+    for name, entry in current.get("results", {}).items():
+        base_entry = base_results.get(name)
+        if base_entry is None:
+            continue
+        base_metrics = _comparable_metrics(base_entry)
+        for metric, now in _comparable_metrics(entry).items():
+            if portable_only and metric != "speedup":
+                continue
+            then = base_metrics.get(metric)
+            if then is None or then <= 0:
+                continue
+            if now < then * (1.0 - threshold):
+                drop = 100.0 * (1.0 - now / then)
+                regressions.append(
+                    f"{name}.{metric}: {now:.4g} vs baseline "
+                    f"{then:.4g} (-{drop:.1f}%, threshold "
+                    f"{threshold * 100:.0f}%)"
+                )
+    return regressions
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """Human-readable one-line-per-benchmark rendering of a report."""
+    lines = [
+        f"bench report ({report.get('generated_at', '?')}, "
+        f"quick={report.get('quick', False)}, "
+        f"python {report.get('environment', {}).get('python', '?')})"
+    ]
+    for name, entry in report.get("results", {}).items():
+        unit = entry.get("unit", "")
+        value = entry.get("value")
+        line = f"  {name:<22} {value:>12.4g} {unit}"
+        if "reference_value" in entry:
+            line += f"  (reference {entry['reference_value']:.4g}, "
+            line += f"speedup {entry.get('speedup', 0):.2f}x"
+            if "cached_speedup" in entry:
+                line += f", cached {entry['cached_speedup']:.0f}x"
+            line += ")"
+        lines.append(line)
+    return "\n".join(lines)

@@ -4,6 +4,12 @@ Events are ordered by ``(time, priority, seq)``. The sequence number breaks
 ties deterministically in insertion order, so two events scheduled for the
 same instant always fire in the order they were scheduled.
 
+The heap stores plain ``(time, priority, seq, event)`` tuples — heap sifts
+compare native tuples (never the :class:`Event` handle: ``seq`` is unique)
+instead of going through a generated dataclass ``__lt__`` that rebuilds
+comparison tuples on every swap. The :class:`Event` is a slotted handle
+kept only for cancellation and for handing the callback to the kernel.
+
 Cancelled events stay in the heap (removing an arbitrary heap entry is
 O(n)) but the queue counts them, so ``len(queue)`` reports *live* events
 only, and compacts the heap once dead entries dominate — long membership
@@ -14,15 +20,12 @@ the purge those dead entries would accumulate for the whole run.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple
+from typing import Callable, Optional
 
 #: Compact the heap only past this size (small heaps aren't worth it).
 _PURGE_MIN_HEAP = 64
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -34,14 +37,21 @@ class Event:
         cancelled: cancelled events stay in the heap but are skipped.
     """
 
-    time: int
-    priority: int
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    _queue: Optional["EventQueue"] = field(
-        default=None, compare=False, repr=False
-    )
+    __slots__ = ("time", "priority", "seq", "action", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it."""
@@ -52,13 +62,23 @@ class Event:
             self._queue._note_cancelled()
             self._queue = None
 
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time}, priority={self.priority}, "
+            f"seq={self.seq}, cancelled={self.cancelled})"
+        )
+
 
 class EventQueue:
     """A binary-heap priority queue of :class:`Event` objects."""
 
+    #: Heap entries are ``(time, priority, seq, event)`` tuples; the kernel
+    #: run loop relies on this layout to pop/fire without indirection.
+    TUPLE_ENTRIES = True
+
     def __init__(self) -> None:
         self._heap: list = []
-        self._counter = itertools.count()
+        self._seq = 0
         self._cancelled = 0
 
     def __len__(self) -> int:
@@ -75,26 +95,22 @@ class EventQueue:
         priority: int = 0,
     ) -> Event:
         """Schedule ``action`` at absolute ``time`` and return its event."""
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            action=action,
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, action)
         event._queue = self
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         return event
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1
         # Lazy purge: rebuild the heap once cancelled entries outnumber the
         # live ones, so dead entries never occupy more than half the heap.
-        if (
-            len(self._heap) > _PURGE_MIN_HEAP
-            and self._cancelled * 2 > len(self._heap)
-        ):
-            self._heap = [e for e in self._heap if not e.cancelled]
-            heapq.heapify(self._heap)
+        # In place — the kernel's inlined run loop aliases the heap list.
+        heap = self._heap
+        if len(heap) > _PURGE_MIN_HEAP and self._cancelled * 2 > len(heap):
+            heap[:] = [entry for entry in heap if not entry[3].cancelled]
+            heapq.heapify(heap)
             self._cancelled = 0
 
     def pop(self) -> Optional[Event]:
@@ -102,8 +118,9 @@ class EventQueue:
 
         Cancelled events are discarded transparently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 self._cancelled -= 1
                 continue
@@ -114,16 +131,24 @@ class EventQueue:
 
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the earliest live event, if any."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
             self._cancelled -= 1
-        if not self._heap:
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
-        """Drop every pending event."""
-        for event in self._heap:
+        """Drop every pending event.
+
+        Dropped events read as cancelled afterwards — they will never fire
+        — and are detached, so a late ``cancel()`` on a handle that was
+        pending at clear time neither raises nor skews the live count.
+        """
+        for entry in self._heap:
+            event = entry[3]
+            event.cancelled = True
             event._queue = None
         self._heap.clear()
         self._cancelled = 0

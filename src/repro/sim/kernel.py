@@ -8,6 +8,7 @@ queue in :meth:`run` / :meth:`run_until` / :meth:`step`.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry
@@ -94,9 +95,34 @@ class Simulator:
         return True
 
     def run(self, max_events: Optional[int] = None) -> None:
-        """Run until the event queue drains (or ``max_events`` fire)."""
+        """Run until the event queue drains (or ``max_events`` fire).
+
+        The pop/fire loop is inlined over the queue's tuple heap — one
+        ``heappop`` plus one call per event, with no method dispatch in
+        between. Queues without tuple entries (the seed-faithful legacy
+        queue :mod:`repro.perf` benchmarks against) fall back to
+        :meth:`step`.
+        """
+        queue = self._queue
+        if not getattr(queue, "TUPLE_ENTRIES", False):
+            fired = 0
+            while self.step():
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    return
+            return
+        heap = queue._heap
+        heappop = heapq.heappop
         fired = 0
-        while self.step():
+        while heap:
+            time, _priority, _seq, event = heappop(heap)
+            if event.cancelled:
+                queue._cancelled -= 1
+                continue
+            event._queue = None
+            self._now = time
+            self._events_processed += 1
+            event.action()
             fired += 1
             if max_events is not None and fired >= max_events:
                 return
@@ -111,11 +137,32 @@ class Simulator:
             raise SimulationError(
                 f"cannot run until {time}, current time is {self._now}"
             )
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > time:
+        queue = self._queue
+        if not getattr(queue, "TUPLE_ENTRIES", False):
+            while True:
+                next_time = queue.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+            self._now = time
+            return
+        heap = queue._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heappop(heap)
+                queue._cancelled -= 1
+                continue
+            event_time = entry[0]
+            if event_time > time:
                 break
-            self.step()
+            heappop(heap)
+            event._queue = None
+            self._now = event_time
+            self._events_processed += 1
+            event.action()
         self._now = time
 
     def run_for(self, duration: int) -> None:

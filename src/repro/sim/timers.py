@@ -9,21 +9,43 @@ that interface on top of the simulator.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.sim.event import Event
 from repro.sim.kernel import Simulator
 
 
 class Alarm:
-    """Handle for a pending alarm (the ``tid`` of the pseudocode)."""
+    """Handle for a pending alarm (the ``tid`` of the pseudocode).
 
-    __slots__ = ("alarm_id", "deadline", "_event")
+    The handle itself carries the armed/fired state and the expiry
+    callback: arming an alarm costs one object and one scheduled event,
+    with no per-alarm closure and no registry bookkeeping. Surveillance
+    timers restart on every observed frame, so this path is one of the
+    hottest in the whole simulation.
+    """
 
-    def __init__(self, alarm_id: int, deadline: int, event: Event) -> None:
+    __slots__ = ("alarm_id", "deadline", "_event", "_on_expire", "_service", "_active")
+
+    def __init__(
+        self,
+        alarm_id: int,
+        deadline: int,
+        on_expire: Callable[[], None],
+        service: "TimerService",
+    ) -> None:
         self.alarm_id = alarm_id
         self.deadline = deadline
-        self._event = event
+        self._event: Optional[Event] = None
+        self._on_expire = on_expire
+        self._service = service
+        self._active = True
+
+    def _fire(self) -> None:
+        # Cancelled events never reach here; just retire and deliver.
+        self._active = False
+        self._service._pending -= 1
+        self._on_expire()
 
     def __repr__(self) -> str:
         return f"Alarm(id={self.alarm_id}, deadline={self.deadline})"
@@ -45,7 +67,7 @@ class TimerService:
         self._sim = sim
         self._drift = drift
         self._ids = itertools.count(1)
-        self._pending: Dict[int, Alarm] = {}
+        self._pending = 0
 
     @property
     def drift(self) -> float:
@@ -75,31 +97,24 @@ class TimerService:
             # was armed to fire strictly later must not fire immediately
             # just because the oscillator runs fast.
             duration = max(1, round(duration * (1.0 + self._drift)))
-        alarm_id = next(self._ids)
-
-        def fire() -> None:
-            # The alarm may have been cancelled between scheduling and firing;
-            # cancelled events never reach here, so just forget and deliver.
-            self._pending.pop(alarm_id, None)
-            on_expire()
-
-        event = self._sim.schedule(duration, fire)
-        alarm = Alarm(alarm_id, self._sim.now + duration, event)
-        self._pending[alarm_id] = alarm
+        alarm = Alarm(next(self._ids), self._sim.now + duration, on_expire, self)
+        alarm._event = self._sim.schedule(duration, alarm._fire)
+        self._pending += 1
         return alarm
 
     def cancel_alarm(self, alarm: Optional[Alarm]) -> None:
         """Disarm ``alarm``. Cancelling ``None`` or a fired alarm is a no-op."""
-        if alarm is None:
+        if alarm is None or not alarm._active:
             return
-        if self._pending.pop(alarm.alarm_id, None) is not None:
-            alarm._event.cancel()
+        alarm._active = False
+        alarm._service._pending -= 1
+        alarm._event.cancel()
 
     def is_pending(self, alarm: Optional[Alarm]) -> bool:
         """True while ``alarm`` is armed and has not yet fired."""
-        return alarm is not None and alarm.alarm_id in self._pending
+        return alarm is not None and alarm._active
 
     @property
     def pending_count(self) -> int:
         """Number of currently armed alarms."""
-        return len(self._pending)
+        return self._pending

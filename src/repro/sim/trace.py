@@ -130,6 +130,7 @@ class TraceRecorder:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.enabled = enabled
         self._capacity = capacity
+        self._disabled: set = set()
         # Records live in ``_records[_offset:]``; each carries an absolute,
         # ever-increasing sequence number so index entries stay valid across
         # ring-buffer evictions. Record seq -> list slot translation is
@@ -181,6 +182,28 @@ class TraceRecorder:
         except ValueError:
             pass
 
+    def wants(self, category: str) -> bool:
+        """Cheap pre-check: would a record of ``category`` be retained?
+
+        Hot paths guard their ``record(...)`` calls with this so a disabled
+        recorder (or a disabled category) skips building the payload dict
+        entirely — the kwargs dict is the dominant cost of a dropped record.
+        """
+        return self.enabled and category not in self._disabled
+
+    def disable_categories(self, *categories: str) -> None:
+        """Drop future records of the given exact categories."""
+        self._disabled.update(categories)
+
+    def enable_categories(self, *categories: str) -> None:
+        """Re-enable categories previously disabled (missing ones ignored)."""
+        self._disabled.difference_update(categories)
+
+    @property
+    def disabled_categories(self) -> frozenset:
+        """The categories currently filtered out."""
+        return frozenset(self._disabled)
+
     def record(
         self,
         time: int,
@@ -188,8 +211,8 @@ class TraceRecorder:
         node: int = -1,
         **data: Any,
     ) -> None:
-        """Append a record (no-op while the recorder is disabled)."""
-        if not self.enabled:
+        """Append a record (no-op while the recorder or category is off)."""
+        if not self.enabled or category in self._disabled:
             return
         entry = TraceRecord(time, category, node, data)
         seq = self._next_seq
@@ -197,8 +220,14 @@ class TraceRecorder:
         if time > self._max_time:
             self._max_time = time
         self._records.append(entry)
-        self._by_category.setdefault(category, deque()).append(seq)
-        self._by_node.setdefault(node, deque()).append(seq)
+        by_category = self._by_category.get(category)
+        if by_category is None:
+            by_category = self._by_category[category] = deque()
+        by_category.append(seq)
+        by_node = self._by_node.get(node)
+        if by_node is None:
+            by_node = self._by_node[node] = deque()
+        by_node.append(seq)
         if self._capacity is not None and len(self) > self._capacity:
             self._evict_oldest()
         for sink in self._sinks:

@@ -38,6 +38,15 @@ def test_crc15_rejects_non_bits():
         crc15([2])
 
 
+def test_crc15_rejects_non_bits_anywhere_with_message():
+    """Validation runs up front (not inside the CRC loop) but still names
+    the offending value, wherever it appears in the input."""
+    with pytest.raises(FrameError, match="bit must be 0 or 1, got 7"):
+        crc15([0, 1, 0, 1, 7])
+    with pytest.raises(FrameError, match="bit must be 0 or 1, got -1"):
+        crc15([-1] + [0] * 20)
+
+
 def test_stuff_inserts_after_five_equal():
     assert stuff([0, 0, 0, 0, 0]) == [0, 0, 0, 0, 0, 1]
     assert stuff([1, 1, 1, 1, 1]) == [1, 1, 1, 1, 1, 0]

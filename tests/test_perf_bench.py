@@ -1,0 +1,148 @@
+"""Unit tests for the perf-regression harness (repro.perf.bench)."""
+
+import json
+
+import pytest
+
+from repro.perf import bench as perf_bench
+from repro.perf.bench import (
+    SCHEMA,
+    _frame_corpus,
+    compare_reports,
+    environment,
+    load_report,
+    render_report,
+    write_report,
+)
+
+
+def _report(results):
+    return {"schema": SCHEMA, "quick": True, "environment": {}, "results": results}
+
+
+def test_frame_corpus_is_deterministic_and_distinct():
+    corpus = _frame_corpus(64)
+    assert corpus == _frame_corpus(64)
+    assert len(set(corpus)) == 64
+    for identifier, data, remote, extended in corpus:
+        assert 0 <= identifier < (1 << 29)
+        assert extended
+        assert not (remote and data)
+        assert len(data) <= 8
+
+
+def test_environment_metadata_fields():
+    env = environment()
+    assert set(env) == {
+        "python", "implementation", "platform", "machine", "cpu_count",
+    }
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    report = _report({"x": {"unit": "u", "value": 1.0}})
+    path = str(tmp_path / "BENCH.json")
+    write_report(report, path)
+    assert load_report(path) == report
+
+
+def test_load_report_rejects_other_schemas(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "other/9", "results": {}}))
+    with pytest.raises(ValueError, match="unsupported schema"):
+        load_report(str(path))
+
+
+def test_compare_no_regression_within_threshold():
+    baseline = _report({"enc": {"unit": "x/s", "value": 100.0, "speedup": 4.0}})
+    current = _report({"enc": {"unit": "x/s", "value": 80.0, "speedup": 3.2}})
+    # 20% drop on both metrics: inside the default 25% threshold.
+    assert compare_reports(baseline, current) == []
+
+
+def test_compare_flags_value_and_speedup_regressions():
+    baseline = _report({"enc": {"unit": "x/s", "value": 100.0, "speedup": 4.0}})
+    current = _report({"enc": {"unit": "x/s", "value": 50.0, "speedup": 1.0}})
+    regressions = compare_reports(baseline, current)
+    assert len(regressions) == 2
+    assert any("enc.speedup" in line for line in regressions)
+    assert any("enc.value" in line for line in regressions)
+
+
+def test_compare_lower_is_better_inverts():
+    baseline = _report({"wall": {"unit": "s", "value": 1.0, "lower_is_better": True}})
+    slower = _report({"wall": {"unit": "s", "value": 2.0, "lower_is_better": True}})
+    faster = _report({"wall": {"unit": "s", "value": 0.5, "lower_is_better": True}})
+    assert compare_reports(baseline, slower) != []
+    assert compare_reports(baseline, faster) == []
+
+
+def test_compare_portable_only_ignores_absolute_values():
+    baseline = _report({"enc": {"unit": "x/s", "value": 100.0, "speedup": 4.0}})
+    current = _report({"enc": {"unit": "x/s", "value": 10.0, "speedup": 4.0}})
+    assert compare_reports(baseline, current, portable_only=True) == []
+    assert compare_reports(baseline, current) != []
+
+
+def test_compare_skips_unknown_benchmarks():
+    baseline = _report({})
+    current = _report({"new": {"unit": "x/s", "value": 1.0}})
+    assert compare_reports(baseline, current) == []
+
+
+def test_compare_rejects_bad_threshold():
+    with pytest.raises(ValueError, match="threshold"):
+        compare_reports(_report({}), _report({}), threshold=1.5)
+
+
+def test_campaign_wallclock_quick_runs_clean():
+    result = perf_bench.bench_campaign_wallclock(quick=True)
+    assert result["unit"] == "s"
+    assert result["value"] > 0
+    assert result["lower_is_better"]
+    assert result["verdicts"] == ["ok", "ok"]
+
+
+def test_committed_report_meets_the_acceptance_bars():
+    """BENCH_core.json at the repo root is a real measurement: the frame
+    encoding speedup must be >= 3x and event throughput >= 1.5x."""
+    report = load_report("BENCH_core.json")
+    results = report["results"]
+    assert results["frame_encoding"]["speedup"] >= 3.0
+    assert results["event_throughput"]["speedup"] >= 1.5
+    assert report["environment"]["python"]
+
+
+def test_render_report_mentions_every_benchmark():
+    report = _report(
+        {
+            "enc": {"unit": "x/s", "value": 2.0, "reference_value": 1.0,
+                    "speedup": 2.0, "cached_speedup": 10.0},
+            "wall": {"unit": "s", "value": 0.5, "lower_is_better": True},
+        }
+    )
+    text = render_report(report)
+    assert "enc" in text and "wall" in text
+    assert "speedup 2.00x" in text
+
+
+def test_cli_bench_regression_gate(tmp_path, monkeypatch, capsys):
+    """``repro bench --baseline`` exits 1 when the current run regresses
+    and 0 when it does not (runner stubbed: the gate is what's under test)."""
+    import repro.perf
+    from repro.__main__ import main
+
+    current = _report({"enc": {"unit": "x/s", "value": 1.0, "speedup": 2.0}})
+    monkeypatch.setattr(
+        repro.perf, "run_benchmarks", lambda quick=False, repeats=None: current
+    )
+    baseline_path = str(tmp_path / "baseline.json")
+    out_path = str(tmp_path / "out.json")
+
+    write_report(_report({"enc": {"unit": "x/s", "value": 1.0, "speedup": 100.0}}), baseline_path)
+    assert main(["bench", "--quick", "--baseline", baseline_path]) == 1
+    assert "REGRESSIONS" in capsys.readouterr().out
+
+    write_report(current, baseline_path)
+    assert main(["bench", "--quick", "--baseline", baseline_path, "--json", out_path]) == 0
+    assert load_report(out_path) == current
+    assert "no regressions" in capsys.readouterr().out

@@ -129,6 +129,33 @@ def test_lazy_purge_compacts_dominating_dead_entries():
     assert times == list(range(150, 200))
 
 
+def test_cancel_after_clear_is_safe():
+    """clear() orphans its events; cancelling one later must neither raise
+    nor corrupt the live count of events pushed afterwards."""
+    queue = EventQueue()
+    orphan = queue.push(1, lambda: None)
+    queue.push(2, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    survivor = queue.push(3, lambda: None)
+    orphan.cancel()  # already detached by clear(): a no-op
+    assert len(queue) == 1
+    assert queue.pop() is survivor
+    assert queue.pop() is None
+
+
+def test_clear_resets_cancelled_bookkeeping():
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in range(10)]
+    for event in events[:4]:
+        event.cancel()
+    queue.clear()
+    assert len(queue) == 0
+    assert queue._cancelled == 0
+    queue.push(1, lambda: None)
+    assert len(queue) == 1
+
+
 def test_pop_all_after_mixed_cancellations():
     queue = EventQueue()
     events = [queue.push(t, lambda: None) for t in range(20)]
