@@ -14,7 +14,7 @@ from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
 from repro.sim.clock import ms
 from repro.util.tables import render_table
-from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.scenarios import detection_latencies
 from repro.workloads.traffic import PeriodicSource
 
 NODES = 6
@@ -29,7 +29,7 @@ def run(thb_ms: int, chatty: bool):
         tjoin_wait=ms(max(150, 6 * thb_ms)),
     )
     net = CanelyNetwork(node_count=NODES, config=config)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     if chatty:
         for node_id in net.nodes:
             PeriodicSource(net.sim, net.node(node_id), period=ms(thb_ms) // 3)

@@ -20,7 +20,6 @@ from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
 from repro.sim.clock import ms, us
 from repro.util.tables import render_table
-from repro.workloads.scenarios import bootstrap_network
 
 NODES = 6
 
@@ -33,7 +32,7 @@ def run(window_bits: int, ttd_covers_inaccessibility: bool):
         capacity=16, tm=ms(50), thb=ms(10), ttd=ttd, tjoin_wait=ms(150)
     )
     net = CanelyNetwork(node_count=NODES, config=config)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     members_before = set(net.agreed_view())
     # Inject the window right before the heartbeats are due, repeatedly.
     for cycle in range(4):

@@ -25,7 +25,7 @@ from repro.sim.clock import ms, sec
 from repro.sim.kernel import Simulator
 from repro.sim.timers import TimerService
 from repro.util.tables import render_table
-from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.scenarios import detection_latencies
 
 NODES = 8
 VICTIM = 5
@@ -34,7 +34,7 @@ VICTIM = 5
 def run_canely():
     config = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
     net = CanelyNetwork(node_count=NODES, config=config)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     start_bits = net.bus.stats.busy_bits
     start_time = net.sim.now
     net.run_for(sec(2))

@@ -41,8 +41,7 @@ ECUS = {
 config = CanelyConfig(capacity=16, tm=ms(60), thb=ms(60), tjoin_wait=ms(200))
 net = CanelyNetwork(node_count=len(ECUS), config=config)
 
-net.join_all()
-net.run_for(ms(500))
+net.scenario().bootstrap()
 print(f"[{format_time(net.sim.now)}] body network up: "
       f"{sorted(net.agreed_view())}")
 
@@ -71,8 +70,7 @@ print(f"explicit life-signs so far: {els_total} "
 # The left-door module browns out.
 victim = 1
 crash_time = net.sim.now
-net.node(victim).crash()
-print(f"[{format_time(crash_time)}] {ECUS[victim][0]} lost power")
+print(f"[{format_time(crash_time)}] {ECUS[victim][0]} loses power")
 
 notified_at = {}
 for node_id in (0, 5, 10):
@@ -82,7 +80,7 @@ for node_id in (0, 5, 10):
         )
     )
 
-net.run_for(ms(200))
+net.scenario().crash(victim).run_for(ms(200))
 for node_id, at in sorted(notified_at.items()):
     print(f"  {ECUS[node_id][0]:<12} notified after "
           f"{format_time(at - crash_time)}")

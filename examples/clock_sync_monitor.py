@@ -20,8 +20,7 @@ from repro.sim import format_time, ms, us
 RESYNC_PERIOD = ms(100)
 
 net = CanelyNetwork(node_count=6)
-net.join_all()
-net.run_for(ms(400))
+net.scenario().bootstrap()
 print(f"[{format_time(net.sim.now)}] members: {sorted(net.agreed_view())}")
 
 rng = random.Random(7)

@@ -31,8 +31,7 @@ steering = MessageCodec(
 
 config = CanelyConfig(capacity=8, tm=ms(40), thb=ms(8), tjoin_wait=ms(130))
 net = DualChannelNetwork(node_count=4, config=config)
-net.join_all()
-net.run_for(ms(350))
+net.scenario().bootstrap()
 print(f"[{format_time(net.sim.now)}] cluster: {sorted(net.agreed_view())}")
 
 # The supervisor decodes steering frames and tracks the active actuator.
@@ -80,8 +79,7 @@ assert net.views_agree()
 
 # Event 2: the primary actuator crashes.
 crash_time = net.sim.now
-net.node(ACTUATOR_A).crash()
-net.run_for(ms(100))
+net.scenario().crash(ACTUATOR_A).run_for(ms(100))
 print(f"[{format_time(net.sim.now)}] actuator A crashed; supervisor "
       f"failed over to actuator {'B' if active_actuator[0] == ACTUATOR_B else 'A'}")
 assert active_actuator[0] == ACTUATOR_B

@@ -44,33 +44,27 @@ def show(title):
 
 
 # Phase 1 — the permanent plant equipment boots.
-for node_id in (0, 1, 2, 3):
-    net.node(node_id).join()
-net.run_for(ms(400))
+net.scenario().bootstrap(nodes=(0, 1, 2, 3))
 show("plant online")
 
 # Phase 2 — the maintenance laptop joins for a diagnostic session.
-net.node(4).join()
-net.run_for(ms(200))
+net.scenario().join(4).run_for(ms(200))
 show("diagnostic session")
 
 # Phase 3 — the reactor PLC crashes mid-operation.
 crash_time = net.sim.now
-net.node(0).crash()
-net.run_for(ms(150))
+net.scenario().crash(0).run_for(ms(150))
 show(f"after {NAMES[0]} crashed "
      f"(detected in {format_time(net.sim.now - crash_time)} window)")
 
 # Phase 4 — the spare PLC joins; its JOIN frame suffers the scripted
 # inconsistent omission, but CAN's retry plus RHA's intersection agreement
 # admit it consistently (possibly one cycle later).
-net.node(5).join()
-net.run_for(ms(300))
+net.scenario().join(5).run_for(ms(300))
 show("spare PLC integrated")
 
 # Phase 5 — the laptop leaves; the view shrinks consistently.
-net.node(4).leave()
-net.run_for(ms(200))
+net.scenario().leave(4).run_for(ms(200))
 show("session closed")
 
 assert net.views_agree()

@@ -18,8 +18,7 @@ TEMP_CONTROL = 10
 LOGGING = 20
 
 net = CanelyNetwork(node_count=5)
-net.join_all()
-net.run_for(ms(400))
+net.scenario().bootstrap()
 print(f"[{format_time(net.sim.now)}] sites: {sorted(net.agreed_view())}")
 
 # Processes join their groups: node 0 runs a controller and a logger,
@@ -56,10 +55,9 @@ net.node(4).groups.on_group_change(
 # Node 0 crashes: both its processes leave both groups, everywhere,
 # through one consistent site-level notification.
 crash_time = net.sim.now
-net.node(0).crash()
-print(f"[{format_time(crash_time)}] node 0 crashed "
+print(f"[{format_time(crash_time)}] node 0 crashes "
       "(hosted one controller and one logger)")
-net.run_for(ms(100))
+net.scenario().crash(0).run_for(ms(100))
 show_groups("after the crash")
 
 for at, group, processes in events:

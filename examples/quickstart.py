@@ -14,8 +14,7 @@ from repro.sim import format_time, ms
 net = CanelyNetwork(node_count=8)
 
 # Every node asks to join; the membership protocol bootstraps the view.
-net.join_all()
-net.run_for(ms(400))
+net.scenario().bootstrap()
 print(f"[{format_time(net.sim.now)}] view after bootstrap: "
       f"{sorted(net.agreed_view())}")
 
@@ -31,10 +30,8 @@ net.node(0).on_membership_change(
 # Thb + Ttd, disseminated by the FDA micro-protocol, and removed from the
 # view at the next membership cycle.
 crash_time = net.sim.now
-net.node(5).crash()
-print(f"[{format_time(crash_time)}] node 5 crashed")
-
-net.run_for(ms(150))
+print(f"[{format_time(crash_time)}] node 5 crashes")
+net.scenario().crash(5).run_until_settled()
 print(f"[{format_time(net.sim.now)}] view after crash:     "
       f"{sorted(net.agreed_view())}")
 assert net.views_agree(), "all correct members hold the same view"

@@ -54,8 +54,7 @@ report("all repaired")
 print()
 print("protocol level across the same storyline:")
 net = CanelyNetwork(node_count=8)
-net.join_all()
-net.run_for(ms(400))
+net.scenario().bootstrap()
 print(f"[{format_time(net.sim.now)}] view: {sorted(net.agreed_view())}")
 net.run_for(ms(300))
 assert net.views_agree()

@@ -15,13 +15,15 @@ Quickstart::
     from repro.sim import ms
 
     net = CanelyNetwork(node_count=8)
-    net.join_all()
-    net.run_for(ms(400))
-    print(sorted(net.agreed_view()))     # [0, 1, ..., 7]
-
-    net.node(3).crash()
-    net.run_for(ms(100))
+    net.scenario().bootstrap().crash(3, at=ms(50)).run_until_settled()
     print(sorted(net.agreed_view()))     # node 3 consistently removed
+
+The package front door re-exports every stable entry point — the core
+stack eagerly, the tooling subsystems (scenario builder, campaigns,
+systematic checking, observability, benchmarks) lazily via module
+``__getattr__`` (PEP 562), so ``import repro`` stays light::
+
+    from repro import ScenarioBuilder, CheckSweep, explore, run_campaign
 """
 
 from repro.core.config import CanelyConfig
@@ -29,7 +31,51 @@ from repro.core.stack import CanelyNetwork, CanelyNode
 from repro.core.views import MembershipChange, MembershipView
 from repro.util.sets import NodeSet
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Lazily re-exported name -> home module (PEP 562). Importing ``repro``
+#: must not drag in multiprocessing (campaign), the benchmark corpus
+#: (perf) or the checker; attribute access resolves them on first use.
+_LAZY_EXPORTS = {
+    # scenario builder (repro.workloads) — the fluent scripting API
+    "FrameMatch": "repro.workloads",
+    "ScenarioBuilder": "repro.workloads",
+    # campaigns (repro.campaign)
+    "CampaignReport": "repro.campaign",
+    "CampaignSpec": "repro.campaign",
+    "ScenarioResult": "repro.campaign",
+    "default_workers": "repro.campaign",
+    "load_checkpoint": "repro.campaign",
+    "run_campaign": "repro.campaign",
+    # systematic checking (repro.check)
+    "CheckResult": "repro.check",
+    "CheckSweep": "repro.check",
+    "Fault": "repro.check",
+    "FaultSchedule": "repro.check",
+    "ScheduleSpace": "repro.check",
+    "enumerate_schedules": "repro.check",
+    "explore": "repro.check",
+    "minimize_schedule": "repro.check",
+    "replay_artifact": "repro.check",
+    "run_schedule": "repro.check",
+    "run_selftest": "repro.check",
+    "sample_schedules": "repro.check",
+    "write_artifact": "repro.check",
+    # observability (repro.obs)
+    "DetectionLatencyMonitor": "repro.obs",
+    "DuplicateFailureSignMonitor": "repro.obs",
+    "InvariantMonitor": "repro.obs",
+    "InvariantViolation": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "PhantomRemovalMonitor": "repro.obs",
+    "ViewAgreementMonitor": "repro.obs",
+    "standard_monitors": "repro.obs",
+    # benchmarks (repro.perf)
+    "compare_reports": "repro.perf",
+    "load_report": "repro.perf",
+    "run_benchmarks": "repro.perf",
+    "write_report": "repro.perf",
+}
 
 __all__ = [
     "CanelyConfig",
@@ -39,4 +85,23 @@ __all__ = [
     "MembershipView",
     "NodeSet",
     "__version__",
-]
+] + sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Resolve the lazy re-exports on first attribute access (PEP 562)."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    """Make the lazy names discoverable by ``dir(repro)`` and tooling."""
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -13,6 +13,10 @@ Commands:
 * ``metrics``   — run a scenario and print the metrics registry.
 * ``campaign``  — run a parallel randomized fault-scenario campaign with
   checkpoint/resume (see :mod:`repro.campaign`).
+* ``check``     — systematically explore bounded fault schedules, minimize
+  and persist any counterexample; ``--replay`` re-executes an artifact
+  bit-for-bit and ``--selftest`` plants a protocol bug and asserts the
+  checker finds it (see :mod:`repro.check`).
 * ``bench``     — run the core hot-path benchmarks, write ``BENCH_core.json``
   and optionally gate on a regression threshold (see :mod:`repro.perf`).
 """
@@ -274,6 +278,92 @@ def _cmd_campaign(args) -> int:
     return 0 if report.success else 1
 
 
+def _cmd_check(args) -> int:
+    from repro.check import (
+        CheckSweep,
+        ScheduleSpace,
+        explore,
+        replay_artifact,
+        run_selftest,
+    )
+    from repro.check.selftest import MUTATIONS
+    from repro.errors import CheckError
+
+    if args.replay:
+        import contextlib
+
+        from repro.check import read_artifact
+
+        try:
+            _schedule, _expected, header = read_artifact(args.replay)
+            # Selftest artifacts record the planted mutation: re-plant it,
+            # otherwise the (intentionally) bug-free code cannot reproduce
+            # the violating trace.
+            mutation = header.get("mutation")
+            planted = (
+                MUTATIONS[mutation].plant()
+                if mutation in MUTATIONS
+                else contextlib.nullcontext()
+            )
+            if mutation in MUTATIONS:
+                print(f"re-planting recorded mutation [{mutation}]")
+            with planted:
+                result, _ = replay_artifact(args.replay)
+        except CheckError as error:
+            print(f"replay FAILED: {error}")
+            return 1
+        print(
+            f"replay ok: verdict={result.verdict} "
+            f"monitor=[{result.monitor}] "
+            f"fingerprint={result.fingerprint[:16]}... "
+            f"({result.events} events, bit-for-bit)"
+        )
+        return 0
+
+    if args.selftest:
+        mutations = [args.mutation] if args.mutation else sorted(MUTATIONS)
+        failed = 0
+        for mutation in mutations:
+            report = run_selftest(
+                mutation, seed=args.seed, artifact_path=args.artifact
+            )
+            print(report.summary())
+            if not report.passed:
+                failed += 1
+        return 1 if failed else 0
+
+    space = ScheduleSpace(nodes=args.nodes, members=args.members)
+    sweep = CheckSweep(
+        space=space, depth=args.depth, samples=args.samples, seed=args.seed
+    )
+
+    def progress(result):
+        print(
+            f"schedule {result.index:>4} seed={result.seed} "
+            f"verdict={result.verdict} ({result.elapsed_s:.2f}s)"
+        )
+
+    from repro.campaign import default_workers
+
+    report = explore(
+        sweep,
+        workers=(
+            args.workers if args.workers is not None else default_workers()
+        ),
+        timeout=args.timeout,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        progress=progress if args.verbose else None,
+        artifact_dir=args.artifact_dir,
+    )
+    print(report.summary())
+    for counterexample in report.counterexamples:
+        print(counterexample.describe())
+    if report.ok:
+        print("every invariant held on every schedule")
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args) -> int:
     from repro.perf import (
         compare_reports,
@@ -427,6 +517,89 @@ def main(argv=None) -> int:
         "--verbose", action="store_true", help="print one line per scenario"
     )
     campaign.set_defaults(func=_cmd_campaign)
+    check = sub.add_parser(
+        "check",
+        help="systematically explore bounded fault schedules and check "
+        "the membership invariants on every one",
+    )
+    check.add_argument(
+        "--depth",
+        type=int,
+        default=1,
+        help="exhaustive enumeration bound (combinations of alphabet "
+        "actions up to this size; default 1)",
+    )
+    check.add_argument(
+        "--samples",
+        type=int,
+        default=0,
+        help="seeded guided-random schedules beyond the exhaustive bound",
+    )
+    check.add_argument("--seed", type=int, default=0, help="root seed")
+    check.add_argument(
+        "--nodes", type=int, default=5, help="network population"
+    )
+    check.add_argument(
+        "--members",
+        type=int,
+        default=4,
+        help="initial full members (< nodes leaves late joiners)",
+    )
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = in-process; default: CPU count, max 8)",
+    )
+    check.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-schedule wall-clock budget, seconds",
+    )
+    check.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="append completed results to this JSONL file",
+    )
+    check.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip schedules already in the checkpoint file",
+    )
+    check.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        default=None,
+        help="write one replayable counterexample artifact per violation",
+    )
+    check.add_argument(
+        "--replay",
+        metavar="ARTIFACT",
+        help="re-execute a counterexample artifact and verify bit-for-bit "
+        "reproduction instead of exploring",
+    )
+    check.add_argument(
+        "--selftest",
+        action="store_true",
+        help="plant a protocol bug and assert the checker finds, "
+        "minimizes and replays it",
+    )
+    check.add_argument(
+        "--mutation",
+        metavar="NAME",
+        help="run --selftest against one registered mutation "
+        "(default: all of them)",
+    )
+    check.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="with --selftest: also write the counterexample artifact here",
+    )
+    check.add_argument(
+        "--verbose", action="store_true", help="print one line per schedule"
+    )
+    check.set_defaults(func=_cmd_check)
     bench = sub.add_parser(
         "bench",
         help="run the core hot-path benchmarks (frame encoding, event "

@@ -30,7 +30,7 @@ from repro.obs.monitors import InvariantViolation, standard_monitors
 from repro.sim.clock import ms
 from repro.sim.rng import RngStreams
 from repro.sim.trace import record_to_dict
-from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.scenarios import detection_latencies
 from repro.workloads.traffic import PeriodicSource
 
 #: Cap on how many trace records a violation slice carries back.
@@ -91,7 +91,7 @@ def _simulate(spec: CampaignSpec, result: ScenarioResult) -> None:
             metrics=net.sim.metrics,
         )
     try:
-        bootstrap_network(net)
+        net.scenario().bootstrap()
 
         # Background traffic on a random half of the nodes.
         traffic = streams.stream("traffic")

@@ -1,0 +1,252 @@
+"""Deterministic execution of one fault schedule, with online invariants.
+
+:func:`run_schedule` turns a plain-data
+:class:`~repro.check.schedule.FaultSchedule` into a simulator run: build
+the network, attach the online invariant monitors
+(:mod:`repro.obs.monitors`), drive the scenario through the fluent
+:class:`~repro.workloads.builder.ScenarioBuilder`, then apply the final
+whole-run checks the monitors cannot see online:
+
+* **agreement** — every surviving full member holds the same view;
+* **validity** — that view is exactly the schedule's expected survivor
+  set: every crashed/left node removed (no missed detections), every
+  joined node integrated (no lost joins), nobody else touched.
+
+The simulation is fully deterministic, so the *fingerprint* — a SHA-256
+over every trace record in order — identifies the complete behaviour:
+``repro check --replay`` re-executes a schedule and compares fingerprints
+to prove bit-for-bit reproduction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.analysis.latency import latency_bounds
+from repro.can.errormodel import FaultInjector
+from repro.check.schedule import (
+    ACTION_CRASH,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ACTION_OMIT,
+    OMISSION_INCONSISTENT,
+    Fault,
+    FaultSchedule,
+)
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.errors import CheckError, ScenarioError
+from repro.obs.monitors import InvariantViolation, standard_monitors
+from repro.sim.clock import ms
+from repro.sim.trace import record_to_dict
+from repro.workloads.builder import FrameMatch
+
+#: Check verdicts.
+CHECK_OK = "ok"
+CHECK_BOOTSTRAP_FAILED = "bootstrap_failed"
+CHECK_VIOLATION = "violation"
+CHECK_ERROR = "error"
+
+#: Cap on how many trace records a violation slice carries back.
+_SLICE_LIMIT = 120
+
+
+@dataclass
+class CheckResult:
+    """The outcome of executing one fault schedule.
+
+    ``fingerprint`` hashes the complete trace (every record, in order);
+    two runs of the same schedule on the same code produce the same
+    fingerprint — that is the replay contract. ``monitor`` names the
+    violated invariant (``final-state`` for the whole-run checks).
+    """
+
+    schedule: FaultSchedule
+    verdict: str = CHECK_ERROR
+    monitor: str = ""
+    detail: str = ""
+    fingerprint: str = ""
+    events: int = 0
+    final_members: List[int] = field(default_factory=list)
+    expected_members: List[int] = field(default_factory=list)
+    violation_slice: List[Dict[str, Any]] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return self.verdict == CHECK_OK
+
+    @property
+    def violating(self) -> bool:
+        """True when an invariant was violated (the minimizer's oracle)."""
+        return self.verdict == CHECK_VIOLATION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (artifacts, campaign results)."""
+        return {
+            "schedule": self.schedule.to_dict(),
+            "verdict": self.verdict,
+            "monitor": self.monitor,
+            "detail": self.detail,
+            "fingerprint": self.fingerprint,
+            "events": self.events,
+            "final_members": self.final_members,
+            "expected_members": self.expected_members,
+            "violation_slice": self.violation_slice,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "CheckResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        data = dict(raw)
+        data["schedule"] = FaultSchedule.from_dict(data["schedule"])
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def expected_members(schedule: FaultSchedule) -> Set[int]:
+    """The survivor set the final agreed view must equal.
+
+    Timed actions fold in ``at_ms`` order; ``crash_sender`` omissions count
+    as a crash of the targeted sender (whether the fault fires or not, the
+    subject ends up outside the view: un-fired sender-crash faults target
+    nodes that already crashed or left, so the set is unchanged).
+    """
+    members = set(range(schedule.members))
+    timed = sorted(
+        (f for f in schedule.faults if f.action != ACTION_OMIT),
+        key=lambda f: f.at_ms,
+    )
+    for fault in timed:
+        if fault.action == ACTION_CRASH:
+            members.discard(fault.node)
+        elif fault.action == ACTION_LEAVE:
+            members.discard(fault.node)
+        elif fault.action == ACTION_JOIN:
+            members.add(fault.node)
+    for fault in schedule.faults:
+        if fault.action == ACTION_OMIT and fault.crash_sender:
+            members.discard(fault.node)
+    return members
+
+
+def _apply_fault(builder, fault: Fault) -> None:
+    """Translate one plain-data fault into builder calls."""
+    if fault.action == ACTION_CRASH:
+        builder.crash(fault.node, at=ms(fault.at_ms))
+    elif fault.action == ACTION_JOIN:
+        builder.join(fault.node, at=ms(fault.at_ms))
+    elif fault.action == ACTION_LEAVE:
+        builder.leave(fault.node, at=ms(fault.at_ms))
+    elif fault.action == ACTION_OMIT:
+        builder.omit(
+            frame=FrameMatch(
+                mtype=fault.frame_type,
+                node=fault.node if fault.node >= 0 else None,
+                nth=fault.nth,
+            ),
+            inconsistent=fault.omission == OMISSION_INCONSISTENT,
+            accepting=fault.accepting,
+            crash_sender=fault.crash_sender,
+        )
+    else:  # pragma: no cover - schedule validation rejects these
+        raise CheckError(f"unknown fault action {fault.action!r}")
+
+
+def trace_fingerprint(net: CanelyNetwork) -> str:
+    """SHA-256 over every trace record, in order — the replay identity."""
+    digest = hashlib.sha256()
+    for record in net.sim.trace:
+        digest.update(
+            json.dumps(record_to_dict(record), sort_keys=True).encode()
+        )
+    return digest.hexdigest()
+
+
+def run_schedule(
+    schedule: FaultSchedule, monitors: bool = True
+) -> CheckResult:
+    """Execute ``schedule`` deterministically and check every invariant.
+
+    Never raises for protocol-level failures — bootstrap non-convergence,
+    online invariant violations and final-state disagreements all map to
+    verdicts; only genuinely unexpected exceptions surface as the
+    ``error`` verdict with the traceback in ``detail``.
+    """
+    started = time.perf_counter()
+    result = CheckResult(schedule=schedule)
+    config = CanelyConfig(
+        capacity=schedule.capacity,
+        tm=ms(schedule.tm_ms),
+        thb=ms(schedule.thb_ms),
+        tjoin_wait=ms(schedule.tjoin_wait_ms),
+    )
+    net = CanelyNetwork(
+        node_count=schedule.nodes, config=config, injector=FaultInjector()
+    )
+    if monitors:
+        standard_monitors(
+            net.sim.trace,
+            detection_bound=latency_bounds(config).notification,
+            metrics=net.sim.metrics,
+        )
+    try:
+        builder = net.scenario(seed=schedule.seed)
+        builder.bootstrap(nodes=range(schedule.members))
+        for fault in schedule.faults:
+            _apply_fault(builder, fault)
+        builder.run_for(ms(schedule.run_ms))
+        _final_checks(net, schedule, result)
+    except ScenarioError as error:
+        result.verdict = CHECK_BOOTSTRAP_FAILED
+        result.detail = str(error)
+    except InvariantViolation as violation:
+        result.verdict = CHECK_VIOLATION
+        result.monitor = violation.monitor
+        result.detail = str(violation)
+        result.violation_slice = [
+            record_to_dict(record)
+            for record in violation.records[:_SLICE_LIMIT]
+        ]
+    except Exception:
+        result.verdict = CHECK_ERROR
+        result.detail = traceback.format_exc()
+    result.fingerprint = trace_fingerprint(net)
+    result.events = net.sim.events_processed
+    result.elapsed_s = time.perf_counter() - started
+    return result
+
+
+def _final_checks(
+    net: CanelyNetwork, schedule: FaultSchedule, result: CheckResult
+) -> None:
+    """Whole-run agreement + validity; mutates ``result``."""
+    views = net.member_views()
+    expected = expected_members(schedule)
+    result.expected_members = sorted(expected)
+    if not net.views_agree():
+        result.verdict = CHECK_VIOLATION
+        result.monitor = "final-state"
+        result.detail = (
+            "surviving members disagree on the final view: "
+            f"{ {n: sorted(v) for n, v in views.items()} }"
+        )
+        return
+    final = sorted(next(iter(views.values()))) if views else []
+    result.final_members = final
+    if set(final) != expected:
+        result.verdict = CHECK_VIOLATION
+        result.monitor = "final-state"
+        result.detail = (
+            f"final view {final} != expected survivors {sorted(expected)} "
+            f"(views at { {n: sorted(v) for n, v in views.items()} })"
+        )
+        return
+    result.verdict = CHECK_OK

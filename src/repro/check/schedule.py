@@ -1,0 +1,226 @@
+"""Fault schedules: the plain-data unit the checker explores.
+
+A :class:`FaultSchedule` is one point of the bounded fault-schedule space —
+a network shape plus an ordered tuple of :class:`Fault` actions (crashes,
+scripted consistent/inconsistent omissions on specific frames, duplicate
+generation via sender-crash timing, join/leave interleavings). Schedules
+are *pure data*: primitives and tuples only, so they
+
+* serialize losslessly to/from JSON (counterexample artifacts, checkpoint
+  lines, campaign results),
+* cross process boundaries under any multiprocessing start method, and
+* compare/hash structurally, which the delta-debugging minimizer relies on.
+
+Executing a schedule is :func:`repro.check.runner.run_schedule`'s job; this
+module only defines the shape and its (de)serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import CheckError
+
+#: Fault action kinds.
+ACTION_CRASH = "crash"
+ACTION_JOIN = "join"
+ACTION_LEAVE = "leave"
+ACTION_OMIT = "omit"
+
+ACTIONS = (ACTION_CRASH, ACTION_JOIN, ACTION_LEAVE, ACTION_OMIT)
+
+#: Omission flavours for ``ACTION_OMIT``.
+OMISSION_CONSISTENT = "consistent"
+OMISSION_INCONSISTENT = "inconsistent"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault action.
+
+    For ``crash``/``join``/``leave``: ``node`` is the subject and ``at_ms``
+    the firing time, in milliseconds after bootstrap.
+
+    For ``omit``: the target frame is the ``nth`` (0-based, counted from
+    the end of bootstrap) frame of message type ``frame_type`` — optionally
+    restricted to frames whose identifier names ``node``. ``omission``
+    selects the flavour; an inconsistent omission is accepted by the
+    ``accepting`` subset while everyone else (sender included) sees an
+    error, so the sender's automatic retransmission generates *duplicates*
+    at the subset. ``crash_sender=True`` additionally crashes the sender
+    before that retransmission — the paper's inconsistent-omission-then-
+    crash scenario (Section 4), only meaningful for frame types where the
+    identifier names the sender (ELS, DATA).
+    """
+
+    action: str
+    node: int = -1
+    at_ms: float = 0.0
+    frame_type: str = ""
+    nth: int = 0
+    omission: str = OMISSION_CONSISTENT
+    accepting: Tuple[int, ...] = ()
+    crash_sender: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise CheckError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {ACTIONS}"
+            )
+        if self.action == ACTION_OMIT:
+            if not self.frame_type:
+                raise CheckError("omit faults need a frame_type")
+            if self.omission not in (
+                OMISSION_CONSISTENT,
+                OMISSION_INCONSISTENT,
+            ):
+                raise CheckError(f"unknown omission flavour {self.omission!r}")
+            if self.accepting and self.omission != OMISSION_INCONSISTENT:
+                raise CheckError(
+                    "an accepting subset requires an inconsistent omission"
+                )
+        elif self.node < 0:
+            raise CheckError(f"{self.action} faults need a node")
+        # Tuples, not lists, so Fault hashes (the minimizer dedups on it).
+        object.__setattr__(self, "accepting", tuple(self.accepting))
+
+    def describe(self) -> str:
+        """One-line human-readable form for reports."""
+        if self.action == ACTION_OMIT:
+            target = self.frame_type
+            if self.node >= 0:
+                target += f"[node={self.node}]"
+            flavour = self.omission
+            if self.accepting:
+                flavour += f" accepted-by={list(self.accepting)}"
+            if self.crash_sender:
+                flavour += " +crash-sender"
+            return f"omit {target}#{self.nth} ({flavour})"
+        return f"{self.action} node {self.node} at +{self.at_ms:g}ms"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form; defaults elided for compact artifacts."""
+        raw: Dict[str, Any] = {"action": self.action}
+        if self.node >= 0:
+            raw["node"] = self.node
+        if self.at_ms:
+            raw["at_ms"] = self.at_ms
+        if self.frame_type:
+            raw["frame_type"] = self.frame_type
+        if self.nth:
+            raw["nth"] = self.nth
+        if self.omission != OMISSION_CONSISTENT:
+            raw["omission"] = self.omission
+        if self.accepting:
+            raw["accepting"] = list(self.accepting)
+        if self.crash_sender:
+            raw["crash_sender"] = True
+        return raw
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "Fault":
+        """Rebuild a fault from :meth:`to_dict` output."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(raw) - known
+        if unknown:
+            raise CheckError(f"unknown fault fields: {sorted(unknown)}")
+        data = dict(raw)
+        if "accepting" in data:
+            data["accepting"] = tuple(data["accepting"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One fully specified, deterministically executable scenario.
+
+    Attributes:
+        nodes: network population (node ids ``0..nodes-1``).
+        members: how many of them bootstrap as initial members (the rest
+            stay silent until a scheduled ``join``).
+        faults: the ordered fault actions.
+        run_ms: how long the scenario runs after bootstrap.
+        tm_ms / thb_ms / tjoin_wait_ms / capacity: protocol configuration.
+        seed: identification label — carried into results, artifacts and
+            error messages; schedule execution itself is deterministic.
+    """
+
+    nodes: int = 4
+    members: int = 4
+    faults: Tuple[Fault, ...] = ()
+    run_ms: float = 400.0
+    tm_ms: float = 50.0
+    thb_ms: float = 10.0
+    tjoin_wait_ms: float = 150.0
+    capacity: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.members <= self.nodes <= self.capacity:
+            raise CheckError(
+                f"bad population: members={self.members} nodes={self.nodes} "
+                f"capacity={self.capacity}"
+            )
+        if self.run_ms <= 0:
+            raise CheckError(f"run_ms must be positive: {self.run_ms}")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if fault.action != ACTION_OMIT and not (
+                0 <= fault.node < self.nodes
+            ):
+                raise CheckError(
+                    f"fault names node {fault.node} outside 0..{self.nodes - 1}"
+                )
+
+    @property
+    def depth(self) -> int:
+        """Number of scheduled fault actions."""
+        return len(self.faults)
+
+    def without(self, indices) -> "FaultSchedule":
+        """A copy with the faults at ``indices`` removed (minimizer step)."""
+        drop = set(indices)
+        kept = tuple(
+            fault for i, fault in enumerate(self.faults) if i not in drop
+        )
+        return replace(self, faults=kept)
+
+    def describe(self) -> str:
+        """Multi-line human-readable form."""
+        lines = [
+            f"schedule seed={self.seed}: {self.nodes} nodes "
+            f"({self.members} bootstrap), run {self.run_ms:g}ms, "
+            f"{self.depth} fault(s)"
+        ]
+        for i, fault in enumerate(self.faults):
+            lines.append(f"  [{i}] {fault.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (artifact/checkpoint header)."""
+        return {
+            "nodes": self.nodes,
+            "members": self.members,
+            "faults": [fault.to_dict() for fault in self.faults],
+            "run_ms": self.run_ms,
+            "tm_ms": self.tm_ms,
+            "thb_ms": self.thb_ms,
+            "tjoin_wait_ms": self.tjoin_wait_ms,
+            "capacity": self.capacity,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(raw) - known
+        if unknown:
+            raise CheckError(f"unknown schedule fields: {sorted(unknown)}")
+        data = dict(raw)
+        data["faults"] = tuple(
+            Fault.from_dict(fault) for fault in data.get("faults", ())
+        )
+        return cls(**data)

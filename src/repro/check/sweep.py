@@ -1,0 +1,262 @@
+"""Parallel exploration: the checker riding the campaign engine.
+
+A :class:`CheckSweep` adapts a schedule population (exhaustive BFS plus
+guided samples, :func:`repro.check.explorer.schedule_population`) to the
+interface :func:`repro.campaign.engine.run_campaign` drives — ``scenarios``
+and ``scenario_seed(index)`` — so schedule execution inherits the engine's
+process isolation, per-schedule timeouts, crash retries and JSONL
+checkpoint/resume for free. Workers regenerate schedule *i* from the sweep
+parameters (the population is a deterministic function of them), so
+nothing but the sweep itself crosses the process boundary.
+
+:func:`explore` is the checker's front door: run the whole population,
+then delta-debug every violation to a 1-minimal counterexample and emit a
+replayable artifact per violation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import ScenarioResult
+from repro.check.artifact import write_artifact
+from repro.check.explorer import ScheduleSpace, schedule_population
+from repro.check.minimize import minimize_schedule
+from repro.check.runner import (
+    CHECK_VIOLATION,
+    CheckResult,
+    run_schedule,
+)
+from repro.check.schedule import ACTION_CRASH, FaultSchedule
+from repro.errors import CheckError
+
+ProgressFn = Callable[[ScenarioResult], None]
+
+#: Populations are deterministic in the sweep, so regenerating one per
+#: process is pure overhead after the first time — memoize per sweep.
+_POPULATION_CACHE: Dict["CheckSweep", List[FaultSchedule]] = {}
+
+
+@dataclass(frozen=True)
+class CheckSweep:
+    """One exploration run: a space, an exhaustive depth, a sample budget.
+
+    Satisfies the campaign engine's spec protocol: ``scenarios`` is the
+    population size and ``scenario_seed(i)`` is schedule ``i``'s own seed,
+    which makes checkpoint resume validation (seed must match) carry over
+    unchanged.
+    """
+
+    space: ScheduleSpace = field(default_factory=ScheduleSpace)
+    depth: int = 1
+    samples: int = 0
+    seed: int = 0
+    sample_max_depth: int = 5
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise CheckError(f"depth must be >= 0: {self.depth}")
+        if self.samples < 0:
+            raise CheckError(f"samples must be >= 0: {self.samples}")
+
+    def population(self) -> List[FaultSchedule]:
+        """Every schedule this sweep runs, in execution order (memoized)."""
+        cached = _POPULATION_CACHE.get(self)
+        if cached is None:
+            cached = schedule_population(
+                self.space,
+                depth=self.depth,
+                samples=self.samples,
+                seed=self.seed,
+                sample_max_depth=self.sample_max_depth,
+            )
+            _POPULATION_CACHE[self] = cached
+        return cached
+
+    def schedule(self, index: int) -> FaultSchedule:
+        """Schedule ``index`` of the population."""
+        population = self.population()
+        if not 0 <= index < len(population):
+            raise CheckError(
+                f"schedule index {index} outside population of "
+                f"{len(population)}"
+            )
+        return population[index]
+
+    # -- campaign-engine spec protocol --------------------------------------------
+
+    @property
+    def scenarios(self) -> int:
+        """Population size (campaign-engine spec protocol)."""
+        return len(self.population())
+
+    def scenario_seed(self, index: int) -> int:
+        """Schedule ``index``'s own seed (campaign-engine spec protocol)."""
+        return self.schedule(index).seed
+
+
+def run_check_scenario(sweep: CheckSweep, index: int) -> ScenarioResult:
+    """Campaign ``scenario_fn``: execute schedule ``index`` of ``sweep``.
+
+    The check verdicts are a subset of the campaign verdicts by
+    construction, so they pass through unchanged; the check-specific
+    payload (fingerprint, violated monitor, the schedule itself) rides in
+    the result's ``metrics`` dict and survives JSONL checkpointing.
+    """
+    schedule = sweep.schedule(index)
+    check = run_schedule(schedule)
+    crashes = sum(
+        1
+        for fault in schedule.faults
+        if fault.action == ACTION_CRASH or fault.crash_sender
+    )
+    return ScenarioResult(
+        index=index,
+        seed=schedule.seed,
+        verdict=check.verdict,
+        nodes=schedule.nodes,
+        crashes=crashes,
+        metrics={
+            "check": {
+                "fingerprint": check.fingerprint,
+                "monitor": check.monitor,
+                "events": check.events,
+                "final_members": check.final_members,
+                "expected_members": check.expected_members,
+                "schedule": schedule.to_dict(),
+            }
+        },
+        detail=check.detail,
+        violation_slice=check.violation_slice,
+        elapsed_s=check.elapsed_s,
+    )
+
+
+@dataclass
+class Counterexample:
+    """One violation, minimized and (optionally) written to disk."""
+
+    index: int
+    schedule: FaultSchedule
+    minimized: FaultSchedule
+    result: CheckResult
+    minimize_runs: int
+    artifact_path: Optional[str] = None
+
+    def describe(self) -> str:
+        """One paragraph for reports and the CLI."""
+        lines = [
+            f"schedule #{self.index} "
+            f"({self.schedule.depth} -> {self.minimized.depth} faults, "
+            f"{self.minimize_runs} minimizer runs):",
+            f"  [{self.result.monitor}] "
+            + self.result.detail.splitlines()[0],
+        ]
+        for fault in self.minimized.faults:
+            lines.append(f"  - {fault.describe()}")
+        if self.artifact_path:
+            lines.append(f"  artifact: {self.artifact_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplorationReport:
+    """What :func:`explore` found across the whole population."""
+
+    sweep: CheckSweep
+    results: List[ScenarioResult]
+    counterexamples: List[Counterexample]
+
+    @property
+    def ok(self) -> bool:
+        """True when every schedule ran and every invariant held."""
+        return all(r.ok for r in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        """Verdict histogram over the population."""
+        histogram: Dict[str, int] = {}
+        for result in self.results:
+            histogram[result.verdict] = histogram.get(result.verdict, 0) + 1
+        return histogram
+
+    def summary(self) -> str:
+        """One line for logs: population size and verdict counts."""
+        counts = ", ".join(
+            f"{verdict}={count}" for verdict, count in sorted(self.counts().items())
+        )
+        return (
+            f"{len(self.results)} schedules "
+            f"(depth<={self.sweep.depth} exhaustive + "
+            f"{self.sweep.samples} sampled): {counts or 'empty'}"
+        )
+
+
+def explore(
+    sweep: CheckSweep,
+    workers: int = 0,
+    timeout: float = 120.0,
+    retries: int = 1,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+    minimize: bool = True,
+    max_minimize_runs: int = 200,
+    artifact_dir: Optional[str] = None,
+) -> ExplorationReport:
+    """Run the sweep's whole population and minimize every violation.
+
+    ``workers``/``timeout``/``retries``/``checkpoint``/``resume`` forward
+    to :func:`~repro.campaign.engine.run_campaign` (``workers=0`` runs
+    in-process — required when the code under test is monkeypatched, as in
+    the planted-bug selftest, since a patch does not necessarily survive
+    into spawned worker processes). Minimization and artifact writing
+    always happen in the parent process, re-executing schedules through the
+    deterministic runner.
+    """
+    results = run_campaign(
+        sweep,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        checkpoint=checkpoint,
+        resume=resume,
+        scenario_fn=run_check_scenario,
+        progress=progress,
+    )
+    counterexamples: List[Counterexample] = []
+    for result in results:
+        if result.verdict != CHECK_VIOLATION:
+            continue
+        schedule = sweep.schedule(result.index)
+        if minimize:
+            outcome = minimize_schedule(
+                schedule, max_runs=max_minimize_runs
+            )
+            minimized, check, runs = (
+                outcome.schedule,
+                outcome.result,
+                outcome.runs,
+            )
+        else:
+            minimized, check, runs = schedule, run_schedule(schedule), 1
+        counterexample = Counterexample(
+            index=result.index,
+            schedule=schedule,
+            minimized=minimized,
+            result=check,
+            minimize_runs=runs,
+        )
+        if artifact_dir is not None:
+            os.makedirs(artifact_dir, exist_ok=True)
+            path = os.path.join(
+                artifact_dir, f"counterexample-{result.index}.jsonl"
+            )
+            write_artifact(path, check)
+            counterexample.artifact_path = path
+        counterexamples.append(counterexample)
+    return ExplorationReport(
+        sweep=sweep, results=results, counterexamples=counterexamples
+    )

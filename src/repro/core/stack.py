@@ -239,6 +239,17 @@ class DualChannelNetwork:
         """Advance the simulation by ``duration`` ticks."""
         self.sim.run_until(self.sim.now + duration)
 
+    def run_cycles(self, cycles: float) -> None:
+        """Advance by a number of membership cycle periods."""
+        self.run_for(round(cycles * self.config.tm))
+
+    def scenario(self, seed: Optional[int] = None):
+        """A fluent :class:`~repro.workloads.builder.ScenarioBuilder` over
+        this network; ``seed`` labels the scenario in error messages."""
+        from repro.workloads.builder import ScenarioBuilder
+
+        return ScenarioBuilder(self, seed=seed)
+
     def member_views(self) -> Dict[int, NodeSet]:
         """The membership view at every correct full member."""
         return {
@@ -313,6 +324,13 @@ class CanelyNetwork:
     def run_cycles(self, cycles: float) -> None:
         """Advance by a number of membership cycle periods."""
         self.run_for(round(cycles * self.config.tm))
+
+    def scenario(self, seed: Optional[int] = None):
+        """A fluent :class:`~repro.workloads.builder.ScenarioBuilder` over
+        this network; ``seed`` labels the scenario in error messages."""
+        from repro.workloads.builder import ScenarioBuilder
+
+        return ScenarioBuilder(self, seed=seed)
 
     # -- network-wide assertions -----------------------------------------------------------
 

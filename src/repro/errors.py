@@ -38,3 +38,8 @@ class ScenarioError(ReproError):
 
 class CampaignError(ReproError):
     """The campaign engine was driven with an invalid configuration."""
+
+
+class CheckError(ReproError):
+    """The systematic checker was driven with an invalid configuration,
+    or a counterexample artifact is malformed/stale."""

@@ -19,6 +19,7 @@ from repro.obs.monitors import (
     DuplicateFailureSignMonitor,
     InvariantMonitor,
     InvariantViolation,
+    PhantomRemovalMonitor,
     ViewAgreementMonitor,
     standard_monitors,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "DuplicateFailureSignMonitor",
     "InvariantMonitor",
     "InvariantViolation",
+    "PhantomRemovalMonitor",
     "ViewAgreementMonitor",
     "standard_monitors",
 ]

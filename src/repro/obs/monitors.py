@@ -29,8 +29,8 @@ from repro.sim.trace import TraceRecord, TraceRecorder
 #: How much context (in ticks) around a violation goes into the report.
 _SLICE_MARGIN = 2_000_000  # 2 ms
 
-#: Agreement bookkeeping horizon: rounds this far behind the newest one
-#: are settled and dropped, bounding monitor memory on long campaigns.
+#: Agreement bookkeeping horizon: per pair, view changes this far behind
+#: the newest are settled and dropped, bounding memory on long campaigns.
 _ROUND_HORIZON = 16
 
 
@@ -133,52 +133,130 @@ class DuplicateFailureSignMonitor(InvariantMonitor):
 
 
 class ViewAgreementMonitor(InvariantMonitor):
-    """Views installed at the same membership round agree across nodes.
+    """Mutual members install the same *sequence* of views.
 
-    Two nodes are only compared when each one's reported view contains both
-    of them — i.e. both believe they share full membership for that round.
-    This sidesteps the benign cases (late joiners whose local round counter
-    lags, rebooted nodes) while still catching the property the paper's
-    Fig. 9 exists to enforce: full members never install divergent views.
+    The ``round_index`` in a ``msh.view`` record is a *local* counter —
+    nodes that bootstrap in the same cycle share it, but a late joiner
+    misses installations while its join is in flight, so round numbers are
+    not comparable across nodes. What virtual synchrony (the paper's
+    Fig. 9) actually demands is content, not numbering: while two nodes
+    each consider the other a full member, the succession of *distinct*
+    views they install must be identical.
+
+    Per pair the monitor therefore logs each side's view changes starting
+    from the view that made the pair mutual (the one introducing the later
+    of the two — both sides install that same logical view, so the logs
+    are anchored), collapses the per-cycle reinstalls of an unchanged
+    view, and compares the two logs position by position. The pair is
+    retired whenever either node installs a view excluding the other (or
+    reboots), so a later reintegration re-anchors cleanly.
     """
 
     name = "view-agreement"
 
     def __init__(self) -> None:
         super().__init__()
-        # round_index -> {node: (time, frozenset(members))}
-        self._rounds: Dict[int, Dict[int, Tuple[int, frozenset]]] = {}
-        self._max_round = 0
+        # (a, b) with a < b  ->  {node: [dropped, [(time, members), ...]]}
+        # ``dropped`` counts horizon-pruned entries so positions stay
+        # comparable as absolute indices into the change sequence.
+        self._pairs: Dict[Tuple[int, int], Dict[int, list]] = {}
+
+    @staticmethod
+    def _key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
 
     def observe(self, record: TraceRecord) -> None:
         self.records_seen += 1
+        if record.category == "node.recover":
+            # A rebooted node restarts its protocol state; everything it
+            # installed before the reboot is history. Re-anchor its pairs.
+            for key in [k for k in self._pairs if record.node in k]:
+                del self._pairs[key]
+            return
         if record.category != "msh.view":
             return
-        round_index = record.data["round_index"]
+        node = record.node
         members = frozenset(record.data["members"])
-        peers = self._rounds.setdefault(round_index, {})
-        for peer, (peer_time, peer_members) in peers.items():
-            mutual = (
-                record.node in peer_members
-                and peer in members
-                and record.node in members
-                and peer in peer_members
-            )
-            if mutual and members != peer_members:
+        if node not in members:
+            # A passive tracker's view is not authoritative; nothing to
+            # anchor or compare until it believes itself a member.
+            return
+        # Views that drop a peer retire the pair: a reintegrated peer is
+        # a fresh pair, anchored at its new introducing view.
+        for key in [k for k in self._pairs if node in k]:
+            peer = key[0] if key[1] == node else key[1]
+            if peer not in members:
+                del self._pairs[key]
+        for peer in members:
+            if peer == node:
+                continue
+            logs = self._pairs.setdefault(self._key(node, peer), {})
+            mine = logs.setdefault(node, [0, []])
+            entries = mine[1]
+            if entries and entries[-1][1] == members:
+                continue  # the per-cycle reinstall of an unchanged view
+            entries.append((record.time, members))
+            if len(entries) > _ROUND_HORIZON:
+                del entries[0]
+                mine[0] += 1
+            index = mine[0] + len(entries) - 1
+            theirs = logs.get(peer)
+            if theirs is None:
+                continue  # the peer has not seen a mutual view yet
+            slot = index - theirs[0]
+            if not 0 <= slot < len(theirs[1]):
+                continue  # the peer is behind (or the slot was pruned)
+            peer_time, peer_members = theirs[1][slot]
+            if peer_members != members:
                 self.fail(
-                    f"round {round_index}: node {record.node} installed "
-                    f"{sorted(members)} but node {peer} installed "
-                    f"{sorted(peer_members)}",
+                    f"view change #{index} of the pair ({node}, {peer}): "
+                    f"node {node} installed {sorted(members)} but node "
+                    f"{peer} installed {sorted(peer_members)}",
                     min(peer_time, record.time),
                     record.time,
                 )
-        peers[record.node] = (record.time, members)
-        if round_index > self._max_round:
-            self._max_round = round_index
-            for settled in [
-                r for r in self._rounds if r < round_index - _ROUND_HORIZON
-            ]:
-                del self._rounds[settled]
+
+
+class PhantomRemovalMonitor(InvariantMonitor):
+    """No correct node is ever notified as *failed*.
+
+    The failure-notification path (FDA failure-sign -> ``msh.change`` with a
+    non-empty ``failed`` set) must only ever name nodes that actually
+    crashed: a failure notification for a live node means a surveillance
+    timer fired early, a failure-sign was forged or corrupted, or the FDA
+    dedup state leaked across identifiers — the membership *validity*
+    property of the paper's Fig. 9.
+
+    A node that leaves voluntarily learns of its own withdrawal through a
+    change notification whose ``failed`` set names itself (Fig. 9,
+    a13-a15); that self-notification is the one benign case and is skipped.
+    """
+
+    name = "no-phantom-removal"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._crashed: Set[int] = set()
+
+    def observe(self, record: TraceRecord) -> None:
+        self.records_seen += 1
+        category = record.category
+        if category == "node.crash":
+            self._crashed.add(record.node)
+        elif category == "node.recover":
+            self._crashed.discard(record.node)
+        elif category == "msh.change":
+            for failed in record.data["failed"]:
+                if failed == record.node:
+                    continue  # a13-a15: voluntary-leave self-notification
+                if failed not in self._crashed:
+                    self.fail(
+                        f"node {record.node} was notified at "
+                        f"{format_time(record.time)} that node {failed} "
+                        f"failed, but node {failed} never crashed",
+                        record.time,
+                        record.time,
+                    )
 
 
 class DetectionLatencyMonitor(InvariantMonitor):
@@ -238,11 +316,13 @@ def standard_monitors(
     """Attach the standard monitor set to ``trace`` and return it.
 
     ``detection_bound`` enables the latency monitor; without it only the
-    structural invariants (duplicate failure-signs, view agreement) run.
+    structural invariants (duplicate failure-signs, view agreement, no
+    phantom removals) run.
     """
     monitors: List[InvariantMonitor] = [
         DuplicateFailureSignMonitor().attach(trace),
         ViewAgreementMonitor().attach(trace),
+        PhantomRemovalMonitor().attach(trace),
     ]
     if detection_bound is not None:
         monitors.append(

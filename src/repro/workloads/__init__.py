@@ -1,5 +1,6 @@
 """Workload generation: traffic sources and scenario scripting."""
 
+from repro.workloads.builder import FrameMatch, ScenarioBuilder
 from repro.workloads.scenarios import (
     bootstrap_network,
     detection_latencies,
@@ -11,7 +12,9 @@ from repro.workloads.scenarios import (
 from repro.workloads.traffic import PeriodicSource, SporadicSource, TrafficSet
 
 __all__ = [
+    "FrameMatch",
     "PeriodicSource",
+    "ScenarioBuilder",
     "SporadicSource",
     "TrafficSet",
     "bootstrap_network",

@@ -1,0 +1,286 @@
+"""The fluent scenario-construction API.
+
+:class:`ScenarioBuilder` replaces the scattered free functions that used to
+live in :mod:`repro.workloads.scenarios` (``bootstrap_network``,
+``schedule_crash``, ``schedule_join``, ``schedule_leave``) with one chainable
+surface reachable from any network as ``net.scenario()``::
+
+    net = CanelyNetwork(node_count=8)
+    (net.scenario(seed=7)
+        .bootstrap()
+        .crash(3, at=ms(50))
+        .omit(frame=FrameMatch(mtype="FDA"), inconsistent=True, accepting=[2])
+        .run_until_settled())
+
+Builder calls execute *eagerly*, in order: ``bootstrap()`` drives the
+cold-start to convergence right away, ``crash``/``join``/``leave`` schedule
+their action ``at`` ticks after the current simulation instant, ``omit``
+arms the network's :class:`~repro.can.errormodel.FaultInjector`, and the
+``run_*`` methods advance the clock. Because every builder call maps to the
+exact simulator/injector calls the legacy helpers made, scenarios written
+either way produce byte-identical traces (pinned by the golden-equivalence
+tests).
+
+The builder is the construction surface shared by the systematic checker
+(:mod:`repro.check`), the campaign worker and the examples; the legacy free
+functions survive as thin deprecated wrappers around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+from repro.can.errormodel import FaultKind
+from repro.can.frame import CanFrame
+from repro.can.identifiers import MessageType
+from repro.errors import ScenarioError
+
+#: Default number of membership cycles a cold-start settles for.
+DEFAULT_SETTLE_CYCLES = 6.0
+
+
+@dataclass(frozen=True)
+class FrameMatch:
+    """A plain-data frame selector for :meth:`ScenarioBuilder.omit`.
+
+    Selects the ``nth`` (0-based) frame — counted from the moment the fault
+    is armed — whose message type is ``mtype`` and, when ``node`` is given,
+    whose message identifier names that node. Being plain data (no
+    closures), a :class:`FrameMatch` serializes into check/campaign
+    artifacts and crosses process boundaries, which a bare predicate
+    cannot.
+    """
+
+    mtype: str
+    node: Optional[int] = None
+    nth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mtype not in MessageType.__members__:
+            raise ScenarioError(
+                f"unknown message type {self.mtype!r}; expected one of "
+                f"{sorted(MessageType.__members__)}"
+            )
+        if self.nth < 0:
+            raise ScenarioError(f"nth must be >= 0: {self.nth}")
+
+    def predicate(self) -> Callable[[CanFrame], bool]:
+        """Compile to a stateful frame predicate for the fault injector."""
+        mtype = MessageType[self.mtype]
+        node = self.node
+        remaining = [self.nth]
+
+        def match(frame: CanFrame) -> bool:
+            mid = frame.mid
+            if mid.mtype is not mtype:
+                return False
+            if node is not None and mid.node != node:
+                return False
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                return False
+            return True
+
+        return match
+
+
+FrameSelector = Union[FrameMatch, Callable[[CanFrame], bool]]
+
+
+class ScenarioBuilder:
+    """Fluent scenario scripting over one simulated network.
+
+    Every method returns the builder, so a whole scenario chains into one
+    expression. ``seed`` is purely declarative — it labels the scenario so
+    non-convergence errors (and check/campaign reports built on them) are
+    reproducible from the message alone.
+    """
+
+    def __init__(self, network, seed: Optional[int] = None) -> None:
+        self._net = network
+        self.seed = seed
+        #: Latest absolute time at which a scripted action fires; the
+        #: settling loop will not declare stability before this instant.
+        self._last_action_at = network.sim.now
+
+    @property
+    def network(self):
+        """The underlying network (for queries after the chain ends)."""
+        return self._net
+
+    # -- cold start ---------------------------------------------------------
+
+    def bootstrap(
+        self,
+        settle_cycles: float = DEFAULT_SETTLE_CYCLES,
+        nodes: Optional[Sequence[int]] = None,
+    ) -> "ScenarioBuilder":
+        """Cold-start: the given ``nodes`` (default: all) join, then the
+        network settles for ``settle_cycles`` membership cycles.
+
+        Raises :class:`~repro.errors.ScenarioError` on non-convergence; the
+        message carries the settle-cycle count and the builder's ``seed``
+        so campaign/check failures are reproducible from the message alone.
+        """
+        net = self._net
+        if nodes is None:
+            net.join_all()
+            expected = set(net.nodes)
+        else:
+            expected = set(nodes)
+            for node_id in nodes:
+                net.node(node_id).join()
+        net.run_for(net.config.tjoin_wait)
+        net.run_cycles(settle_cycles)
+        views = net.member_views()
+        if set(views) != expected or not net.views_agree():
+            raise ScenarioError(
+                f"bootstrap did not converge: members={sorted(views)} "
+                f"expected={sorted(expected)} "
+                f"(settle_cycles={settle_cycles}, seed={self.seed!r})"
+            )
+        self._last_action_at = net.sim.now
+        return self
+
+    # -- timed node actions --------------------------------------------------
+
+    def _schedule(self, at: int, action: Callable[[], None]) -> None:
+        when = self._net.sim.now + at
+        if at < 0:
+            raise ScenarioError(f"cannot schedule {at} ticks in the past")
+        self._last_action_at = max(self._last_action_at, when)
+        self._net.sim.schedule_at(when, action)
+
+    def crash(self, node_id: int, at: int = 0) -> "ScenarioBuilder":
+        """Crash ``node_id`` (fail-silent) ``at`` ticks from now."""
+        self._schedule(at, self._net.node(node_id).crash)
+        return self
+
+    def join(self, node_id: int, at: int = 0) -> "ScenarioBuilder":
+        """Issue a join request for ``node_id`` ``at`` ticks from now."""
+        self._schedule(at, self._net.node(node_id).join)
+        return self
+
+    def leave(self, node_id: int, at: int = 0) -> "ScenarioBuilder":
+        """Issue a leave request for ``node_id`` ``at`` ticks from now."""
+        self._schedule(at, self._net.node(node_id).leave)
+        return self
+
+    def recover(self, node_id: int, at: int = 0) -> "ScenarioBuilder":
+        """Reboot crashed ``node_id`` ``at`` ticks from now (it stays
+        silent until a later :meth:`join`)."""
+        self._schedule(at, self._net.node(node_id).recover)
+        return self
+
+    def at(self, at: int, action: Callable[[], None]) -> "ScenarioBuilder":
+        """Escape hatch: run ``action()`` ``at`` ticks from now."""
+        self._schedule(at, action)
+        return self
+
+    # -- network faults --------------------------------------------------------
+
+    def omit(
+        self,
+        frame: Optional[FrameSelector] = None,
+        tx_index: Optional[int] = None,
+        inconsistent: bool = False,
+        accepting: Sequence[int] = (),
+        count: int = 1,
+        crash_sender: bool = False,
+    ) -> "ScenarioBuilder":
+        """Arm an omission fault on the network's fault injector.
+
+        ``frame`` selects by content — a :class:`FrameMatch` or a bare
+        ``CanFrame -> bool`` predicate; ``tx_index`` selects the n-th
+        physical transmission instead. ``inconsistent=True`` makes the
+        ``accepting`` subset of nodes accept the frame while everyone else
+        (sender included) sees an error — the paper's last-two-bits
+        scenario; combined with ``crash_sender=True`` the sender dies
+        before the automatic retransmission.
+        """
+        if (frame is None) == (tx_index is None):
+            raise ScenarioError("omit() needs exactly one of frame/tx_index")
+        kind = (
+            FaultKind.INCONSISTENT_OMISSION
+            if inconsistent
+            else FaultKind.CONSISTENT_OMISSION
+        )
+        if accepting and not inconsistent:
+            raise ScenarioError(
+                "an accepting subset only makes sense for inconsistent "
+                "omissions"
+            )
+        injector = self._net.bus.injector
+        if tx_index is not None:
+            injector.fault_on_transmission(
+                tx_index, kind, accepting=accepting, crash_sender=crash_sender
+            )
+        else:
+            predicate = (
+                frame.predicate() if isinstance(frame, FrameMatch) else frame
+            )
+            injector.fault_on_frame(
+                predicate,
+                kind,
+                accepting=accepting,
+                crash_sender=crash_sender,
+                count=count,
+            )
+        return self
+
+    def inaccessibility(self, bits: int, at: int = 0) -> "ScenarioBuilder":
+        """Inject a ``bits``-long bus inaccessibility window ``at`` ticks
+        from now."""
+        self._schedule(at, lambda: self._net.bus.inject_inaccessibility(bits))
+        return self
+
+    # -- advancing the clock -----------------------------------------------------
+
+    def run_for(self, duration: int) -> "ScenarioBuilder":
+        """Advance the simulation by ``duration`` ticks."""
+        self._net.run_for(duration)
+        return self
+
+    def run_cycles(self, cycles: float) -> "ScenarioBuilder":
+        """Advance by a number of membership cycle periods."""
+        self._net.run_cycles(cycles)
+        return self
+
+    def run_until_settled(
+        self, max_cycles: int = 60, stable_cycles: int = 2
+    ) -> "ScenarioBuilder":
+        """Run until every scripted action has fired and the surviving full
+        members agree on an unchanged view for ``stable_cycles`` consecutive
+        membership cycles.
+
+        Raises :class:`~repro.errors.ScenarioError` (carrying the seed)
+        when the network has not settled within ``max_cycles`` cycles.
+        """
+        net = self._net
+        if net.sim.now < self._last_action_at:
+            net.sim.run_until(self._last_action_at)
+        stable = 0
+        previous = None
+        for _ in range(max_cycles):
+            net.run_cycles(1)
+            views = net.member_views()
+            members = set(views)
+            agreed = views and all(
+                view == next(iter(views.values())) for view in views.values()
+            )
+            snapshot = (
+                frozenset(next(iter(views.values()))) if agreed else None,
+                frozenset(members),
+            )
+            if agreed and snapshot == previous:
+                stable += 1
+                if stable >= stable_cycles:
+                    return self
+            else:
+                stable = 0
+            previous = snapshot
+        raise ScenarioError(
+            f"network did not settle within {max_cycles} membership cycles "
+            f"(stable_cycles={stable_cycles}, seed={self.seed!r})"
+        )

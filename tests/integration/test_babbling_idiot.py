@@ -12,14 +12,13 @@ from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
 from repro.sim.clock import ms
 from repro.workloads.adversary import BabblingIdiot
-from repro.workloads.scenarios import bootstrap_network
 
 CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
 
 
 def test_babbler_starves_lifesigns_and_collapses_membership():
     net = CanelyNetwork(node_count=5, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     babbler = BabblingIdiot(net.sim, net.bus, node_id=15)
     babbler.start()
     net.run_for(ms(300))
@@ -33,7 +32,7 @@ def test_babbler_starves_lifesigns_and_collapses_membership():
 
 def test_babbler_consumes_most_of_the_bus():
     net = CanelyNetwork(node_count=5, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     start_fda_bits = net.bus.stats.bits_by_type.get("FDA", 0)
     start_time = net.sim.now
     babbler = BabblingIdiot(net.sim, net.bus, node_id=15)
@@ -47,7 +46,7 @@ def test_babbler_consumes_most_of_the_bus():
 def test_guardian_intervention_allows_recovery():
     """What a bus guardian buys: silence the babbler, the system heals."""
     net = CanelyNetwork(node_count=4, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     babbler = BabblingIdiot(net.sim, net.bus, node_id=15)
     babbler.start()
     net.run_for(ms(300))
@@ -65,7 +64,7 @@ def test_guardian_intervention_allows_recovery():
 def test_throttled_babbler_is_survivable():
     """A low-rate 'babbler' (gap >> frame time) is just load: no collapse."""
     net = CanelyNetwork(node_count=4, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     babbler = BabblingIdiot(net.sim, net.bus, node_id=15, gap=ms(5))
     babbler.start()
     net.run_for(ms(300))

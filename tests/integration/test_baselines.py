@@ -10,7 +10,7 @@ from repro.sim.timers import TimerService
 from repro.can.bus import CanBus
 from repro.can.controller import CanController
 from repro.can.driver import CanStandardLayer
-from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.scenarios import detection_latencies
 
 NODES = 8
 
@@ -18,7 +18,7 @@ NODES = 8
 def canely_latency():
     config = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
     net = CanelyNetwork(node_count=NODES, config=config)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_time = net.sim.now
     net.node(5).crash()
     net.run_for(sec(3))

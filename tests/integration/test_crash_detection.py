@@ -3,7 +3,7 @@
 from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
 from repro.sim.clock import ms
-from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.scenarios import detection_latencies
 from repro.workloads.traffic import PeriodicSource
 
 CONFIG = CanelyConfig(capacity=64, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
@@ -12,7 +12,7 @@ CONFIG = CanelyConfig(capacity=64, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
 def test_detection_latency_is_tens_of_ms():
     """Fig. 11's membership row: CANELy latency in the tens of ms."""
     net = CanelyNetwork(node_count=8, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_time = net.sim.now
     net.node(5).crash()
     net.run_for(ms(200))
@@ -24,7 +24,7 @@ def test_detection_latency_is_tens_of_ms():
 def test_f_crashes_in_one_cycle():
     """The paper's harsh scenario: f = 4 nodes fail within one cycle."""
     net = CanelyNetwork(node_count=12, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_time = net.sim.now
     for node_id in (2, 5, 7, 11):
         net.node(node_id).crash()
@@ -39,7 +39,7 @@ def test_f_crashes_in_one_cycle():
 
 def test_cascading_crashes_across_cycles():
     net = CanelyNetwork(node_count=8, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     expected = set(range(8))
     for node_id in (1, 3, 6):
         net.node(node_id).crash()
@@ -53,7 +53,7 @@ def test_detector_of_detector_crashing():
     """The first detector crashes right after requesting FDA — the sign
     still reaches everyone (FDA's whole purpose)."""
     net = CanelyNetwork(node_count=6, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     net.node(5).crash()
     # Crash node 0 the instant the first FDA frame appears on the bus.
     fda_seen = []
@@ -80,7 +80,7 @@ def test_implicit_lifesigns_carry_detection():
     """With fast periodic traffic no ELS is ever sent, yet crashes are
     detected just as quickly."""
     net = CanelyNetwork(node_count=5, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     sources = [
         PeriodicSource(net.sim, net.node(n), period=ms(5)) for n in range(5)
     ]
@@ -97,7 +97,7 @@ def test_implicit_lifesigns_carry_detection():
 
 def test_majority_crash():
     net = CanelyNetwork(node_count=6, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     for node_id in (0, 1, 2, 3):
         net.node(node_id).crash()
     net.run_for(ms(300))

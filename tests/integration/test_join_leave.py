@@ -3,7 +3,6 @@
 from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
 from repro.sim.clock import ms
-from repro.workloads.scenarios import bootstrap_network
 
 CONFIG = CanelyConfig(capacity=64, tm=ms(50), tjoin_wait=ms(150))
 
@@ -27,7 +26,7 @@ def test_massive_join_leave_c20():
 
 def test_leaver_rejoins_later():
     net = CanelyNetwork(node_count=4, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     net.node(2).leave()
     net.run_for(ms(250))
     assert sorted(net.agreed_view()) == [0, 1, 3]
@@ -67,7 +66,7 @@ def test_joiner_crashes_before_integration():
 def test_unsatisfied_join_retired_within_two_cycles():
     """Fig. 9 footnote 10: V'j retires a join that never succeeds."""
     net = CanelyNetwork(node_count=5, config=CONFIG)
-    bootstrap_network(net, settle_cycles=4)
+    net.scenario().bootstrap(settle_cycles=4)
     # Forge a join request perception for a node that will never answer
     # (node id 40 does not exist on the bus).
     from repro.util.sets import NodeSet
@@ -82,7 +81,7 @@ def test_unsatisfied_join_retired_within_two_cycles():
 
 def test_all_leave_then_rebootstrap():
     net = CanelyNetwork(node_count=3, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     for node in net.nodes.values():
         node.leave()
     net.run_for(ms(300))
@@ -95,7 +94,7 @@ def test_all_leave_then_rebootstrap():
 
 def test_interleaved_leaves_across_cycles():
     net = CanelyNetwork(node_count=8, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     expected = set(range(8))
     for node_id in (7, 6, 5):
         net.node(node_id).leave()

@@ -10,7 +10,6 @@ from repro.llc.relcan import Relcan
 from repro.llc.totcan import Totcan
 from repro.can.identifiers import MessageType
 from repro.sim.clock import ms
-from repro.workloads.scenarios import bootstrap_network
 
 CONFIG = CanelyConfig(capacity=32, tm=ms(50), tjoin_wait=ms(150))
 
@@ -18,7 +17,7 @@ CONFIG = CanelyConfig(capacity=32, tm=ms(50), tjoin_wait=ms(150))
 def test_edcan_over_live_membership_network():
     """EDCAN traffic doubles as implicit life-signs for the detector."""
     net = CanelyNetwork(node_count=5, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     edcan = {
         n: Edcan(net.node(n).layer, inconsistent_degree=CONFIG.inconsistent_degree)
         for n in net.nodes
@@ -40,7 +39,7 @@ def test_relcan_under_stochastic_faults():
         rng=rng, consistent_probability=0.05, inconsistent_probability=0.02
     )
     net = CanelyNetwork(node_count=4, config=CONFIG, injector=injector)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     relcan = {
         n: Relcan(net.node(n).layer, net.node(n).timers, confirm_timeout=ms(10))
         for n in net.nodes
@@ -60,7 +59,7 @@ def test_relcan_under_stochastic_faults():
 
 def test_totcan_order_with_membership_traffic_interleaved():
     net = CanelyNetwork(node_count=4, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     totcan = {
         n: Totcan(
             net.node(n).layer,

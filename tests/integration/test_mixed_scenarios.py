@@ -8,7 +8,7 @@ from repro.core.stack import CanelyNetwork
 from repro.llc.properties import check_all_properties
 from repro.services.clocksync import ClockSyncService, VirtualClock, precision
 from repro.sim.clock import ms, us
-from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.scenarios import detection_latencies
 from repro.workloads.traffic import PeriodicSource, SporadicSource, TrafficSet
 
 CONFIG = CanelyConfig(capacity=32, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
@@ -23,7 +23,7 @@ def test_full_system_day_in_the_life():
         rng=rng, consistent_probability=0.01, inconsistent_probability=0.003
     )
     net = CanelyNetwork(node_count=10, config=CONFIG, injector=injector)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
 
     # Application traffic: half the nodes chatty, half sporadic.
     traffic = TrafficSet()
@@ -102,7 +102,7 @@ def test_full_system_day_in_the_life():
 
 def test_bus_utilization_stays_sane_under_load():
     net = CanelyNetwork(node_count=8, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     for node_id in net.nodes:
         PeriodicSource(net.sim, net.node(node_id), period=ms(5))
     start_bits = net.bus.stats.busy_bits

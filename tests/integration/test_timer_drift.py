@@ -11,7 +11,7 @@ import random
 from repro.core.config import CanelyConfig
 from repro.core.stack import CanelyNetwork
 from repro.sim.clock import ms
-from repro.workloads.scenarios import bootstrap_network, detection_latencies
+from repro.workloads.scenarios import detection_latencies
 
 CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
 
@@ -27,7 +27,7 @@ def drifted_network(node_count=6, ppm=100, seed=3):
 
 def test_crystal_drift_is_invisible():
     net = drifted_network(ppm=100)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     net.run_for(ms(1000))
     assert net.views_agree()
     assert sorted(net.agreed_view()) == list(range(6))
@@ -35,7 +35,7 @@ def test_crystal_drift_is_invisible():
 
 def test_detection_still_within_bound_under_drift():
     net = drifted_network(ppm=200)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_time = net.sim.now
     net.node(4).crash()
     net.run_for(ms(200))
@@ -64,6 +64,6 @@ def test_mild_detuning_absorbed_by_ttd_margin():
     """A 20% slow heartbeat still lands inside Thb + Ttd: tolerated."""
     drifts = {5: 0.20}
     net = CanelyNetwork(node_count=6, config=CONFIG, timer_drifts=drifts)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     net.run_for(ms(500))
     assert sorted(net.agreed_view()) == list(range(6))

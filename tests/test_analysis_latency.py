@@ -46,12 +46,12 @@ def test_dissemination_is_sub_millisecond_at_1mbps():
 def test_bounds_cover_measured_latency():
     """The bound must actually bound the simulator's measurement."""
     from repro.core.stack import CanelyNetwork
-    from repro.workloads.scenarios import bootstrap_network, detection_latencies
+    from repro.workloads.scenarios import detection_latencies
 
     config = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
     bounds = latency_bounds(config)
     net = CanelyNetwork(node_count=8, config=config)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_time = net.sim.now
     net.node(5).crash()
     net.run_for(ms(200))

@@ -1,0 +1,89 @@
+"""The ``repro`` package facade: eager core names, lazy subsystem names.
+
+``import repro`` must stay cheap (the core protocol classes only); the
+campaign/check/obs/perf surfaces resolve on first attribute access and are
+cached. ``__all__``/``dir()`` advertise everything, so tab completion and
+star-imports see one coherent API.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+import repro
+
+
+def test_version_bumped_for_the_new_surface():
+    major, minor, _patch = repro.__version__.split(".")
+    assert (int(major), int(minor)) >= (1, 1)
+
+
+def test_core_names_are_eager():
+    for name in ("CanelyNetwork", "CanelyConfig", "CanelyNode",
+                 "MembershipView", "MembershipChange", "NodeSet"):
+        assert name in repro.__dict__, f"{name} should not be lazy"
+
+
+@pytest.mark.parametrize(
+    "name, module",
+    [
+        ("ScenarioBuilder", "repro.workloads"),
+        ("FrameMatch", "repro.workloads"),
+        ("run_campaign", "repro.campaign"),
+        ("CampaignSpec", "repro.campaign"),
+        ("default_workers", "repro.campaign"),
+        ("CheckSweep", "repro.check"),
+        ("ScheduleSpace", "repro.check"),
+        ("explore", "repro.check"),
+        ("run_selftest", "repro.check"),
+        ("replay_artifact", "repro.check"),
+        ("minimize_schedule", "repro.check"),
+        ("standard_monitors", "repro.obs"),
+        ("InvariantViolation", "repro.obs"),
+        ("run_benchmarks", "repro.perf"),
+        ("compare_reports", "repro.perf"),
+    ],
+)
+def test_lazy_exports_resolve_to_their_modules(name, module):
+    resolved = getattr(repro, name)
+    canonical = getattr(importlib.import_module(module), name)
+    assert resolved is canonical
+    # Cached after first access: no repeated import machinery.
+    assert repro.__dict__[name] is canonical
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_dir_advertises_lazy_names():
+    listing = dir(repro)
+    for name in ("run_campaign", "CheckSweep", "standard_monitors",
+                 "run_benchmarks", "ScenarioBuilder"):
+        assert name in listing
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError, match="no_such_name"):
+        repro.no_such_name
+
+
+def test_import_repro_does_not_drag_in_subsystems():
+    """The lazy facade's point: a fresh ``import repro`` must not import
+    the campaign/check/perf machinery."""
+    import subprocess
+
+    code = (
+        "import sys, repro; "
+        "heavy = [m for m in sys.modules if m.startswith("
+        "('repro.campaign', 'repro.check', 'repro.perf'))]; "
+        "sys.exit(1 if heavy else 0)"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        cwd="/root/repo",
+    )
+    assert proc.returncode == 0

@@ -1,0 +1,261 @@
+"""ScenarioBuilder: fluent API semantics and golden-trace equivalence.
+
+The equivalence tests are the deprecation contract: each of the three
+golden scenarios (crash detection, join/leave churn, inconsistent
+omissions) runs once through the deprecated free functions and once
+through the fluent builder, and the complete observable fingerprint —
+every trace record in order, bus statistics, event count and every node's
+view — must match exactly. Anyone refactoring the wrappers or the builder
+trips these before they ship a behaviour change.
+"""
+
+import contextlib
+import warnings
+from types import SimpleNamespace
+
+import pytest
+
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.identifiers import MessageId, MessageType
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork, DualChannelNetwork
+from repro.errors import ScenarioError
+from repro.sim.clock import ms
+from repro.sim.trace import record_to_dict
+from repro.workloads import FrameMatch, ScenarioBuilder
+from repro.workloads.scenarios import (
+    bootstrap_network,
+    schedule_crash,
+    schedule_leave,
+)
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
+
+
+def fingerprint(net):
+    """Everything observable about a finished run, in comparable form."""
+    views = {}
+    for node in net.correct_nodes():
+        view = node.view()
+        views[node.node_id] = (sorted(view.members), view.round_index)
+    return {
+        "trace": [record_to_dict(record) for record in net.sim.trace],
+        "events": net.sim.events_processed,
+        "now": net.sim.now,
+        "physical_frames": net.bus.stats.physical_frames,
+        "error_frames": net.bus.stats.error_frames,
+        "busy_bits": net.bus.stats.busy_bits,
+        "bits_by_type": dict(net.bus.stats.bits_by_type),
+        "views": views,
+    }
+
+
+def _assert_identical(legacy, fluent):
+    assert legacy["events"] == fluent["events"]
+    assert legacy["now"] == fluent["now"]
+    assert legacy["physical_frames"] == fluent["physical_frames"]
+    assert legacy["error_frames"] == fluent["error_frames"]
+    assert legacy["busy_bits"] == fluent["busy_bits"]
+    assert legacy["bits_by_type"] == fluent["bits_by_type"]
+    assert legacy["views"] == fluent["views"]
+    assert len(legacy["trace"]) == len(fluent["trace"])
+    for legacy_rec, fluent_rec in zip(legacy["trace"], fluent["trace"]):
+        assert legacy_rec == fluent_rec
+
+
+@contextlib.contextmanager
+def _silence_deprecations():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        yield
+
+
+# -- golden-trace equivalence: legacy helpers vs builder ---------------------------
+
+
+def test_crash_detection_equivalent():
+    """Golden scenario 1: 10 nodes bootstrap, node 7 crashes."""
+
+    def legacy():
+        net = CanelyNetwork(node_count=10, config=CONFIG)
+        with _silence_deprecations():
+            bootstrap_network(net)
+            schedule_crash(net, 7, net.sim.now + ms(20))
+        net.run_for(ms(200))
+        assert net.views_agree()
+        return fingerprint(net)
+
+    def fluent():
+        net = CanelyNetwork(node_count=10, config=CONFIG)
+        net.scenario().bootstrap().crash(7, at=ms(20)).run_for(ms(200))
+        assert net.views_agree()
+        return fingerprint(net)
+
+    _assert_identical(legacy(), fluent())
+
+
+def test_join_leave_churn_equivalent():
+    """Golden scenario 2: staggered leaves exercise RHA and the cycle."""
+
+    def legacy():
+        net = CanelyNetwork(node_count=6, config=CONFIG)
+        with _silence_deprecations():
+            bootstrap_network(net)
+            schedule_leave(net, 2, net.sim.now + ms(10))
+            schedule_leave(net, 5, net.sim.now + ms(60))
+        net.run_for(ms(300))
+        assert net.views_agree()
+        return fingerprint(net)
+
+    def fluent():
+        net = CanelyNetwork(node_count=6, config=CONFIG)
+        (
+            net.scenario()
+            .bootstrap()
+            .leave(2, at=ms(10))
+            .leave(5, at=ms(60))
+            .run_for(ms(300))
+        )
+        assert net.views_agree()
+        return fingerprint(net)
+
+    _assert_identical(legacy(), fluent())
+
+
+def test_inconsistent_omissions_equivalent():
+    """Golden scenario 3: FDA traffic hit by an inconsistent omission."""
+
+    def legacy():
+        net = CanelyNetwork(
+            node_count=8, config=CONFIG, injector=FaultInjector()
+        )
+        with _silence_deprecations():
+            bootstrap_network(net)
+        net.bus.injector.fault_on_frame(
+            lambda f: f.mid.mtype is MessageType.FDA,
+            FaultKind.INCONSISTENT_OMISSION,
+            accepting=[2],
+        )
+        with _silence_deprecations():
+            schedule_crash(net, 6, net.sim.now)
+        net.run_for(ms(300))
+        assert net.views_agree()
+        return fingerprint(net)
+
+    def fluent():
+        net = CanelyNetwork(
+            node_count=8, config=CONFIG, injector=FaultInjector()
+        )
+        (
+            net.scenario()
+            .bootstrap()
+            .omit(
+                frame=FrameMatch(mtype="FDA"),
+                inconsistent=True,
+                accepting=[2],
+            )
+            .crash(6)
+            .run_for(ms(300))
+        )
+        assert net.views_agree()
+        return fingerprint(net)
+
+    _assert_identical(legacy(), fluent())
+
+
+# -- builder semantics -------------------------------------------------------------
+
+
+def test_builder_chains_and_returns_self():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    builder = net.scenario()
+    assert builder.bootstrap() is builder
+    assert builder.crash(3) is builder
+    assert builder.run_for(ms(100)) is builder
+    assert builder.network is net
+    assert sorted(net.agreed_view()) == [0, 1, 2]
+
+
+def test_bootstrap_subset_leaves_late_joiners():
+    net = CanelyNetwork(node_count=5, config=CONFIG)
+    net.scenario().bootstrap(nodes=(0, 1, 2))
+    assert sorted(net.agreed_view()) == [0, 1, 2]
+    net.scenario().join(3).run_for(ms(300))
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+
+
+def test_run_until_settled_converges_after_crash():
+    net = CanelyNetwork(node_count=5, config=CONFIG)
+    net.scenario().bootstrap().crash(4, at=ms(30)).run_until_settled()
+    assert net.node(4).crashed
+    assert sorted(net.agreed_view()) == [0, 1, 2, 3]
+    assert net.views_agree()
+
+
+def test_run_until_settled_raises_with_seed():
+    net = CanelyNetwork(node_count=4, config=CONFIG)
+    builder = net.scenario(seed=99)
+    builder.bootstrap()
+    # A crash scheduled beyond the settling horizon keeps the view churning
+    # forever from the settler's perspective? No — instead force failure by
+    # asking for impossible stability within zero cycles of budget.
+    builder.crash(3)
+    with pytest.raises(ScenarioError) as excinfo:
+        builder.run_until_settled(max_cycles=1, stable_cycles=5)
+    assert "seed=99" in str(excinfo.value)
+
+
+def test_negative_offset_rejected():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    with pytest.raises(ScenarioError, match="in the past"):
+        net.scenario().crash(1, at=-ms(5))
+
+
+def test_omit_requires_exactly_one_selector():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    with pytest.raises(ScenarioError, match="frame/tx_index"):
+        net.scenario().omit()
+    with pytest.raises(ScenarioError, match="frame/tx_index"):
+        net.scenario().omit(frame=FrameMatch(mtype="FDA"), tx_index=3)
+
+
+def test_omit_accepting_needs_inconsistent():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    with pytest.raises(ScenarioError, match="accepting"):
+        net.scenario().omit(frame=FrameMatch(mtype="FDA"), accepting=[1])
+
+
+def test_builder_works_on_dual_channel_network():
+    net = DualChannelNetwork(node_count=4, config=CONFIG)
+    net.scenario().bootstrap().crash(2, at=ms(20)).run_for(ms(200))
+    assert sorted(net.agreed_view()) == [0, 1, 3]
+
+
+# -- FrameMatch --------------------------------------------------------------------
+
+
+def test_frame_match_rejects_unknown_type():
+    with pytest.raises(ScenarioError, match="unknown message type"):
+        FrameMatch(mtype="BOGUS")
+    with pytest.raises(ScenarioError, match="nth"):
+        FrameMatch(mtype="FDA", nth=-1)
+
+
+def test_frame_match_predicate_counts_nth():
+    match = FrameMatch(mtype="ELS", node=1, nth=1).predicate()
+    els1 = SimpleNamespace(mid=MessageId(MessageType.ELS, node=1))
+    els2 = SimpleNamespace(mid=MessageId(MessageType.ELS, node=2))
+    fda1 = SimpleNamespace(mid=MessageId(MessageType.FDA, node=1))
+    assert not match(fda1)  # wrong type
+    assert not match(els2)  # wrong node
+    assert not match(els1)  # first match skipped (nth=1)
+    assert match(els1)  # second match selected
+    assert match(els1)  # and it stays armed for the injector's count
+
+
+def test_frame_match_is_plain_data():
+    """FrameMatch must serialize (it crosses process boundaries)."""
+    import pickle
+
+    match = FrameMatch(mtype="FDA", node=3, nth=2)
+    assert pickle.loads(pickle.dumps(match)) == match

@@ -1,4 +1,11 @@
-"""Unit tests for scenario scripting helpers."""
+"""Unit tests for scenario scripting helpers.
+
+The construction helpers (``bootstrap_network``, ``schedule_*``) are
+deprecated wrappers around :class:`~repro.workloads.builder.ScenarioBuilder`;
+the tests here pin both that they still work and that they warn. The
+trace-query helpers (``first_change_with_failed``, ``detection_latencies``)
+are not deprecated and are exercised through the builder API.
+"""
 
 import pytest
 
@@ -18,36 +25,70 @@ from repro.workloads.scenarios import (
 CONFIG = CanelyConfig(capacity=16, tm=ms(50), tjoin_wait=ms(150))
 
 
-def test_bootstrap_network_converges():
+# -- deprecated wrappers: still work, and warn -------------------------------------
+
+
+def test_bootstrap_network_converges_and_warns():
     net = CanelyNetwork(node_count=4, config=CONFIG)
-    bootstrap_network(net)
+    with pytest.warns(DeprecationWarning, match="network.scenario"):
+        bootstrap_network(net)
     assert sorted(net.agreed_view()) == [0, 1, 2, 3]
 
 
-def test_schedule_crash():
+def test_schedule_crash_warns_and_schedules():
     net = CanelyNetwork(node_count=3, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     at = net.sim.now + ms(20)
-    schedule_crash(net, 2, at)
+    with pytest.warns(DeprecationWarning, match="scenario\\(\\).crash"):
+        schedule_crash(net, 2, at)
     net.run_for(ms(200))
     assert net.node(2).crashed
     assert sorted(net.agreed_view()) == [0, 1]
 
 
-def test_schedule_join_and_leave():
+def test_schedule_join_and_leave_warn_and_schedule():
     net = CanelyNetwork(node_count=4, config=CONFIG)
     for node_id in range(3):
         net.node(node_id).join()
     net.run_for(ms(400))
-    schedule_join(net, 3, net.sim.now + ms(10))
-    schedule_leave(net, 0, net.sim.now + ms(10))
+    with pytest.warns(DeprecationWarning, match="scenario\\(\\).join"):
+        schedule_join(net, 3, net.sim.now + ms(10))
+    with pytest.warns(DeprecationWarning, match="scenario\\(\\).leave"):
+        schedule_leave(net, 0, net.sim.now + ms(10))
     net.run_for(ms(300))
     assert sorted(net.agreed_view()) == [1, 2, 3]
 
 
+def test_bootstrap_failure_raises_typed_error():
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    net.node(0).crash()  # one node can never join
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ScenarioError) as excinfo:
+            bootstrap_network(net)
+    assert "did not converge" in str(excinfo.value)
+    # Campaign workers classify on the type, so it must be a ReproError —
+    # not a bare AssertionError matched by message.
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_bootstrap_failure_message_is_reproducible():
+    """Non-convergence must name the settle-cycle count and the seed, so a
+    campaign/check failure is reproducible from the message alone."""
+    net = CanelyNetwork(node_count=3, config=CONFIG)
+    net.node(1).crash()
+    with pytest.raises(ScenarioError) as excinfo:
+        net.scenario(seed=1234).bootstrap(settle_cycles=3)
+    message = str(excinfo.value)
+    assert "settle_cycles=3" in message
+    assert "seed=1234" in message
+
+
+# -- trace-query helpers (not deprecated) ----------------------------------------
+
+
 def test_first_change_with_failed():
     net = CanelyNetwork(node_count=3, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_at = net.sim.now
     net.node(1).crash()
     net.run_for(ms(200))
@@ -58,13 +99,13 @@ def test_first_change_with_failed():
 
 def test_first_change_with_failed_none_when_absent():
     net = CanelyNetwork(node_count=3, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     assert first_change_with_failed(net, 2) is None
 
 
 def test_detection_latencies():
     net = CanelyNetwork(node_count=4, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_time = net.sim.now
     net.node(3).crash()
     net.run_for(ms(200))
@@ -73,20 +114,9 @@ def test_detection_latencies():
     assert 0 < latencies[3] <= ms(30)
 
 
-def test_bootstrap_failure_raises_typed_error():
-    net = CanelyNetwork(node_count=3, config=CONFIG)
-    net.node(0).crash()  # one node can never join
-    with pytest.raises(ScenarioError) as excinfo:
-        bootstrap_network(net)
-    assert "did not converge" in str(excinfo.value)
-    # Campaign workers classify on the type, so it must be a ReproError —
-    # not a bare AssertionError matched by message.
-    assert isinstance(excinfo.value, ReproError)
-
-
 def test_detection_latencies_multiple_crashes_single_pass():
     net = CanelyNetwork(node_count=5, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_times = {}
     for victim in (1, 4):
         crash_times[victim] = net.sim.now
@@ -102,7 +132,7 @@ def test_detection_latencies_multiple_crashes_single_pass():
 
 def test_detection_latencies_ignores_changes_before_crash():
     net = CanelyNetwork(node_count=4, config=CONFIG)
-    bootstrap_network(net)
+    net.scenario().bootstrap()
     crash_time = net.sim.now
     net.node(2).crash()
     net.run_for(ms(200))
