@@ -62,14 +62,24 @@ _LAZY_EXPORTS = {
     "sample_schedules": "repro.check",
     "write_artifact": "repro.check",
     # observability (repro.obs)
+    "CriticalPath": "repro.obs",
     "DetectionLatencyMonitor": "repro.obs",
     "DuplicateFailureSignMonitor": "repro.obs",
     "InvariantMonitor": "repro.obs",
     "InvariantViolation": "repro.obs",
     "MetricsRegistry": "repro.obs",
     "PhantomRemovalMonitor": "repro.obs",
+    "Span": "repro.obs",
+    "SpanTracer": "repro.obs",
     "ViewAgreementMonitor": "repro.obs",
+    "detection_path": "repro.obs",
+    "export_chrome_trace": "repro.obs",
+    "notification_path": "repro.obs",
+    "render_msc": "repro.obs",
+    "render_span_tree": "repro.obs",
     "standard_monitors": "repro.obs",
+    "validate_chrome_trace": "repro.obs",
+    "view_update_path": "repro.obs",
     # benchmarks (repro.perf)
     "compare_reports": "repro.perf",
     "load_report": "repro.perf",

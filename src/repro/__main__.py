@@ -11,6 +11,10 @@ Commands:
 * ``bounds``    — print the latency bounds for a configuration.
 * ``trace``     — run a scenario and query/export its trace (JSONL).
 * ``metrics``   — run a scenario and print the metrics registry.
+* ``spans``     — run a seeded crash scenario with causal span tracing on
+  and summarize the spans, print the exact critical-path latency
+  decomposition, render the detection's span tree or a message sequence
+  chart, or export Chrome trace-event JSON (``--chrome``/``--validate``).
 * ``campaign``  — run a parallel randomized fault-scenario campaign with
   checkpoint/resume (see :mod:`repro.campaign`).
 * ``check``     — systematically explore bounded fault schedules, minimize
@@ -201,7 +205,13 @@ def _cmd_trace(args) -> int:
 
     net = _observed_network(args)
     trace = net.sim.trace
-    selected = trace.select(category=args.category, node=args.node)
+    # All filters combine in one select() call: category prefix, node and
+    # the [--start-ms, --end-ms] time window.
+    start = None if args.start_ms is None else ms(args.start_ms)
+    end = None if args.end_ms is None else ms(args.end_ms)
+    selected = trace.select(
+        category=args.category, node=args.node, start=start, end=end
+    )
     if args.export:
         with JsonlSink(args.export) as sink:
             for record in selected:
@@ -215,13 +225,132 @@ def _cmd_trace(args) -> int:
             title=f"Trace: {len(trace)} records, {format_time(trace.last_time)}",
         )
     )
-    if args.category is not None or args.node is not None:
+    if (
+        args.category is not None
+        or args.node is not None
+        or start is not None
+        or end is not None
+    ):
         shown = selected if args.limit is None else selected[: args.limit]
         print(f"\n{len(selected)} matching records:")
         for record in shown:
             print(f"  {record_to_dict(record)}")
         if len(shown) < len(selected):
             print(f"  ... {len(selected) - len(shown)} more (raise --limit)")
+    return 0
+
+
+def _cmd_spans(args) -> int:
+    from repro.obs.critical_path import (
+        detection_path,
+        notification_path,
+        view_update_path,
+    )
+    from repro.obs.export import (
+        export_chrome_trace,
+        render_msc,
+        validate_chrome_trace,
+    )
+    from repro.obs.metrics import Histogram
+    from repro.obs.spans import render_span_tree
+
+    if not 0 <= args.crash < args.nodes:
+        print(f"--crash {args.crash} outside 0..{args.nodes - 1}")
+        return 2
+    net = CanelyNetwork(node_count=args.nodes, spans=True)
+    (
+        net.scenario(seed=args.seed)
+        .bootstrap()
+        .crash(args.crash, at=ms(args.crash_after))
+        .run_until_settled()
+    )
+    spans = net.sim.spans
+
+    if args.chrome or args.validate:
+        text = export_chrome_trace(spans, path=args.chrome, flows=args.flows)
+        if args.chrome:
+            print(f"chrome trace written to {args.chrome} ({len(text)} bytes)")
+        if args.validate:
+            problems = validate_chrome_trace(text)
+            if problems:
+                print(f"{len(problems)} trace-event problem(s):")
+                for problem in problems:
+                    print(f"  {problem}")
+                return 1
+            print("chrome trace validates: 0 problems")
+        if not (args.msc or args.tree or args.critical_path):
+            return 0
+
+    if args.msc:
+        crash_spans = spans.select(name="node.crash", node=args.crash)
+        anchor = crash_spans[0].start if crash_spans else 0
+        for line in render_msc(
+            net.sim.trace, start=max(0, anchor - ms(1)), end=anchor + ms(30)
+        ):
+            print(line)
+        return 0
+
+    if args.tree:
+        detects = spans.select(
+            name="fd.detect",
+            predicate=lambda s: s.attrs.get("failed") == args.crash,
+        )
+        if not detects or detects[0].parent is None:
+            print(f"no fd.detect span for node {args.crash}")
+            return 1
+        for line in render_span_tree(
+            spans, detects[0].parent, format_time=format_time
+        ):
+            print(line)
+        return 0
+
+    if args.critical_path:
+        for path_fn in (detection_path, notification_path, view_update_path):
+            for line in path_fn(spans, args.crash).render(format_time):
+                print(line)
+            print()
+        return 0
+
+    # Default: per-span-kind digest of the run, durations summarized at
+    # bucket resolution (Histogram.summary()).
+    digests = {}
+    for span in spans:
+        if span.duration is None:
+            continue
+        key = (span.category, span.name)
+        if key not in digests:
+            digests[key] = Histogram()
+        digests[key].observe(span.duration)
+    rows = []
+    for (category, name), count in spans.summary().items():
+        digest = digests.get((category, name))
+        if digest is None or not digest.count:
+            rows.append([category, name, str(count), "open", "-", "-"])
+            continue
+        stats = digest.summary()
+        rows.append(
+            [
+                category,
+                name,
+                str(count),
+                format_time(round(stats["mean"])),
+                format_time(round(stats["max"])),
+                format_time(round(stats["p99"])),
+            ]
+        )
+    print(
+        render_table(
+            ["layer", "span", "count", "mean", "max", "p99<="],
+            rows,
+            title=(
+                f"Spans: {len(spans)} recorded, node {args.crash} crashed "
+                f"(seed {args.seed}, {args.nodes} nodes)"
+            ),
+        )
+    )
+    open_count = len(spans.open_spans())
+    if open_count:
+        print(f"{open_count} span(s) never closed (crashed-node queues)")
     return 0
 
 
@@ -450,8 +579,71 @@ def main(argv=None) -> int:
     trace.add_argument(
         "--limit", type=int, default=20, help="max records to print"
     )
+    trace.add_argument(
+        "--start-ms",
+        type=float,
+        default=None,
+        help="only records at or after this time (combines with the other "
+        "filters)",
+    )
+    trace.add_argument(
+        "--end-ms",
+        type=float,
+        default=None,
+        help="only records at or before this time",
+    )
     trace.add_argument("--export", metavar="PATH", help="write JSONL instead")
     trace.set_defaults(func=_cmd_trace)
+    spans = sub.add_parser(
+        "spans",
+        help="run a seeded crash scenario with causal span tracing and "
+        "summarize, attribute or export the span trace",
+    )
+    spans.add_argument(
+        "--nodes", type=int, default=5, help="network population"
+    )
+    spans.add_argument("--seed", type=int, default=0, help="scenario seed")
+    spans.add_argument(
+        "--crash", type=int, default=2, help="node to crash after bootstrap"
+    )
+    spans.add_argument(
+        "--crash-after",
+        type=float,
+        default=2.0,
+        help="crash delay after bootstrap, ms",
+    )
+    spans.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="print the exact latency decomposition (detection, "
+        "notification, view update)",
+    )
+    spans.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the causal span tree of the detection",
+    )
+    spans.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="export Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    spans.add_argument(
+        "--flows",
+        action="store_true",
+        help="with --chrome: emit causal flow arrows across tracks",
+    )
+    spans.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the Chrome trace export; exit 1 on problems",
+    )
+    spans.add_argument(
+        "--msc",
+        action="store_true",
+        help="print a text message sequence chart around the crash",
+    )
+    spans.set_defaults(func=_cmd_spans)
     metrics = sub.add_parser(
         "metrics", help="run a scenario and print the metrics registry"
     )

@@ -70,6 +70,9 @@ class _Transmission:
     #: arbitration resolves and reused by the completion path — each
     #: physical frame is encoded at most once.
     wire_bits: int = 0
+    #: Causal span covering the wire occupancy of this physical frame
+    #: (``None`` while span tracing is disabled).
+    span_id: Optional[int] = None
 
 
 class CanBus:
@@ -102,6 +105,9 @@ class CanBus:
         #: The recorder, aliased once — completion guards every record call
         #: on ``wants(...)`` so disabled traces skip payload construction.
         self._trace = sim.trace
+        #: The causal span tracer, aliased once for the same reason; every
+        #: span site below guards on ``self._spans.enabled``.
+        self._spans = sim.spans
         # Bound metric methods resolved once: the completion path runs per
         # frame, and ``registry.counter(...)`` plus attribute dispatch per
         # frame is measurable at campaign scale.
@@ -120,6 +126,7 @@ class CanBus:
             raise BusError(f"node id {controller.node_id} already attached")
         self._controllers[controller.node_id] = controller
         controller._bus = self
+        controller._spans = self._spans
 
     def controller(self, node_id: int) -> CanController:
         """The controller attached as ``node_id``."""
@@ -226,6 +233,22 @@ class CanBus:
             started_at=self._sim.now,
             wire_bits=frame_bits,
         )
+        if self._spans.enabled:
+            # Frames that offered but were not taken lost this arbitration
+            # round; their queue spans get one "arb-loss" point event each.
+            taken = {id(request) for request in requests}
+            for offer in offers:
+                if id(offer) not in taken:
+                    self._spans.event(offer.span_id, "arb-loss")
+            self._current.span_id = self._spans.begin(
+                "can.tx",
+                "bus",
+                node=senders[0].node_id,
+                parent=winner.span_id,
+                mid=str(winner.frame.mid),
+                remote=winner.frame.remote,
+                cluster=len(requests),
+            )
         self.stats.clustered_requests += len(requests) - 1
         if len(requests) > 1:
             self._m_clustered_inc(len(requests) - 1)
@@ -254,6 +277,8 @@ class CanBus:
         verdict = self.injector.verdict(
             tx.frame, sender_ids, receiver_ids, self._tx_index - 1
         )
+        if tx.span_id is not None:
+            self._spans.end(tx.span_id, kind=verdict.kind.value)
 
         frame_bits = tx.wire_bits
         overhead_bits = INTERFRAME_BITS
@@ -298,12 +323,39 @@ class CanBus:
             if sender.alive:
                 sender.finish_success(request)
         # Hoisted out of the per-recipient loop: delivery is the hottest
-        # trace site (one record per alive controller per frame).
+        # trace site (one record per alive controller per frame). The
+        # span-disabled loop is kept branch-free per recipient for the
+        # same reason.
         record_delivery = self._trace.wants("bus.deliver")
+        if tx.span_id is None:
+            for controller in alive:
+                # .ind includes own transmissions (paper Fig. 4).
+                if controller.alive:
+                    controller.deliver(tx.frame)
+                    if record_delivery:
+                        self._trace.record(
+                            self._sim.now,
+                            "bus.deliver",
+                            node=controller.node_id,
+                            mid=tx.frame.mid,
+                            remote=tx.frame.remote,
+                        )
+            return
+        spans = self._spans
         for controller in alive:
-            # .ind includes own transmissions (paper Fig. 4).
             if controller.alive:
-                controller.deliver(tx.frame)
+                rx_span = spans.begin(
+                    "can.rx",
+                    "bus",
+                    node=controller.node_id,
+                    parent=tx.span_id,
+                )
+                spans.push(rx_span)
+                try:
+                    controller.deliver(tx.frame)
+                finally:
+                    spans.pop()
+                    spans.end(rx_span)
                 if record_delivery:
                     self._trace.record(
                         self._sim.now,
@@ -321,11 +373,27 @@ class CanBus:
     ) -> None:
         sender_set = {c.node_id for c in tx.senders}
         record_delivery = self._trace.wants("bus.deliver")
+        spans = self._spans if tx.span_id is not None else None
         for controller in alive:
             if controller.node_id in sender_set:
                 continue
             if controller.node_id in verdict.accepting:
-                controller.deliver(tx.frame)
+                if spans is not None:
+                    rx_span = spans.begin(
+                        "can.rx",
+                        "bus",
+                        node=controller.node_id,
+                        parent=tx.span_id,
+                        inconsistent=True,
+                    )
+                    spans.push(rx_span)
+                    try:
+                        controller.deliver(tx.frame)
+                    finally:
+                        spans.pop()
+                        spans.end(rx_span)
+                else:
+                    controller.deliver(tx.frame)
                 if record_delivery:
                     self._trace.record(
                         self._sim.now,
@@ -351,6 +419,13 @@ class CanBus:
             # before the retransmission goes out.
             for sender in tx.senders:
                 sender.crash()
+                if spans is not None:
+                    spans.instant(
+                        "node.crash",
+                        "node",
+                        node=sender.node_id,
+                        parent=tx.span_id,
+                    )
                 self._sim.trace.record(
                     self._sim.now, "node.crash", node=sender.node_id
                 )

@@ -43,6 +43,9 @@ class _DualControllerFacade:
 
     def __init__(self, primary: CanController, secondary: CanController) -> None:
         self._controllers = (primary, secondary)
+        # Span tracer facade: both channels share one simulator, hence one
+        # tracer; layered protocols reach it via ``layer.controller._spans``.
+        self._spans = primary._spans
 
     @property
     def crashed(self) -> bool:

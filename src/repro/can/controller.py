@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 from repro.can.frame import CanFrame
 from repro.can.identifiers import MessageId
 from repro.errors import BusError
+from repro.obs.spans import NULL_TRACER
 
 #: TEC/REC threshold above which the controller goes error-passive.
 ERROR_PASSIVE_THRESHOLD = 127
@@ -53,6 +54,10 @@ class TxRequest:
     frame: CanFrame
     seq: int
     attempts: int = 0
+    #: Causal span opened at submission, closed when the request leaves the
+    #: controller for good (delivered / aborted / dropped). ``None`` while
+    #: span tracing is disabled.
+    span_id: Optional[int] = None
 
     @property
     def priority_key(self):
@@ -71,6 +76,7 @@ class CanController:
         self._queue: List[TxRequest] = []
         self._seq = itertools.count()
         self._bus = None  # set by CanBus.attach
+        self._spans = NULL_TRACER  # rebound to the sim's tracer by attach
         # Delivery hooks, wired by the standard-layer driver.
         self.on_rx: Optional[Callable[[CanFrame], None]] = None
         self.on_tx_success: Optional[Callable[[CanFrame], None]] = None
@@ -104,6 +110,9 @@ class CanController:
         scenario arises.
         """
         self.crashed = True
+        if self._spans.enabled:
+            for request in self._queue:
+                self._spans.end(request.span_id, outcome="crashed")
         self._queue.clear()
 
     # -- transmit queue --------------------------------------------------------
@@ -117,6 +126,14 @@ class CanController:
         if not self.alive:
             return None
         request = TxRequest(frame=frame, seq=next(self._seq))
+        if self._spans.enabled:
+            request.span_id = self._spans.begin(
+                "can.frame",
+                "can",
+                node=self.node_id,
+                mid=str(frame.mid),
+                remote=frame.remote,
+            )
         self._queue.append(request)
         self._queue.sort(key=lambda r: r.priority_key)
         if self._bus is not None:
@@ -131,6 +148,10 @@ class CanController:
         True when at least one request was removed.
         """
         before = len(self._queue)
+        if self._spans.enabled:
+            for request in self._queue:
+                if request.frame.mid == mid:
+                    self._spans.end(request.span_id, outcome="aborted")
         self._queue = [r for r in self._queue if r.frame.mid != mid]
         return len(self._queue) != before
 
@@ -163,13 +184,23 @@ class CanController:
     def finish_success(self, request: TxRequest) -> None:
         """Successful transmission: TEC decrement and ``.cnf`` upcall."""
         self.tec = max(0, self.tec - 1)
+        if request.span_id is not None:
+            self._spans.end(
+                request.span_id, outcome="delivered", attempts=request.attempts
+            )
         if self.on_tx_success is not None:
             self.on_tx_success(request.frame)
 
     def finish_error(self, request: TxRequest) -> None:
         """Failed transmission: bump TEC and requeue for automatic retry."""
         self.tec += TX_ERROR_INCREMENT
+        if request.span_id is not None:
+            self._spans.event(request.span_id, "tx-error")
         if not self.alive:
+            if request.span_id is not None:
+                self._spans.end(
+                    request.span_id, outcome="dropped", attempts=request.attempts
+                )
             return
         request.attempts += 1
         self._queue.append(request)

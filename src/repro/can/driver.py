@@ -121,8 +121,23 @@ class CanStandardLayer:
             return
         # The .nty extension fires before .ind: it carries no data and is
         # what the failure-detection protocol taps for implicit life-signs.
-        for listener in self._data_nty:
-            listener(mid)
+        if self._controller._spans.enabled and self._data_nty:
+            spans = self._controller._spans
+            # Surveillance-timer restarts triggered by this notification
+            # parent to the frame that acted as the life-sign — the root a
+            # later detection tree hangs from.
+            nty_span = spans.instant(
+                "can.nty", "can", node=self._controller.node_id, mid=str(mid)
+            )
+            spans.push(nty_span)
+            try:
+                for listener in self._data_nty:
+                    listener(mid)
+            finally:
+                spans.pop()
+        else:
+            for listener in self._data_nty:
+                listener(mid)
         for mtype, listener in self._data_ind:
             if mtype is None or mid.mtype is mtype:
                 listener(mid, frame.data)

@@ -54,6 +54,7 @@ class FailureDetector:
         metrics = self._sim.metrics
         self._inc_els_sent = metrics.counter("fd.els_sent").inc
         self._inc_detections = metrics.counter("fd.detections").inc
+        self._spans = self._sim.spans
         layer.add_data_nty(self._on_activity)  # f03: implicit life-signs
         layer.add_rtr_ind(self._on_els, mtype=MessageType.ELS)  # f03: explicit
         fda.on_failure_sign(self._on_failure_sign)  # f13
@@ -96,7 +97,10 @@ class FailureDetector:
         else:
             duration = self._config.thb + self._config.ttd  # a04: remote
         self._tid[node_id] = self._timers.start_alarm(
-            duration, lambda: self._on_expire(node_id)
+            duration,
+            lambda: self._on_expire(node_id),
+            name="fd.surveillance",
+            tag=node_id,
         )
 
     # -- event clauses ------------------------------------------------------------------
@@ -120,7 +124,17 @@ class FailureDetector:
             # explicit life-sign. The returning indication restarts the timer.
             self.els_sent += 1
             self._inc_els_sent()
-            self._layer.rtr_req(MessageId(MessageType.ELS, node=node_id))
+            els_span = None
+            if self._spans.enabled:
+                els_span = self._spans.instant(
+                    "fd.els", "fd", node=node_id
+                )
+                self._spans.push(els_span)
+            try:
+                self._layer.rtr_req(MessageId(MessageType.ELS, node=node_id))
+            finally:
+                if els_span is not None:
+                    self._spans.pop()
         else:
             # f10: a remote node stayed silent beyond Thb + Ttd — it failed.
             self._inc_detections()
@@ -131,7 +145,20 @@ class FailureDetector:
                     node=self._layer.node_id,
                     failed=node_id,
                 )
-            self._fda.request(node_id)
+            detect_span = None
+            if self._spans.enabled:
+                detect_span = self._spans.instant(
+                    "fd.detect",
+                    "fd",
+                    node=self._layer.node_id,
+                    failed=node_id,
+                )
+                self._spans.push(detect_span)
+            try:
+                self._fda.request(node_id)
+            finally:
+                if detect_span is not None:
+                    self._spans.pop()
 
     def _on_failure_sign(self, node_id: int) -> None:
         # f13-f16: a consistent failure-sign arrived: stop surveillance and

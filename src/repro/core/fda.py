@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.can.driver import CanStandardLayer
 from repro.can.identifiers import MessageId, MessageType
+from repro.obs.spans import NULL_TRACER
 from repro.sim.kernel import Simulator
 
 FailureSignCallback = Callable[[int], None]
@@ -65,6 +66,7 @@ class FdaProtocol:
             )
         self._layer = layer
         self._sim = sim
+        self._spans = sim.spans if sim is not None else NULL_TRACER
         self._eviction_cycles = eviction_cycles
         # Bound metric methods resolved once — reception runs per frame.
         if sim is not None:
@@ -123,12 +125,25 @@ class FdaProtocol:
                     node=self._layer.node_id,
                     failed=mid.node,
                 )
-        for listener in list(self._listeners):  # r03: fda-can.nty upward
-            listener(mid.node)
-        self._fs_nreq[mid] = self._fs_nreq.get(mid, 0) + 1  # r04
-        if self._fs_nreq[mid] == 1:  # r05
-            self._inc_retransmissions()
-            self._layer.rtr_req(mid)  # r06: failure-sign retransmission
+        nty_span = None
+        if self._spans.enabled:
+            # Everything downstream — the fd/membership notification chain
+            # and the r06 echo retransmission — is a consequence of this
+            # first-copy delivery.
+            nty_span = self._spans.instant(
+                "fda.nty", "fda", node=self._layer.node_id, failed=mid.node
+            )
+            self._spans.push(nty_span)
+        try:
+            for listener in list(self._listeners):  # r03: fda-can.nty upward
+                listener(mid.node)
+            self._fs_nreq[mid] = self._fs_nreq.get(mid, 0) + 1  # r04
+            if self._fs_nreq[mid] == 1:  # r05
+                self._inc_retransmissions()
+                self._layer.rtr_req(mid)  # r06: failure-sign retransmission
+        finally:
+            if nty_span is not None:
+                self._spans.pop()
 
     # -- housekeeping ------------------------------------------------------------------
 

@@ -83,6 +83,7 @@ class MembershipProtocol:
         self._was_member = False
         self._has_left = False
         self._removed_at: Optional[int] = None
+        self._spans = sim.spans
         # Bound metric methods resolved once — view installs run per cycle.
         metrics = sim.metrics
         self._inc_views_installed = metrics.counter("msh.views_installed").inc
@@ -237,7 +238,9 @@ class MembershipProtocol:
     def _arm_timer(self, duration: int, kind: str = "cycle") -> None:
         self._timers.cancel_alarm(self._tid)
         self._timer_kind = kind
-        self._tid = self._timers.start_alarm(duration, self._on_timer_expire)
+        self._tid = self._timers.start_alarm(
+            duration, self._on_timer_expire, name="msh." + kind
+        )
 
     # -- RHA termination (s28-s34) ---------------------------------------------------------
 
@@ -276,6 +279,15 @@ class MembershipProtocol:
                 "msh.view",
                 node=self._layer.node_id,
                 members=state.view,
+                round_index=self._round_index,
+            )
+        if self._spans.enabled:
+            self._spans.instant(
+                "msh.view",
+                "msh",
+                node=self._layer.node_id,
+                members=len(state.view),
+                failed=sorted(removed_failed),
                 round_index=self._round_index,
             )
 
@@ -349,5 +361,13 @@ class MembershipProtocol:
             active=change.active,
             failed=change.failed,
         )
+        if self._spans.enabled:
+            self._spans.instant(
+                "msh.change",
+                "msh",
+                node=change.local_node,
+                active=len(change.active),
+                failed=sorted(change.failed),
+            )
         for listener in list(self._listeners):
             listener(change)

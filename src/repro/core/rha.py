@@ -63,6 +63,8 @@ class RhaProtocol:
         self._end_listeners: List[EndCallback] = []
         self.executions = 0
         self.frames_sent = 0
+        self._spans = timers.sim.spans
+        self._exec_span: Optional[int] = None
         # Bound metric methods resolved once — broadcasts run per cycle.
         metrics = timers.sim.metrics
         self._inc_executions = metrics.counter("rha.executions").inc
@@ -97,17 +99,31 @@ class RhaProtocol:
         local = self._layer.node_id
         self.executions += 1
         self._inc_executions()
-        # a01: protocol timer bounding the RHA termination time.
-        self._tid = self._timers.start_alarm(self._config.trha, self._on_expire)
-        if local in self._state.view:  # a02
-            # a03: full members intersect their own proposal with the
-            # received vector (the universe when starting locally).
-            self._rhv = self._state.initial_rhv() & received
-        else:
-            self._rhv = received  # a05: non-members adopt the received vector
-        self._broadcast_rhv()  # a07
-        for listener in list(self._init_listeners):  # a08
-            listener()
+        exec_span = None
+        if self._spans.enabled:
+            # The execution span stays open until the protocol timer fires;
+            # it is pushed around the body so the timer span and the RHV
+            # broadcast frame hang off it causally.
+            exec_span = self._spans.begin("rha.execution", "rha", node=local)
+            self._spans.push(exec_span)
+        self._exec_span = exec_span
+        try:
+            # a01: protocol timer bounding the RHA termination time.
+            self._tid = self._timers.start_alarm(
+                self._config.trha, self._on_expire, name="rha.timer"
+            )
+            if local in self._state.view:  # a02
+                # a03: full members intersect their own proposal with the
+                # received vector (the universe when starting locally).
+                self._rhv = self._state.initial_rhv() & received
+            else:
+                self._rhv = received  # a05: non-members adopt the received
+            self._broadcast_rhv()  # a07
+            for listener in list(self._init_listeners):  # a08
+                listener()
+        finally:
+            if exec_span is not None:
+                self._spans.pop()
 
     def _broadcast_rhv(self) -> None:
         mid = MessageId(
@@ -145,11 +161,17 @@ class RhaProtocol:
         self._tid = None
         self._rhv = NodeSet.empty(self._config.capacity)
         self._rhv_ndup.clear()
+        if self._exec_span is not None:
+            self._spans.end(self._exec_span, outcome="reset")
+            self._exec_span = None
 
     # -- protocol timer (r14-r18) -------------------------------------------------------
 
     def _on_expire(self) -> None:
         result = self._rhv
+        if self._exec_span is not None:
+            self._spans.end(self._exec_span, rhv=len(result))
+            self._exec_span = None
         # Retire any still-pending broadcast of the final value: agreement
         # has been reached within the termination bound, and a stale RHV
         # signal after the execution ended would spuriously restart the

@@ -64,7 +64,7 @@ class CanelyNode:
             # a controller facade.
             self.layer = layer
             self.controller = layer.controller
-        self.timers = TimerService(sim, drift=timer_drift)
+        self.timers = TimerService(sim, drift=timer_drift, node=node_id)
         self.state = MembershipState(capacity=config.capacity)
         self.fda = FdaProtocol(self.layer, sim=sim)
         self.rha = RhaProtocol(self.layer, self.timers, config, self.state)
@@ -138,6 +138,8 @@ class CanelyNode:
         self.controller.crash()
         self.detector.reset()
         self.membership.halt()
+        if self._sim.spans.enabled:
+            self._sim.spans.instant("node.crash", "node", node=self.node_id)
         self._sim.trace.record(self._sim.now, "node.crash", node=self.node_id)
 
     @property
@@ -175,6 +177,8 @@ class CanelyNode:
         self.rha.reset()
         self.detector.reset()
         self.membership.reset()
+        if self._sim.spans.enabled:
+            self._sim.spans.instant("node.recover", "node", node=self.node_id)
         self._sim.trace.record(self._sim.now, "node.recover", node=self.node_id)
 
 
@@ -192,6 +196,7 @@ class DualChannelNetwork:
         node_count: int,
         config: Optional[CanelyConfig] = None,
         pairing_window: Optional[int] = None,
+        spans: bool = False,
     ) -> None:
         from repro.can.channels import DualChannelLayer
         from repro.sim.clock import us
@@ -203,6 +208,7 @@ class DualChannelNetwork:
                 f"{self.config.capacity}"
             )
         self.sim = Simulator()
+        self.sim.spans.enabled = spans
         self.buses = (CanBus(self.sim), CanBus(self.sim))
         window = pairing_window if pairing_window is not None else us(500)
         self.nodes: Dict[int, CanelyNode] = {}
@@ -285,6 +291,7 @@ class CanelyNetwork:
         timing: Optional[BitTiming] = None,
         clustering: bool = True,
         timer_drifts: Optional[Dict[int, float]] = None,
+        spans: bool = False,
     ) -> None:
         self.config = config if config is not None else CanelyConfig()
         if node_count > self.config.capacity:
@@ -293,6 +300,7 @@ class CanelyNetwork:
                 f"{self.config.capacity}"
             )
         self.sim = Simulator()
+        self.sim.spans.enabled = spans
         self.bus = CanBus(
             self.sim, timing=timing, injector=injector, clustering=clustering
         )

@@ -81,12 +81,32 @@ class Edcan:
         self._prune()
         if count == 1:
             self._payload[mid] = data
-            if self._deliver is not None:
-                self._deliver(mid.node, mid.ref, data)
-            # Eager diffusion: echo the frame unless we are its origin (our
-            # own request already served) or an equivalent request is pending.
-            if mid.node != self._layer.node_id and not self._layer.has_pending(mid):
-                self._layer.data_req(mid, data)
+            spans = self._layer.controller._spans
+            deliver_span = None
+            if spans.enabled:
+                # The upward delivery and the eager-diffusion echo are both
+                # consequences of this first copy.
+                deliver_span = spans.instant(
+                    "edcan.deliver",
+                    "llc",
+                    node=self._layer.node_id,
+                    sender=mid.node,
+                    ref=mid.ref,
+                )
+                spans.push(deliver_span)
+            try:
+                if self._deliver is not None:
+                    self._deliver(mid.node, mid.ref, data)
+                # Eager diffusion: echo the frame unless we are its origin
+                # (our own request already served) or an equivalent request
+                # is pending.
+                if mid.node != self._layer.node_id and not self._layer.has_pending(
+                    mid
+                ):
+                    self._layer.data_req(mid, data)
+            finally:
+                if deliver_span is not None:
+                    spans.pop()
         elif count > self._j:
             # Enough copies circulated; our echo is no longer needed.
             self._layer.abort_req(mid)

@@ -1,0 +1,312 @@
+"""Critical-path latency attribution over the causal span trace.
+
+The paper's headline numbers are latency *bounds* — worst-case node failure
+detection and membership-change notification. The span tracer
+(:mod:`repro.obs.spans`) records why each individual detection took as long
+as it did; this module turns one detection's span tree into an exact
+decomposition: a sequence of named, contiguous :class:`Segment` intervals
+from the crash instant to the observed event whose durations **sum exactly**
+(integer ticks) to the end-to-end latency.
+
+The decomposition walks the ancestor chain of the target span back to the
+surveillance-timer span whose expiry started the detection:
+
+* ``surveillance-wait`` — crash until the detector's surveillance timer for
+  the failed node expired (the ``Thb + Ttd`` silence bound of MCAN4).
+* ``bus-access`` — failure-sign submitted until it won arbitration (queueing
+  plus arbitration losses plus bus load; one per diffusion round).
+* ``transmission`` — the failure-sign frame occupying the wire.
+* ``delivery`` / ``notification`` — wire end until the ``fda-can.nty`` /
+  ``msh-can.nty`` upcall at the observer (zero in the common case, dropped
+  when empty).
+* ``cycle-wait`` / ``rha-settle`` / ``view-install`` — for view updates:
+  the wait for the membership cycle boundary, the RHA execution, and the
+  final view processing.
+
+Zero-length phases are dropped, so every rendered segment carries real
+time; the sum invariant is asserted at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "CriticalPath",
+    "Segment",
+    "detection_path",
+    "notification_path",
+    "view_update_path",
+]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One named phase of an end-to-end latency, ``[start, end]`` ticks."""
+
+    name: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class CriticalPathError(ValueError):
+    """The span trace does not contain the requested causal chain."""
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """An exact decomposition of one observed latency.
+
+    ``segments`` are contiguous (each starts where the previous ended) and
+    span ``[start, end]`` without gaps, so their durations always sum to
+    ``total`` — the invariant is checked at construction time.
+    """
+
+    kind: str
+    failed: int
+    observer: int
+    start: int
+    end: int
+    segments: Tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        at = self.start
+        for segment in self.segments:
+            if segment.start != at:
+                raise CriticalPathError(
+                    f"gap in critical path: segment {segment.name!r} starts "
+                    f"at {segment.start}, expected {at}"
+                )
+            if segment.end < segment.start:
+                raise CriticalPathError(
+                    f"negative segment {segment.name!r}: "
+                    f"[{segment.start}..{segment.end}]"
+                )
+            at = segment.end
+        if at != self.end:
+            raise CriticalPathError(
+                f"critical path ends at {at}, expected {self.end}"
+            )
+
+    @property
+    def total(self) -> int:
+        """The end-to-end latency; always equals the segment sum."""
+        return self.end - self.start
+
+    def render(
+        self, format_time: Optional[Callable[[int], str]] = None
+    ) -> List[str]:
+        """Human-readable table: one line per segment plus the total."""
+        fmt = format_time if format_time is not None else str
+        total = self.total
+        lines = [
+            f"{self.kind} of node {self.failed} observed at node "
+            f"{self.observer}: {fmt(total)}"
+        ]
+        for segment in self.segments:
+            share = 100.0 * segment.duration / total if total else 0.0
+            lines.append(
+                f"  {segment.name:<20} {fmt(segment.duration):>14} "
+                f"({share:5.1f}%)"
+            )
+        return lines
+
+
+def _first(
+    tracer: SpanTracer,
+    name: str,
+    failed: int,
+    observer: Optional[int],
+) -> Span:
+    for span in tracer:
+        if span.name != name:
+            continue
+        if observer is not None and span.node != observer:
+            continue
+        attr = span.attrs.get("failed")
+        if isinstance(attr, (list, tuple)):
+            if failed not in attr:
+                continue
+        elif attr != failed:
+            continue
+        return span
+    raise CriticalPathError(
+        f"no {name!r} span for failed node {failed}"
+        + (f" at node {observer}" if observer is not None else "")
+    )
+
+
+def _crash_time(tracer: SpanTracer, failed: int, before: int) -> int:
+    crashed_at = None
+    for span in tracer.select(name="node.crash", node=failed):
+        if span.start <= before:
+            crashed_at = span.start
+    if crashed_at is None:
+        raise CriticalPathError(
+            f"no node.crash span for node {failed} at or before {before}"
+        )
+    return crashed_at
+
+
+def _detection_chain(tracer: SpanTracer, target: Span) -> List[Span]:
+    """The causal chain from the surveillance-timer expiry to ``target``.
+
+    Root-first slice of ``target``'s ancestry, starting at the
+    ``fd.surveillance`` span whose expiry triggered the nearest
+    ``fd.detect`` ancestor.
+    """
+    chain = [target] + tracer.ancestors(target.span_id)
+    chain.reverse()  # root first
+    for index, span in enumerate(chain):
+        if span.name == "fd.detect":
+            if index == 0 or chain[index - 1].name != "fd.surveillance":
+                raise CriticalPathError(
+                    f"fd.detect span #{span.span_id} is not parented to a "
+                    "surveillance timer span"
+                )
+            return chain[index - 1 :]
+    raise CriticalPathError(
+        f"span #{target.span_id} has no fd.detect ancestor: "
+        "was the failure detected while span tracing was enabled?"
+    )
+
+
+def _segments_from_milestones(
+    start: int, milestones: List[Tuple[int, str]]
+) -> Tuple[Segment, ...]:
+    segments: List[Segment] = []
+    at = start
+    for time, name in milestones:
+        if time < at:
+            raise CriticalPathError(
+                f"milestone {name!r} at {time} precedes {at}"
+            )
+        if time > at:
+            segments.append(Segment(name, at, time))
+            at = time
+    return tuple(segments)
+
+
+def _diffusion_milestones(
+    chain: List[Span], target_time: int, final_name: str
+) -> List[Tuple[int, str]]:
+    """Milestones from surveillance expiry through every bus round.
+
+    ``chain[0]`` is the surveillance timer span; each ``can.tx`` span in
+    the chain is one physical transmission of the (possibly echoed)
+    failure-sign, contributing a ``bus-access`` / ``transmission`` pair —
+    numbered from the second round on, which only exist when the diffusion
+    needed an echo or a retransmission.
+    """
+    surveillance = chain[0]
+    milestones: List[Tuple[int, str]] = [
+        (surveillance.end if surveillance.end is not None else surveillance.start,
+         "surveillance-wait"),
+    ]
+    round_index = 0
+    for span in chain[1:]:
+        if span.name != "can.tx":
+            continue
+        round_index += 1
+        suffix = "" if round_index == 1 else f"-{round_index}"
+        milestones.append((span.start, f"bus-access{suffix}"))
+        end = span.end if span.end is not None else span.start
+        milestones.append((end, f"transmission{suffix}"))
+    milestones.append((target_time, final_name))
+    return milestones
+
+
+def detection_path(
+    tracer: SpanTracer, failed: int, observer: Optional[int] = None
+) -> CriticalPath:
+    """Decompose the crash-to-failure-sign-delivery latency of ``failed``.
+
+    The target is the first ``fda.nty`` span naming ``failed`` (at
+    ``observer`` when given, at the earliest-notified node otherwise) —
+    the same instant the ``fd.detection_latency_ticks`` histogram and the
+    :class:`~repro.obs.monitors.DetectionLatencyMonitor` measure.
+    """
+    target = _first(tracer, "fda.nty", failed, observer)
+    start = _crash_time(tracer, failed, target.start)
+    chain = _detection_chain(tracer, target)
+    milestones = _diffusion_milestones(chain, target.start, "delivery")
+    return CriticalPath(
+        kind="detection",
+        failed=failed,
+        observer=target.node,
+        start=start,
+        end=target.start,
+        segments=_segments_from_milestones(start, milestones),
+    )
+
+
+def notification_path(
+    tracer: SpanTracer, failed: int, observer: Optional[int] = None
+) -> CriticalPath:
+    """Decompose the crash-to-membership-change-notification latency.
+
+    The target is the first ``msh.change`` span whose failed set names
+    ``failed`` — the immediate s15 notification of the paper's Fig. 9.
+    """
+    target = _first(tracer, "msh.change", failed, observer)
+    start = _crash_time(tracer, failed, target.start)
+    chain = _detection_chain(tracer, target)
+    milestones = _diffusion_milestones(chain, target.start, "notification")
+    return CriticalPath(
+        kind="notification",
+        failed=failed,
+        observer=target.node,
+        start=start,
+        end=target.start,
+        segments=_segments_from_milestones(start, milestones),
+    )
+
+
+def view_update_path(
+    tracer: SpanTracer, failed: int, observer: Optional[int] = None
+) -> CriticalPath:
+    """Decompose the crash-to-view-install latency of ``failed``.
+
+    The target is the first ``msh.view`` span folding ``failed`` out of the
+    membership view. The path extends the notification decomposition at
+    the installing node with the wait for the cycle boundary
+    (``cycle-wait``), the RHA execution when one ran (``rha-settle``) and
+    the final ``view-install`` step.
+    """
+    target = _first(tracer, "msh.view", failed, observer)
+    start = _crash_time(tracer, failed, target.start)
+    # The failure-sign delivery *at the installing node* anchors the local
+    # part of the path.
+    nty = _first(tracer, "fda.nty", failed, target.node)
+    chain = _detection_chain(tracer, nty)
+    milestones = _diffusion_milestones(chain, nty.start, "delivery")
+    # Between the notification and the view install: the membership cycle
+    # boundary and, when join/leave requests were pending, an RHA execution.
+    rha_span: Optional[Span] = None
+    for span in tracer.select(name="rha.execution", node=target.node):
+        if span.end is None:
+            continue
+        if nty.start <= span.start and span.end <= target.start:
+            rha_span = span
+            break
+    if rha_span is not None:
+        milestones.append((rha_span.start, "cycle-wait"))
+        milestones.append((rha_span.end, "rha-settle"))
+    else:
+        milestones.append((target.start, "cycle-wait"))
+    milestones.append((target.start, "view-install"))
+    return CriticalPath(
+        kind="view-update",
+        failed=failed,
+        observer=target.node,
+        start=start,
+        end=target.start,
+        segments=_segments_from_milestones(start, milestones),
+    )

@@ -117,13 +117,19 @@ class Histogram:
     def quantile(self, q: float) -> Optional[float]:
         """Upper bucket edge containing the ``q``-quantile observation.
 
-        Bucket-resolution only (that is the histogram trade-off); returns
-        the exact maximum for the overflow bucket and ``None`` when empty.
+        Bucket-resolution only (that is the histogram trade-off), except at
+        the edges: ``q == 0.0`` returns the exact minimum, ``q == 1.0`` the
+        exact maximum (also used for the overflow bucket). ``None`` when
+        empty.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1]: {q}")
         if not self.count:
             return None
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
         rank = q * self.count
         cumulative = 0
         for edge, bucket in zip(self.boundaries, self.bucket_counts):
@@ -131,6 +137,21 @@ class Histogram:
             if cumulative >= rank:
                 return edge
         return self._max
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """The standard digest: count, mean, min, max, p50, p99.
+
+        Quantiles are bucket-resolution upper bounds (see :meth:`quantile`);
+        every value is ``None``-free except on an empty histogram.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
 
 
 Metric = Union[Counter, Gauge, Histogram]

@@ -56,13 +56,18 @@ CANONICAL_NODES = 10
 CANONICAL_CONFIG = dict(capacity=16, tm_ms=50, thb_ms=10, tjoin_wait_ms=150)
 
 
+def _timed(fn: Callable[[], Any]) -> float:
+    """Wall-clock duration of one run of ``fn``."""
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
 def _best_of(fn: Callable[[], Any], repeats: int) -> float:
     """Smallest wall-clock duration of ``repeats`` runs of ``fn``."""
     best = float("inf")
     for _ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - started
+        elapsed = _timed(fn)
         if elapsed < best:
             best = elapsed
     return best
@@ -160,13 +165,19 @@ def bench_event_throughput(
             f"({events_fast} vs {events_legacy}); equivalence is broken"
         )
 
-    t_fast = _best_of(lambda: _run_canonical_scenario(run_ms), reps)
-
     def run_legacy() -> None:
         with legacy_core():
             _run_canonical_scenario(run_ms)
 
-    t_legacy = _best_of(run_legacy, reps)
+    # Fast and legacy reps alternate so both cores sample the same host
+    # conditions: timing all fast reps and then all legacy reps lets any
+    # load shift between the two blocks land directly in the reported
+    # speedup ratio.
+    t_fast = float("inf")
+    t_legacy = float("inf")
+    for _ in range(reps):
+        t_fast = min(t_fast, _timed(lambda: _run_canonical_scenario(run_ms)))
+        t_legacy = min(t_legacy, _timed(run_legacy))
     fast_rate = events_fast / t_fast
     legacy_rate = events_legacy / t_legacy
     return {

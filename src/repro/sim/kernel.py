@@ -12,6 +12,7 @@ import heapq
 from typing import Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.sim.event import Event, EventQueue
 from repro.sim.trace import TraceRecorder
 
@@ -27,11 +28,14 @@ class Simulator:
         self,
         trace: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanTracer] = None,
     ) -> None:
         self._now = 0
         self._queue = EventQueue()
         self._trace = trace if trace is not None else TraceRecorder()
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._spans = spans if spans is not None else SpanTracer()
+        self._spans.bind_clock(lambda: self._now)
         self._running = False
         self._events_processed = 0
 
@@ -54,6 +58,11 @@ class Simulator:
     def metrics(self) -> MetricsRegistry:
         """The metrics registry shared by every component in this simulation."""
         return self._metrics
+
+    @property
+    def spans(self) -> SpanTracer:
+        """The causal span tracer (disabled until ``spans.enabled = True``)."""
+        return self._spans
 
     @property
     def pending_events(self) -> int:

@@ -25,7 +25,15 @@ class Alarm:
     hottest in the whole simulation.
     """
 
-    __slots__ = ("alarm_id", "deadline", "_event", "_on_expire", "_service", "_active")
+    __slots__ = (
+        "alarm_id",
+        "deadline",
+        "_event",
+        "_on_expire",
+        "_service",
+        "_active",
+        "_span",
+    )
 
     def __init__(
         self,
@@ -40,12 +48,25 @@ class Alarm:
         self._on_expire = on_expire
         self._service = service
         self._active = True
+        self._span: Optional[int] = None
 
     def _fire(self) -> None:
         # Cancelled events never reach here; just retire and deliver.
         self._active = False
         self._service._pending -= 1
-        self._on_expire()
+        if self._span is None:
+            self._on_expire()
+            return
+        # The timer span ends at expiry; everything the callback triggers
+        # (failure-sign requests, membership cycles, ...) is causally *its*
+        # consequence, so the span stays pushed as context around the call.
+        spans = self._service._spans
+        spans.end(self._span, outcome="fired")
+        spans.push(self._span)
+        try:
+            self._on_expire()
+        finally:
+            spans.pop()
 
     def __repr__(self) -> str:
         return f"Alarm(id={self.alarm_id}, deadline={self.deadline})"
@@ -61,13 +82,15 @@ class TimerService:
     tolerates realistic drifts.
     """
 
-    def __init__(self, sim: Simulator, drift: float = 0.0) -> None:
+    def __init__(self, sim: Simulator, drift: float = 0.0, node: int = -1) -> None:
         if drift <= -1.0:
             raise ValueError(f"drift must exceed -1: {drift}")
         self._sim = sim
         self._drift = drift
         self._ids = itertools.count(1)
         self._pending = 0
+        self._node = node
+        self._spans = sim.spans
 
     @property
     def drift(self) -> float:
@@ -83,12 +106,18 @@ class TimerService:
         self,
         duration: int,
         on_expire: Callable[[], None],
+        name: str = "timer",
+        tag: Optional[int] = None,
     ) -> Alarm:
         """Arm an alarm ``duration`` ticks from now; returns its handle.
 
         A zero-duration alarm fires at the current instant regardless of
         drift — drift stretches a *duration*, and a zero duration has
         nothing to stretch. Negative durations are a caller bug.
+
+        ``name``/``tag`` label the alarm's causal span (e.g. the
+        ``"fd.surveillance"`` span of the timer watching node ``tag``);
+        they are ignored while span tracing is disabled.
         """
         if duration < 0:
             raise ValueError(f"alarm duration must be non-negative: {duration}")
@@ -100,6 +129,13 @@ class TimerService:
         alarm = Alarm(next(self._ids), self._sim.now + duration, on_expire, self)
         alarm._event = self._sim.schedule(duration, alarm._fire)
         self._pending += 1
+        if self._spans.enabled:
+            if tag is None:
+                alarm._span = self._spans.begin(name, "timers", node=self._node)
+            else:
+                alarm._span = self._spans.begin(
+                    name, "timers", node=self._node, tag=tag
+                )
         return alarm
 
     def cancel_alarm(self, alarm: Optional[Alarm]) -> None:
@@ -109,6 +145,8 @@ class TimerService:
         alarm._active = False
         alarm._service._pending -= 1
         alarm._event.cancel()
+        if alarm._span is not None:
+            alarm._service._spans.end(alarm._span, outcome="cancelled")
 
     def is_pending(self, alarm: Optional[Alarm]) -> bool:
         """True while ``alarm`` is armed and has not yet fired."""

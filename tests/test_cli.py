@@ -214,3 +214,97 @@ def test_check_replay_mismatch_fails(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "replay FAILED" in out
     assert "did not reproduce" in out
+
+
+def test_trace_combined_category_node_and_window_filters(capsys, scenario_file, tmp_path):
+    """Regression: --category, --node and the --start-ms/--end-ms window
+    must all apply in a single invocation."""
+    import json
+
+    target = tmp_path / "window.jsonl"
+    assert main(
+        ["trace", "--scenario", scenario_file, "--category", "bus.deliver",
+         "--node", "0", "--start-ms", "150", "--end-ms", "250",
+         "--export", str(target)]
+    ) == 0
+    lines = [json.loads(line) for line in target.read_text().splitlines()]
+    assert lines, "the post-bootstrap window carries traffic to node 0"
+    for entry in lines:
+        assert entry["category"] == "bus.deliver"
+        assert entry["node"] == 0
+        assert 150_000_000 <= entry["time"] <= 250_000_000
+    # The same filters without the window match strictly more records.
+    unwindowed = tmp_path / "all.jsonl"
+    assert main(
+        ["trace", "--scenario", scenario_file, "--category", "bus.deliver",
+         "--node", "0", "--export", str(unwindowed)]
+    ) == 0
+    assert len(unwindowed.read_text().splitlines()) > len(lines)
+
+
+def test_trace_window_alone_prints_matches(capsys, scenario_file):
+    assert main(
+        ["trace", "--scenario", scenario_file, "--start-ms", "99",
+         "--end-ms", "101", "--limit", "3"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "matching records" in out
+    assert "'category': 'node.crash'" in out or "node.crash" in out
+
+
+# -- repro spans --------------------------------------------------------------------
+
+
+SPANS_ARGS = ["spans", "--nodes", "4", "--seed", "0", "--crash", "2"]
+
+
+def test_spans_summary_table(capsys):
+    assert main(SPANS_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "Spans:" in out
+    assert "fd.surveillance" in out
+    assert "fda.nty" in out
+    assert "p99<=" in out
+
+
+def test_spans_critical_path(capsys):
+    assert main(SPANS_ARGS + ["--critical-path"]) == 0
+    out = capsys.readouterr().out
+    assert "detection of node 2" in out
+    assert "notification of node 2" in out
+    assert "view-update of node 2" in out
+    assert "surveillance-wait" in out
+    assert "cycle-wait" in out
+
+
+def test_spans_chrome_export_and_validate(capsys, tmp_path):
+    import json
+
+    target = tmp_path / "trace.json"
+    assert main(
+        SPANS_ARGS + ["--chrome", str(target), "--validate", "--flows"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "chrome trace written" in out
+    assert "0 problems" in out
+    payload = json.loads(target.read_text())
+    assert payload["traceEvents"]
+
+
+def test_spans_tree(capsys):
+    assert main(SPANS_ARGS + ["--tree"]) == 0
+    out = capsys.readouterr().out
+    assert "fd.surveillance" in out
+    assert "fd.detect" in out
+    assert "fda.nty" in out
+
+
+def test_spans_msc(capsys):
+    assert main(SPANS_ARGS + ["--msc"]) == 0
+    out = capsys.readouterr().out
+    assert "crash" in out
+    assert "n0" in out and "n3" in out
+
+
+def test_spans_rejects_bad_crash_node(capsys):
+    assert main(["spans", "--nodes", "4", "--crash", "9"]) == 2

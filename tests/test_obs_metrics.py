@@ -74,6 +74,38 @@ def test_histogram_quantile_bucket_resolution():
         hist.quantile(1.5)
 
 
+def test_histogram_quantile_exact_edges():
+    hist = Histogram((10, 100))
+    for value in (3, 7, 42):
+        hist.observe(value)
+    assert hist.quantile(0.0) == 3  # exact minimum, not a bucket edge
+    assert hist.quantile(1.0) == 42  # exact maximum, not a bucket edge
+    assert Histogram((10,)).quantile(0.0) is None
+    assert Histogram((10,)).quantile(1.0) is None
+
+
+def test_histogram_summary_digest():
+    hist = Histogram((10, 100, 1000))
+    for value in (5, 5, 50, 500):
+        hist.observe(value)
+    assert hist.summary() == {
+        "count": 4,
+        "mean": 140.0,
+        "min": 5,
+        "max": 500,
+        "p50": 10,
+        "p99": 1000,
+    }
+
+
+def test_histogram_summary_empty():
+    summary = Histogram((10,)).summary()
+    assert summary["count"] == 0
+    assert summary["mean"] == 0.0
+    assert summary["min"] is None and summary["max"] is None
+    assert summary["p50"] is None and summary["p99"] is None
+
+
 def test_registry_shares_by_name():
     registry = MetricsRegistry()
     registry.counter("a").inc()
@@ -130,6 +162,27 @@ def test_render_mentions_every_metric():
     assert "c = 1" in text
     assert "g = 1" in text
     assert "h count=1" in text
+
+
+def test_snapshot_and_render_order_independent_of_creation():
+    """Two registries fed the same metrics in different orders produce
+    identical snapshots and renderings (sorted by full key)."""
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    for registry, order in ((first, 1), (second, -1)):
+        names = ["z.counter", "a.counter", "m.gauge", "b.hist"][::order]
+        for name in names:
+            if name.endswith("counter"):
+                registry.counter(name, node=3).inc(2)
+            elif name.endswith("gauge"):
+                registry.gauge(name).set(1.5)
+            else:
+                registry.histogram(name, boundaries=(10,)).observe(7)
+    assert first.snapshot() == second.snapshot()
+    assert list(first.snapshot()) == sorted(first.snapshot())
+    assert first.render() == second.render()
+    rendered_keys = [line.split(" ")[0] for line in first.render().splitlines()]
+    assert rendered_keys == sorted(rendered_keys)
 
 
 def test_iteration_is_sorted_and_clear_forgets():

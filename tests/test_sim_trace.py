@@ -244,3 +244,62 @@ def test_jsonl_sink_streams_live(tmp_path):
             trace.record(t, "a")
     assert sink.records_written == 4
     assert len(path.read_text().splitlines()) == 4
+
+
+def test_jsonl_sink_context_manager_closes_on_exception(tmp_path):
+    """The ``with`` block closes (and flushes) the file even when the body
+    raises, so a crashed campaign still leaves a readable JSONL tail."""
+    path = tmp_path / "trace.jsonl"
+    trace = TraceRecorder()
+    trace.record(1, "bus.tx", node=0)
+    with pytest.raises(RuntimeError, match="mid-run"):
+        with JsonlSink(str(path)) as sink:
+            sink(next(iter(trace)))
+            raise RuntimeError("mid-run")
+    assert sink._handle.closed
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["category"] == "bus.tx"
+
+
+def test_failing_sink_does_not_corrupt_recorder():
+    """A sink raising mid-record loses nothing: the record is already
+    stored and indexed, and the recorder keeps working once the broken
+    sink is removed."""
+    trace = TraceRecorder()
+
+    def broken(_record):
+        raise IOError("disk full")
+
+    trace.add_sink(broken)
+    with pytest.raises(IOError):
+        trace.record(1, "bus.tx", node=0)
+    trace.remove_sink(broken)
+    trace.record(2, "bus.deliver", node=1)
+    assert len(trace) == 2
+    assert [r.category for r in trace] == ["bus.tx", "bus.deliver"]
+    assert len(trace.select(category="bus.tx")) == 1
+    assert len(trace.select(node=1)) == 1
+    assert trace.last_time == 2
+
+
+def test_ring_buffer_eviction_with_jsonl_sink_attached():
+    """Ring-buffer eviction and a streaming JsonlSink compose: memory
+    stays bounded at ``capacity`` while the sink receives the full
+    history, and the surviving indexes answer queries correctly."""
+    buffer = io.StringIO()
+    trace = TraceRecorder(capacity=2)
+    sink = JsonlSink(buffer)
+    trace.add_sink(sink)
+    for t in range(5):
+        trace.record(t, "a" if t % 2 else "b", node=t)
+    assert len(trace) == 2
+    assert trace.evicted == 3
+    assert sink.records_written == 5
+    streamed = [json.loads(line) for line in buffer.getvalue().splitlines()]
+    assert [entry["time"] for entry in streamed] == [0, 1, 2, 3, 4]
+    # Only the retained tail is queryable, with consistent indexes.
+    assert [r.time for r in trace.select(category="a")] == [3]
+    assert [r.time for r in trace.select(node=4)] == [4]
+    sink.close()
+    assert not buffer.closed  # the sink does not own a caller's handle
