@@ -43,19 +43,31 @@ _LAZY_EXPORTS = {
     # campaigns (repro.campaign)
     "CampaignReport": "repro.campaign",
     "CampaignSpec": "repro.campaign",
+    "CheckpointStore": "repro.campaign",
+    "Executor": "repro.campaign",
+    "FingerprintStore": "repro.campaign",
+    "LocalPoolExecutor": "repro.campaign",
+    "RemoteQueueExecutor": "repro.campaign",
     "ScenarioResult": "repro.campaign",
+    "SerialExecutor": "repro.campaign",
     "default_workers": "repro.campaign",
     "load_checkpoint": "repro.campaign",
     "run_campaign": "repro.campaign",
+    "run_worker_agent": "repro.campaign",
+    "schedule_key": "repro.campaign",
     # systematic checking (repro.check)
     "CheckResult": "repro.check",
     "CheckSweep": "repro.check",
+    "CoverageReport": "repro.check",
     "Fault": "repro.check",
     "FaultSchedule": "repro.check",
+    "ScheduleBatch": "repro.check",
     "ScheduleSpace": "repro.check",
     "enumerate_schedules": "repro.check",
     "explore": "repro.check",
+    "explore_coverage": "repro.check",
     "minimize_schedule": "repro.check",
+    "mutate_schedule": "repro.check",
     "replay_artifact": "repro.check",
     "run_schedule": "repro.check",
     "run_selftest": "repro.check",

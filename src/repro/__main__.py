@@ -16,11 +16,16 @@ Commands:
   decomposition, render the detection's span tree or a message sequence
   chart, or export Chrome trace-event JSON (``--chrome``/``--validate``).
 * ``campaign``  — run a parallel randomized fault-scenario campaign with
-  checkpoint/resume (see :mod:`repro.campaign`).
+  checkpoint/resume; ``--executor remote`` starts a TCP coordinator that
+  feeds ``campaign-worker`` agents (see :mod:`repro.campaign`).
+* ``campaign-worker`` — join a remote campaign coordinator and execute
+  scenarios until it shuts the queue down.
 * ``check``     — systematically explore bounded fault schedules, minimize
-  and persist any counterexample; ``--replay`` re-executes an artifact
-  bit-for-bit and ``--selftest`` plants a protocol bug and asserts the
-  checker finds it (see :mod:`repro.check`).
+  and persist any counterexample; ``--fingerprints`` deduplicates against
+  a persistent explored-schedule store, ``--coverage`` mutates schedules
+  that produced new trace fingerprints, ``--replay`` re-executes an
+  artifact bit-for-bit and ``--selftest`` plants a protocol bug and
+  asserts the checker finds it (see :mod:`repro.check`).
 * ``bench``     — run the core hot-path benchmarks, write ``BENCH_core.json``
   and optionally gate on a regression threshold (see :mod:`repro.perf`).
 """
@@ -360,10 +365,17 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _parse_address(value: str, *, default_host: str = "127.0.0.1"):
+    """``HOST:PORT`` (or bare ``PORT``) -> ``(host, port)``."""
+    host, _, port = value.rpartition(":")
+    return (host or default_host, int(port))
+
+
 def _cmd_campaign(args) -> int:
     from repro.campaign import (
         CampaignReport,
         CampaignSpec,
+        RemoteQueueExecutor,
         default_workers,
         run_campaign,
     )
@@ -376,6 +388,24 @@ def _cmd_campaign(args) -> int:
         crash_min=args.crash_min,
         crash_max=args.crash_max,
     )
+
+    executor = None
+    if args.executor == "remote":
+        host, port = _parse_address(args.listen, default_host="0.0.0.0")
+        executor = RemoteQueueExecutor(
+            host=host,
+            port=port,
+            authkey=args.authkey.encode(),
+            startup_timeout=args.startup_timeout,
+        )
+        # Bind before blocking so an auto-assigned port (``--listen :0``)
+        # is printed while workers can still be pointed at it.
+        bound_host, bound_port = executor.listen()
+        print(
+            f"coordinator listening on {bound_host}:{bound_port} — start "
+            f"workers with: python -m repro campaign-worker "
+            f"--connect HOST:{bound_port}"
+        )
 
     def progress(result):
         latencies = ", ".join(format_time(v) for v in result.latencies)
@@ -394,6 +424,7 @@ def _cmd_campaign(args) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         progress=progress if args.verbose else None,
+        executor=executor,
     )
     report = CampaignReport(spec, results)
     if args.json:
@@ -405,6 +436,33 @@ def _cmd_campaign(args) -> int:
             handle.write(report.to_json() + "\n")
         print(f"report written to {args.report}")
     return 0 if report.success else 1
+
+
+def _cmd_campaign_worker(args) -> int:
+    from repro.campaign import run_worker_agent
+    from repro.errors import CampaignError
+
+    host, port = _parse_address(args.connect)
+
+    def progress(result):
+        print(
+            f"scenario {result.index:>3} seed={result.seed} "
+            f"verdict={result.verdict} ({result.elapsed_s:.2f}s)"
+        )
+
+    try:
+        completed = run_worker_agent(
+            host,
+            port,
+            authkey=args.authkey.encode(),
+            max_items=args.max_items,
+            progress=progress if args.verbose else None,
+        )
+    except CampaignError as error:
+        print(f"worker failed: {error}")
+        return 1
+    print(f"worker done: {completed} scenario(s) completed")
+    return 0
 
 
 def _cmd_check(args) -> int:
@@ -461,10 +519,12 @@ def _cmd_check(args) -> int:
                 failed += 1
         return 1 if failed else 0
 
+    import contextlib
+
+    from repro.campaign import FingerprintStore, default_workers
+    from repro.check import explore_coverage
+
     space = ScheduleSpace(nodes=args.nodes, members=args.members)
-    sweep = CheckSweep(
-        space=space, depth=args.depth, samples=args.samples, seed=args.seed
-    )
 
     def progress(result):
         print(
@@ -472,19 +532,48 @@ def _cmd_check(args) -> int:
             f"verdict={result.verdict} ({result.elapsed_s:.2f}s)"
         )
 
-    from repro.campaign import default_workers
-
-    report = explore(
-        sweep,
-        workers=(
-            args.workers if args.workers is not None else default_workers()
-        ),
-        timeout=args.timeout,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-        progress=progress if args.verbose else None,
-        artifact_dir=args.artifact_dir,
+    workers = args.workers if args.workers is not None else default_workers()
+    store_cm = (
+        FingerprintStore(args.fingerprints)
+        if args.fingerprints
+        else contextlib.nullcontext()
     )
+    with store_cm as store:
+        if args.coverage:
+            if store is None:
+                print(
+                    "warning: --coverage without --fingerprints forgets "
+                    "explored schedules between runs"
+                )
+            report = explore_coverage(
+                space,
+                budget=args.budget,
+                store=store,
+                seed=args.seed,
+                batch_size=args.batch,
+                init_depth=args.depth,
+                workers=workers,
+                timeout=args.timeout,
+                progress=progress if args.verbose else None,
+                artifact_dir=args.artifact_dir,
+            )
+        else:
+            sweep = CheckSweep(
+                space=space,
+                depth=args.depth,
+                samples=args.samples,
+                seed=args.seed,
+            )
+            report = explore(
+                sweep,
+                workers=workers,
+                timeout=args.timeout,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                progress=progress if args.verbose else None,
+                artifact_dir=args.artifact_dir,
+                fingerprint_store=store,
+            )
     print(report.summary())
     for counterexample in report.counterexamples:
         print(counterexample.describe())
@@ -708,7 +797,58 @@ def main(argv=None) -> int:
     campaign.add_argument(
         "--verbose", action="store_true", help="print one line per scenario"
     )
+    campaign.add_argument(
+        "--executor",
+        choices=["local", "remote"],
+        default="local",
+        help="execution fabric: the local process pool, or a TCP "
+        "coordinator feeding `repro campaign-worker` agents",
+    )
+    campaign.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default="0.0.0.0:0",
+        help="with --executor remote: coordinator bind address "
+        "(port 0 auto-assigns; the bound address is printed)",
+    )
+    campaign.add_argument(
+        "--authkey",
+        default="repro-campaign",
+        help="shared secret authenticating workers to the coordinator",
+    )
+    campaign.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=60.0,
+        help="with --executor remote: seconds to wait for the first worker",
+    )
     campaign.set_defaults(func=_cmd_campaign)
+    worker = sub.add_parser(
+        "campaign-worker",
+        help="join a remote campaign coordinator and execute scenarios",
+    )
+    worker.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="coordinator address printed by `repro campaign "
+        "--executor remote`",
+    )
+    worker.add_argument(
+        "--authkey",
+        default="repro-campaign",
+        help="shared secret (must match the coordinator's)",
+    )
+    worker.add_argument(
+        "--max-items",
+        type=int,
+        default=None,
+        help="exit after this many scenarios (default: until shutdown)",
+    )
+    worker.add_argument(
+        "--verbose", action="store_true", help="print one line per scenario"
+    )
+    worker.set_defaults(func=_cmd_campaign_worker)
     check = sub.add_parser(
         "check",
         help="systematically explore bounded fault schedules and check "
@@ -787,6 +927,31 @@ def main(argv=None) -> int:
         "--artifact",
         metavar="PATH",
         help="with --selftest: also write the counterexample artifact here",
+    )
+    check.add_argument(
+        "--fingerprints",
+        metavar="PATH",
+        default=None,
+        help="persistent fingerprint store: schedules already explored "
+        "(across runs) are answered from the store, not re-executed",
+    )
+    check.add_argument(
+        "--coverage",
+        action="store_true",
+        help="coverage-guided exploration: mutate schedules whose runs "
+        "produced new trace fingerprints instead of a fixed population",
+    )
+    check.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="with --coverage: total schedules to execute",
+    )
+    check.add_argument(
+        "--batch",
+        type=int,
+        default=16,
+        help="with --coverage: schedules per campaign batch",
     )
     check.add_argument(
         "--verbose", action="store_true", help="print one line per schedule"

@@ -1,4 +1,4 @@
-"""Parallel, crash-tolerant scenario campaigns.
+"""Parallel, crash-tolerant scenario campaigns on a pluggable fabric.
 
 The paper's claims are statistical: the membership protocol is only
 trusted after *populations* of fault scenarios behave (Rapid's argument,
@@ -8,18 +8,37 @@ scaffold those campaigns run on:
 * :class:`CampaignSpec` — a seeded population of randomized scenarios;
 * :func:`run_scenario` — one scenario, one worker, one structured
   :class:`ScenarioResult`;
-* :func:`run_campaign` — the multiprocessing driver: per-scenario
-  timeouts, worker-crash retry, JSONL checkpointing and resume;
+* :func:`run_campaign` — the driver: JSONL checkpointing/resume, retry
+  bookkeeping and a completeness guarantee, over a pluggable
+  :class:`Executor`;
+* :class:`SerialExecutor` / :class:`LocalPoolExecutor` /
+  :class:`RemoteQueueExecutor` — in-process, single-host process pool,
+  or a TCP work queue feeding ``repro campaign-worker`` agents (work
+  stealing, heartbeat dead-worker requeue, sharded checkpoints);
+* :class:`CheckpointStore` / :class:`FingerprintStore` — sharded JSONL
+  result persistence and the model checker's explored-schedule memory;
 * :class:`CampaignReport` — verdict counts and the latency distribution
   against the analytic bound.
 
-CLI: ``python -m repro campaign --scenarios 30 --workers 4``.
+CLI: ``python -m repro campaign --scenarios 30 --workers 4``; distributed:
+``python -m repro campaign --executor remote --listen 0.0.0.0:7761`` plus
+``python -m repro campaign-worker --connect HOST:7761`` on each host.
 """
 
 from repro.campaign.engine import (
     default_workers,
     load_checkpoint,
     run_campaign,
+)
+from repro.campaign.executors import (
+    Executor,
+    LocalPoolExecutor,
+    SerialExecutor,
+)
+from repro.campaign.remote import (
+    DEFAULT_AUTHKEY,
+    RemoteQueueExecutor,
+    run_worker_agent,
 )
 from repro.campaign.report import CampaignReport, percentile
 from repro.campaign.spec import (
@@ -33,17 +52,33 @@ from repro.campaign.spec import (
     CampaignSpec,
     ScenarioResult,
 )
+from repro.campaign.store import (
+    CheckpointStore,
+    FingerprintStore,
+    checkpoint_shard_paths,
+    schedule_key,
+)
 from repro.campaign.worker import run_scenario
 
 __all__ = [
     "CampaignSpec",
     "ScenarioResult",
     "CampaignReport",
+    "CheckpointStore",
+    "DEFAULT_AUTHKEY",
+    "Executor",
+    "FingerprintStore",
+    "LocalPoolExecutor",
+    "RemoteQueueExecutor",
+    "SerialExecutor",
+    "checkpoint_shard_paths",
     "run_campaign",
     "run_scenario",
+    "run_worker_agent",
     "load_checkpoint",
     "default_workers",
     "percentile",
+    "schedule_key",
     "VERDICTS",
     "VERDICT_OK",
     "VERDICT_BOOTSTRAP_FAILED",

@@ -1,168 +1,81 @@
-"""The parallel, crash-tolerant campaign driver.
+"""The campaign driver: spec in, complete ordered results out.
 
-:func:`run_campaign` fans a :class:`~repro.campaign.spec.CampaignSpec` out
-over a pool of worker *processes* — one process per scenario, at most
-``workers`` alive at once — and is robust by construction:
+:func:`run_campaign` fans a :class:`~repro.campaign.spec.CampaignSpec`
+(or anything satisfying the spec protocol — ``scenarios`` plus
+``scenario_seed(index)``) out over a pluggable
+:class:`~repro.campaign.executors.Executor`:
 
-* **per-scenario timeouts** — a worker that exceeds its wall-clock budget
-  is terminated and the scenario retried, then reported as ``timeout``;
-* **worker-crash detection** — a process that dies without posting a
-  result (segfault, ``os._exit``, OOM-kill) is retried up to ``retries``
-  times, then reported as ``worker_crash`` instead of hanging the run;
-* **partial-result aggregation** — every scenario yields a
-  :class:`~repro.campaign.spec.ScenarioResult`, whatever happened to it;
-* **JSONL checkpointing** — completed results are appended (and flushed)
-  to the checkpoint file as they arrive, so an interrupted campaign
-  resumed with ``resume=True`` skips every finished seed; truncated or
-  stale lines (e.g. from a mid-write kill or a changed root seed) are
-  ignored rather than trusted.
+* ``workers=0`` — :class:`~repro.campaign.executors.SerialExecutor`,
+  in-process and sequential: the baseline for benchmarks and the mode
+  coverage tools can see into;
+* ``workers>=1`` — :class:`~repro.campaign.executors.LocalPoolExecutor`,
+  one process per scenario with per-scenario timeouts, worker-crash
+  detection and bounded retry;
+* ``executor=RemoteQueueExecutor(...)`` — a TCP coordinator driving
+  ``repro campaign-worker`` agents across hosts, with work stealing,
+  heartbeat-based dead-worker requeue and sharded checkpoints.
 
-Each worker runs exactly one scenario and exits, so scenario state cannot
-leak between runs and results depend only on the scenario's derived seed —
-never on worker count or completion order. ``workers=0`` runs the campaign
-in-process (no isolation, no timeouts): the sequential baseline for
-benchmarks and the mode coverage tools can see into.
+Whatever the executor, the engine owns the invariants: completed results
+are appended (and flushed) to the JSONL checkpoint as they arrive
+(:class:`~repro.campaign.store.CheckpointStore` — sharded when a
+distributed executor routes per-worker writes); ``resume=True`` merges
+every checkpoint shard and skips finished seeds, ignoring truncated or
+stale lines; ``resume=False`` truncates the checkpoint so reruns never
+accumulate stale lines a later resume would trust; and the returned list
+is asserted to cover exactly ``range(spec.scenarios)`` — a campaign can
+fail loudly, but it cannot silently lose scenarios. Results depend only
+on each scenario's derived seed — never on the executor, worker count or
+completion order.
 """
 
 from __future__ import annotations
 
-import json
-import multiprocessing
-import multiprocessing.connection
-import os
-import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from repro.campaign.spec import (
-    VERDICT_ERROR,
-    VERDICT_TIMEOUT,
-    VERDICT_WORKER_CRASH,
-    CampaignSpec,
-    ScenarioResult,
+from repro.campaign.executors import (
+    Executor,
+    default_workers,
+    resolve_executor,
 )
+from repro.campaign.spec import ScenarioResult
+from repro.campaign.store import CheckpointStore, load_checkpoint
 from repro.campaign.worker import run_scenario
 from repro.errors import CampaignError
 
-ScenarioFn = Callable[[CampaignSpec, int], ScenarioResult]
-ProgressFn = Callable[[ScenarioResult], None]
-
-#: How long the reaper keeps polling a dead worker's queue before deciding
-#: no result was posted (SimpleQueue writes straight to the pipe, so a
-#: clean put() is visible by the time the child has exited).
-_DRAIN_GRACE_S = 0.5
-_POLL_S = 0.02
-
-
-def default_workers() -> int:
-    """A sensible worker-pool size for this machine."""
-    return max(1, min(os.cpu_count() or 1, 8))
-
-
-def _context():
-    """Prefer fork (cheap, inherits closures); fall back to the default."""
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
-def _attempt(spec: CampaignSpec, index: int, scenario_fn: ScenarioFn) -> ScenarioResult:
-    """Run one scenario, mapping stray exceptions to an ``error`` verdict."""
-    try:
-        result = scenario_fn(spec, index)
-    except Exception as error:
-        import traceback
-
-        result = ScenarioResult(
-            index=index,
-            seed=spec.scenario_seed(index),
-            verdict=VERDICT_ERROR,
-            detail=f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
-        )
-    return result
-
-
-def _child_main(spec, index, scenario_fn, queue) -> None:
-    """Worker-process entry point: one scenario, one result, exit."""
-    queue.put(_attempt(spec, index, scenario_fn).to_dict())
-
-
-@dataclass
-class _Job:
-    """One live worker process and its bookkeeping."""
-
-    index: int
-    process: Any
-    queue: Any
-    started: float
-    attempt: int
-
-
-class _Checkpoint:
-    """Append-only JSONL sink of completed scenario results."""
-
-    def __init__(self, path: Optional[str]) -> None:
-        self._handle = open(path, "a") if path else None
-
-    def write(self, result: ScenarioResult) -> None:
-        if self._handle is None:
-            return
-        self._handle.write(json.dumps(result.to_dict()) + "\n")
-        self._handle.flush()
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-
-def load_checkpoint(path: str, spec: CampaignSpec) -> Dict[int, ScenarioResult]:
-    """Completed results from a (possibly truncated) checkpoint file.
-
-    Lines that do not parse, name an index outside the campaign, or carry
-    a seed that no longer matches ``spec.scenario_seed(index)`` (the spec
-    changed under the checkpoint) are skipped, not trusted.
-    """
-    completed: Dict[int, ScenarioResult] = {}
-    if not os.path.exists(path):
-        return completed
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                raw = json.loads(line)
-                result = ScenarioResult.from_dict(raw)
-            except (ValueError, TypeError):
-                continue  # truncated or foreign line
-            if not 0 <= result.index < spec.scenarios:
-                continue
-            if result.seed != spec.scenario_seed(result.index):
-                continue
-            completed[result.index] = result
-    return completed
+__all__ = [
+    "default_workers",
+    "load_checkpoint",
+    "run_campaign",
+]
 
 
 def run_campaign(
-    spec: CampaignSpec,
+    spec,
     workers: int = 1,
     timeout: float = 120.0,
     retries: int = 1,
     checkpoint: Optional[str] = None,
     resume: bool = False,
-    scenario_fn: ScenarioFn = run_scenario,
-    progress: Optional[ProgressFn] = None,
+    scenario_fn=run_scenario,
+    progress=None,
+    executor: Optional[Executor] = None,
+    prior_results: Optional[Dict[int, ScenarioResult]] = None,
 ) -> List[ScenarioResult]:
     """Run every scenario of ``spec``; return results ordered by index.
 
-    ``workers >= 1`` fans out over that many worker processes with the
-    crash/timeout handling described in the module docstring; ``workers=0``
-    runs in-process and sequentially. ``resume=True`` (requires
-    ``checkpoint``) first loads completed results from the checkpoint file
-    and only runs what is missing. ``progress``, when given, is called with
-    each :class:`ScenarioResult` as it completes.
+    ``executor`` selects the execution fabric explicitly; otherwise
+    ``workers`` picks the classic local modes (``0`` in-process,
+    ``>= 1`` a process pool). ``resume=True`` (requires ``checkpoint``)
+    first loads completed results from the checkpoint file and its
+    shards and only runs what is missing; ``resume=False`` truncates any
+    existing checkpoint instead of appending to it. ``prior_results``
+    injects already-known results (e.g. fingerprint-store dedup hits)
+    that are trusted like resumed checkpoint entries — checkpoint lines
+    win on conflict. ``progress``, when given, is called with each
+    :class:`ScenarioResult` as it completes; distributed executors may
+    call it from service threads. Raises :class:`CampaignError` if any
+    scenario index ends the run without a result.
     """
     if workers < 0:
         raise CampaignError(f"workers must be >= 0: {workers}")
@@ -176,147 +89,49 @@ def run_campaign(
     completed: Dict[int, ScenarioResult] = {}
     if resume and checkpoint:
         completed = load_checkpoint(checkpoint, spec)
+    checkpointed = frozenset(completed)
+    if prior_results:
+        for index, result in prior_results.items():
+            completed.setdefault(index, result)
     pending = deque(
         index for index in range(spec.scenarios) if index not in completed
     )
 
-    sink = _Checkpoint(checkpoint)
+    chosen = resolve_executor(executor, workers)
+    sink = CheckpointStore(checkpoint, resume=resume)
     try:
-        if workers == 0:
-            for index in pending:
-                result = _attempt(spec, index, scenario_fn)
-                completed[index] = result
-                sink.write(result)
-                if progress is not None:
-                    progress(result)
-        else:
-            _run_pool(
-                spec,
-                pending,
-                workers,
-                timeout,
-                retries,
-                scenario_fn,
-                completed,
-                sink,
-                progress,
-            )
+        # Persist injected prior results the checkpoint does not already
+        # hold, so the file stays a complete record of the campaign.
+        for index in sorted(completed):
+            if index not in checkpointed:
+                sink.write(completed[index])
+
+        def finish(result: ScenarioResult, shard: Optional[int] = None) -> None:
+            completed[result.index] = result
+            sink.write(result, shard)
+            if progress is not None:
+                progress(result)
+
+        chosen.execute(
+            spec,
+            pending,
+            timeout=timeout,
+            retries=retries,
+            scenario_fn=scenario_fn,
+            finish=finish,
+        )
     finally:
         sink.close()
-    return [completed[index] for index in sorted(completed)]
 
-
-def _run_pool(
-    spec: CampaignSpec,
-    pending: "deque[int]",
-    workers: int,
-    timeout: float,
-    retries: int,
-    scenario_fn: ScenarioFn,
-    completed: Dict[int, ScenarioResult],
-    sink: _Checkpoint,
-    progress: Optional[ProgressFn],
-) -> None:
-    """The parallel driver loop: launch, reap, retry, checkpoint."""
-    ctx = _context()
-    attempts: Dict[int, int] = {}
-    running: Dict[int, _Job] = {}
-
-    def finish(result: ScenarioResult) -> None:
-        completed[result.index] = result
-        sink.write(result)
-        if progress is not None:
-            progress(result)
-
-    def give_up(job: _Job, verdict: str, detail: str) -> None:
-        if job.attempt <= retries:
-            pending.append(job.index)  # bounded retry
-            return
-        finish(
-            ScenarioResult(
-                index=job.index,
-                seed=spec.scenario_seed(job.index),
-                verdict=verdict,
-                detail=detail,
-                attempts=job.attempt,
-            )
+    missing = [
+        index for index in range(spec.scenarios) if index not in completed
+    ]
+    if missing:
+        shown = ", ".join(str(index) for index in missing[:20])
+        if len(missing) > 20:
+            shown += f", ... ({len(missing)} total)"
+        raise CampaignError(
+            f"campaign incomplete: {chosen.describe()} returned no result "
+            f"for scenario index(es) {shown}"
         )
-
-    try:
-        while pending or running:
-            while pending and len(running) < workers:
-                index = pending.popleft()
-                attempts[index] = attempts.get(index, 0) + 1
-                queue = ctx.SimpleQueue()
-                process = ctx.Process(
-                    target=_child_main,
-                    args=(spec, index, scenario_fn, queue),
-                )
-                process.start()
-                running[index] = _Job(
-                    index=index,
-                    process=process,
-                    queue=queue,
-                    started=time.monotonic(),
-                    attempt=attempts[index],
-                )
-
-            # Block until a worker exits (its sentinel fires) or the poll
-            # interval elapses — workers post their result just before
-            # exiting, so this reaps with near-zero latency without a
-            # busy-wait.
-            multiprocessing.connection.wait(
-                [job.process.sentinel for job in running.values()],
-                timeout=_POLL_S,
-            )
-            now = time.monotonic()
-            for index, job in list(running.items()):
-                if not job.queue.empty():
-                    raw = job.queue.get()
-                    job.process.join()
-                    del running[index]
-                    result = ScenarioResult.from_dict(raw)
-                    result.attempts = job.attempt
-                    finish(result)
-                elif job.process.exitcode is not None:
-                    # The worker died without (apparently) posting a result;
-                    # give the pipe a grace period before calling it a crash.
-                    deadline = time.monotonic() + _DRAIN_GRACE_S
-                    raw = None
-                    while time.monotonic() < deadline:
-                        if not job.queue.empty():
-                            raw = job.queue.get()
-                            break
-                        time.sleep(_POLL_S)
-                    job.process.join()
-                    del running[index]
-                    if raw is not None:
-                        result = ScenarioResult.from_dict(raw)
-                        result.attempts = job.attempt
-                        finish(result)
-                    else:
-                        give_up(
-                            job,
-                            VERDICT_WORKER_CRASH,
-                            f"worker exited with code {job.process.exitcode} "
-                            f"before reporting a result "
-                            f"(attempt {job.attempt}/{retries + 1})",
-                        )
-                elif now - job.started > timeout:
-                    job.process.terminate()
-                    job.process.join(1.0)
-                    if job.process.is_alive():  # pragma: no cover
-                        job.process.kill()
-                        job.process.join()
-                    del running[index]
-                    give_up(
-                        job,
-                        VERDICT_TIMEOUT,
-                        f"scenario exceeded the {timeout:.1f}s budget "
-                        f"(attempt {job.attempt}/{retries + 1})",
-                    )
-    finally:
-        for job in running.values():
-            if job.process.is_alive():
-                job.process.terminate()
-                job.process.join(1.0)
+    return [completed[index] for index in range(spec.scenarios)]

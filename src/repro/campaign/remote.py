@@ -1,0 +1,575 @@
+"""The distributed campaign fabric: TCP coordinator + worker agents.
+
+:class:`RemoteQueueExecutor` turns :func:`~repro.campaign.engine.run_campaign`
+into a work-queue *coordinator*: it listens on a TCP address, hands work
+items (scenario indexes) to every ``repro campaign-worker --connect
+host:port`` agent that connects, and folds their results back into the
+normal campaign bookkeeping. The fabric is pull-based and self-balancing:
+
+* **work stealing** — workers pull the next pending index the moment they
+  go idle, so a fast host automatically drains the queue of a slow one;
+  once the queue is empty, idle workers *steal* the longest-outstanding
+  in-flight index and race the straggler (first result wins, duplicates
+  are discarded — results are a function of (scenario, seed), so the race
+  is benign by construction).
+* **heartbeat-based dead-worker requeue** — agents heartbeat between and
+  during scenarios; a closed connection or a silent worker gets its
+  outstanding work requeued (bounded by ``retries``, then reported as
+  ``worker_crash``, exactly like a crashed local pool worker).
+* **sharded checkpoints** — each worker's results are appended to its own
+  shard file (``checkpoint.0000.jsonl``, ...), so concurrent completions
+  never interleave inside one file; resume merges every shard.
+
+The coordinator ships ``(spec, scenario_fn)`` to each agent by pickle over
+:mod:`multiprocessing.connection` (HMAC-authenticated with ``authkey``),
+so both must be picklable — module-level scenario functions and plain
+dataclass specs, which is what the campaign and check layers use anyway.
+Per-scenario ``timeout`` is advisory in this fabric: the coordinator
+requeues an overdue index (it cannot kill a remote process), and a
+straggler's late result is still accepted if it arrives first.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Client, Listener
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.campaign.executors import Executor, FinishFn, _attempt
+from repro.campaign.spec import (
+    VERDICT_TIMEOUT,
+    VERDICT_WORKER_CRASH,
+    ScenarioResult,
+)
+from repro.errors import CampaignError
+
+__all__ = ["RemoteQueueExecutor", "run_worker_agent", "DEFAULT_AUTHKEY"]
+
+#: Default HMAC authentication key for the coordinator/worker handshake.
+#: Override it (``--authkey``) for anything beyond a trusted lab network:
+#: the channel carries pickles, so the key is the trust boundary.
+DEFAULT_AUTHKEY = b"repro-campaign"
+
+# Wire messages (plain tuples, pickled by multiprocessing.connection):
+#   worker -> coordinator: ("hello", info), ("heartbeat",),
+#                          ("result", index, attempt, result_dict)
+#   coordinator -> worker: ("task", spec, scenario_fn, heartbeat_s),
+#                          ("work", index, attempt), ("shutdown",)
+
+_WAIT_TICK_S = 0.1
+
+
+@dataclass
+class _WorkerSlot:
+    """One connected agent: its connection, shard number and liveness."""
+
+    slot: int
+    connection: Any
+    info: Dict[str, Any]
+    last_heard: float
+    dead: bool = False
+    #: Indexes currently dispatched to this worker.
+    outstanding: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class _Flight:
+    """One in-flight index: who runs it, since when, which attempt."""
+
+    index: int
+    attempt: int
+    started: float
+    slots: Set[int] = field(default_factory=set)
+
+
+class RemoteQueueExecutor(Executor):
+    """TCP work-queue coordinator for ``repro campaign-worker`` agents.
+
+    Parameters:
+        host / port: bind address (``port=0`` picks a free port; read the
+            bound address back from :attr:`address` after :meth:`listen`).
+        authkey: shared HMAC key agents must present.
+        startup_timeout: seconds to wait for the *first* worker before
+            failing the campaign instead of hanging forever.
+        heartbeat_s: interval agents heartbeat at (shipped to them in the
+            task handshake).
+        heartbeat_timeout: silence longer than this marks a worker dead
+            and requeues its outstanding work.
+        steal_after: an in-flight index older than this may be handed to
+            an idle worker as well (default: ``heartbeat_s * 4``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        authkey: bytes = DEFAULT_AUTHKEY,
+        startup_timeout: float = 60.0,
+        heartbeat_s: float = 1.0,
+        heartbeat_timeout: float = 10.0,
+        steal_after: Optional[float] = None,
+    ) -> None:
+        if startup_timeout <= 0:
+            raise CampaignError(
+                f"startup_timeout must be positive: {startup_timeout}"
+            )
+        self.host = host
+        self.port = port
+        self.authkey = authkey
+        self.startup_timeout = startup_timeout
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout = heartbeat_timeout
+        self.steal_after = (
+            heartbeat_s * 4 if steal_after is None else steal_after
+        )
+        self._listener: Optional[Listener] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — call :meth:`listen` first for port 0."""
+        if self._listener is not None:
+            return self._listener.address  # type: ignore[return-value]
+        return (self.host, self.port)
+
+    def listen(self) -> Tuple[str, int]:
+        """Bind the coordinator socket (idempotent) and return the address.
+
+        Separate from :meth:`execute` so callers can learn an
+        auto-assigned port — and print it for workers — before the
+        campaign blocks waiting for them.
+        """
+        if self._listener is None:
+            self._listener = Listener(
+                (self.host, self.port), authkey=self.authkey
+            )
+        return self.address
+
+    def describe(self) -> str:
+        host, port = self.address
+        return f"RemoteQueueExecutor({host}:{port})"
+
+    # -- the coordinator loop --------------------------------------------------
+
+    def execute(
+        self, spec, pending, *, timeout, retries, scenario_fn, finish
+    ) -> None:
+        self.listen()
+        run = _CoordinatorRun(
+            executor=self,
+            spec=spec,
+            pending=pending,
+            timeout=timeout,
+            retries=retries,
+            scenario_fn=scenario_fn,
+            finish=finish,
+        )
+        try:
+            run.drive()
+        finally:
+            listener, self._listener = self._listener, None
+            if listener is not None:
+                try:
+                    listener.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+
+class _CoordinatorRun:
+    """State of one ``execute`` call: queue, flights, workers, threads."""
+
+    def __init__(
+        self, executor, spec, pending, timeout, retries, scenario_fn, finish
+    ) -> None:
+        self.executor = executor
+        self.spec = spec
+        self.timeout = timeout
+        self.retries = retries
+        self.scenario_fn = scenario_fn
+        self._finish = finish
+
+        self.lock = threading.Lock()
+        self.work_ready = threading.Condition(self.lock)
+        self.pending: Deque[int] = pending
+        self.attempts: Dict[int, int] = {}
+        self.flights: Dict[int, _Flight] = {}
+        self.remaining: Set[int] = set(pending)
+        self.workers: Dict[int, _WorkerSlot] = {}
+        self.ever_connected = False
+        self.done = False
+        self.failure: Optional[BaseException] = None
+        self.threads: List[threading.Thread] = []
+
+    # -- completion plumbing ---------------------------------------------------
+
+    def finish(self, result: ScenarioResult, shard: Optional[int]) -> None:
+        """Record one final result (caller must hold the lock)."""
+        if result.index not in self.remaining:
+            return  # a stolen/late duplicate lost the race
+        self.remaining.discard(result.index)
+        self.flights.pop(result.index, None)
+        for worker in self.workers.values():
+            worker.outstanding.discard(result.index)
+        self._finish(result, shard=shard)
+        if not self.remaining:
+            self.done = True
+        self.work_ready.notify_all()
+
+    def give_up(self, index: int, verdict: str, detail: str) -> None:
+        """Requeue ``index`` or, out of retries, report the failure verdict
+        (caller must hold the lock)."""
+        attempt = self.attempts.get(index, 1)
+        if attempt <= self.retries:
+            if index in self.remaining and index not in self.pending:
+                self.pending.append(index)
+                self.work_ready.notify_all()
+            return
+        self.finish(
+            ScenarioResult(
+                index=index,
+                seed=self.spec.scenario_seed(index),
+                verdict=verdict,
+                detail=detail,
+                attempts=attempt,
+            ),
+            shard=None,
+        )
+
+    # -- worker service threads ------------------------------------------------
+
+    def _next_work(self, worker: _WorkerSlot) -> Optional[int]:
+        """The next index for ``worker``: pending first, then a steal.
+
+        Returns None when the worker should keep waiting; caller holds the
+        lock. A steal targets the longest-outstanding flight this worker
+        is not already running, once it is ``steal_after`` old — racing
+        the straggler costs only duplicate (deterministic) work.
+        """
+        if self.pending:
+            index = self.pending.popleft()
+            self.attempts[index] = self.attempts.get(index, 0) + 1
+            self.flights[index] = _Flight(
+                index=index,
+                attempt=self.attempts[index],
+                started=time.monotonic(),
+                slots={worker.slot},
+            )
+            return index
+        now = time.monotonic()
+        candidates = [
+            flight
+            for flight in self.flights.values()
+            if worker.slot not in flight.slots
+            and now - flight.started >= self.executor.steal_after
+        ]
+        if not candidates:
+            return None
+        flight = min(candidates, key=lambda f: f.started)
+        flight.slots.add(worker.slot)
+        return flight.index
+
+    def _serve(self, worker: _WorkerSlot) -> None:
+        """One thread per connected agent: handshake, dispatch, collect."""
+        conn = worker.connection
+        try:
+            hello = conn.recv()
+            if not (isinstance(hello, tuple) and hello[0] == "hello"):
+                raise CampaignError(f"bad worker handshake: {hello!r}")
+            with self.lock:
+                worker.info = dict(hello[1]) if len(hello) > 1 else {}
+                worker.last_heard = time.monotonic()
+            conn.send(
+                (
+                    "task",
+                    self.spec,
+                    self.scenario_fn,
+                    self.executor.heartbeat_s,
+                )
+            )
+            while True:
+                index: Optional[int] = None
+                with self.work_ready:
+                    while not self.done and not worker.dead:
+                        index = self._next_work(worker)
+                        if index is not None:
+                            worker.outstanding.add(index)
+                            break
+                        self.work_ready.wait(_WAIT_TICK_S)
+                    if index is None:
+                        break
+                    attempt = self.attempts.get(index, 1)
+                conn.send(("work", index, attempt))
+                # Collect until this item's result (heartbeats interleave).
+                while True:
+                    message = conn.recv()
+                    with self.lock:
+                        worker.last_heard = time.monotonic()
+                    if message[0] == "heartbeat":
+                        continue
+                    if message[0] == "result":
+                        _, r_index, _r_attempt, raw = message
+                        result = ScenarioResult.from_dict(raw)
+                        result.attempts = self.attempts.get(
+                            r_index, result.attempts
+                        )
+                        with self.lock:
+                            worker.outstanding.discard(r_index)
+                            self.finish(result, shard=worker.slot)
+                        break
+                    raise CampaignError(
+                        f"unexpected worker message: {message[0]!r}"
+                    )
+            try:
+                conn.send(("shutdown",))
+            except OSError:
+                pass
+        except (EOFError, OSError, BrokenPipeError):
+            pass  # connection lost: the cleanup below requeues
+        except BaseException as error:  # pragma: no cover - defensive
+            with self.lock:
+                self.failure = error
+                self.done = True
+                self.work_ready.notify_all()
+        finally:
+            with self.lock:
+                self._worker_lost(worker)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _worker_lost(self, worker: _WorkerSlot) -> None:
+        """Requeue a dead worker's outstanding work (lock held)."""
+        if worker.dead:
+            return
+        worker.dead = True
+        for index in sorted(worker.outstanding):
+            flight = self.flights.get(index)
+            if flight is not None:
+                flight.slots.discard(worker.slot)
+                if flight.slots:
+                    continue  # another worker still racing this index
+                del self.flights[index]
+            if index in self.remaining:
+                self.give_up(
+                    index,
+                    VERDICT_WORKER_CRASH,
+                    f"campaign worker "
+                    f"{worker.info.get('host', '?')}#{worker.slot} "
+                    f"disconnected before reporting a result "
+                    f"(attempt {self.attempts.get(index, 1)}/"
+                    f"{self.retries + 1})",
+                )
+        worker.outstanding.clear()
+        self.work_ready.notify_all()
+
+    def _accept_loop(self) -> None:
+        """Admit agents until the campaign is done (listener close stops it)."""
+        slot = 0
+        while True:
+            try:
+                conn = self.executor._listener.accept()
+            except (OSError, AttributeError):
+                return  # listener closed: the campaign is over
+            except Exception:
+                continue  # failed handshake/auth: keep serving real agents
+            with self.lock:
+                if self.done:
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    return
+                worker = _WorkerSlot(
+                    slot=slot,
+                    connection=conn,
+                    info={},
+                    last_heard=time.monotonic(),
+                )
+                self.workers[slot] = worker
+                self.ever_connected = True
+                slot += 1
+            thread = threading.Thread(
+                target=self._serve, args=(worker,), daemon=True
+            )
+            thread.start()
+            self.threads.append(thread)
+
+    # -- watchdog + main wait --------------------------------------------------
+
+    def _watchdog_pass(self) -> None:
+        """Expire silent workers and overdue flights (lock held)."""
+        now = time.monotonic()
+        for worker in list(self.workers.values()):
+            if worker.dead:
+                continue
+            if now - worker.last_heard > self.executor.heartbeat_timeout:
+                # Silent worker: close its socket so the service thread
+                # unblocks and requeues its work.
+                try:
+                    worker.connection.close()
+                except OSError:  # pragma: no cover
+                    pass
+                self._worker_lost(worker)
+        for flight in list(self.flights.values()):
+            if now - flight.started <= self.timeout:
+                continue
+            index = flight.index
+            # The coordinator cannot kill a remote computation; drop the
+            # flight and requeue (or report timeout). A straggler's late
+            # result is still accepted if it lands before a retry does.
+            del self.flights[index]
+            for worker in self.workers.values():
+                worker.outstanding.discard(index)
+            if index in self.remaining:
+                self.give_up(
+                    index,
+                    VERDICT_TIMEOUT,
+                    f"scenario exceeded the {self.timeout:.1f}s budget "
+                    f"on the remote fabric "
+                    f"(attempt {self.attempts.get(index, 1)}/"
+                    f"{self.retries + 1})",
+                )
+
+    def drive(self) -> None:
+        """Block until every pending index has finished."""
+        if not self.remaining:
+            return
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        started = time.monotonic()
+        last_live = started
+        try:
+            with self.work_ready:
+                while not self.done:
+                    now = time.monotonic()
+                    if (
+                        not self.ever_connected
+                        and now - started > self.executor.startup_timeout
+                    ):
+                        raise CampaignError(
+                            f"no campaign worker connected to "
+                            f"{self.executor.address[0]}:"
+                            f"{self.executor.address[1]} within "
+                            f"{self.executor.startup_timeout:.0f}s — start "
+                            f"agents with `repro campaign-worker --connect "
+                            f"HOST:PORT`"
+                        )
+                    if any(not w.dead for w in self.workers.values()):
+                        last_live = now
+                    elif (
+                        self.ever_connected
+                        and self.remaining
+                        and now - last_live > self.executor.startup_timeout
+                    ):
+                        # Every agent is gone and none replaced them: fail
+                        # instead of waiting forever for a reconnect.
+                        raise CampaignError(
+                            "every campaign worker disconnected with "
+                            f"{len(self.remaining)} scenario(s) unfinished "
+                            f"(waited {self.executor.startup_timeout:.0f}s "
+                            f"for replacements)"
+                        )
+                    self._watchdog_pass()
+                    self.work_ready.wait(_WAIT_TICK_S)
+            if self.failure is not None:
+                raise self.failure
+        finally:
+            with self.lock:
+                self.done = True
+                self.work_ready.notify_all()
+                for worker in self.workers.values():
+                    try:
+                        worker.connection.close()
+                    except OSError:  # pragma: no cover
+                        pass
+            # Unblock the accept loop.
+            try:
+                self.executor._listener.close()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+            for thread in self.threads:
+                thread.join(timeout=2.0)
+            accept.join(timeout=2.0)
+
+
+# -- the worker agent ----------------------------------------------------------
+
+
+def run_worker_agent(
+    host: str,
+    port: int,
+    authkey: bytes = DEFAULT_AUTHKEY,
+    max_items: Optional[int] = None,
+    progress=None,
+) -> int:
+    """Serve one coordinator until shutdown; return scenarios completed.
+
+    The agent connects, says hello, receives the pickled ``(spec,
+    scenario_fn)`` task, then loops: pull a work item, run it in-process,
+    post the result. A daemon thread heartbeats at the coordinator's
+    requested interval the whole time — including *during* a long
+    scenario — so only a genuinely dead agent is requeued, not a busy
+    one. ``max_items`` bounds how many scenarios this agent will run
+    (useful for tests and draining hosts).
+    """
+    conn = Client((host, port), authkey=authkey)
+    send_lock = threading.Lock()
+    completed = 0
+    stop = threading.Event()
+    try:
+        with send_lock:
+            conn.send(
+                (
+                    "hello",
+                    {"pid": os.getpid(), "host": socket.gethostname()},
+                )
+            )
+        task = conn.recv()
+        if not (isinstance(task, tuple) and task[0] == "task"):
+            raise CampaignError(f"bad coordinator handshake: {task!r}")
+        _, spec, scenario_fn, heartbeat_s = task
+
+        def beat() -> None:
+            while not stop.wait(heartbeat_s):
+                try:
+                    with send_lock:
+                        conn.send(("heartbeat",))
+                except OSError:
+                    return
+
+        threading.Thread(target=beat, daemon=True).start()
+
+        while max_items is None or completed < max_items:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            if message[0] == "shutdown":
+                break
+            if message[0] != "work":
+                raise CampaignError(
+                    f"unexpected coordinator message: {message[0]!r}"
+                )
+            _, index, attempt = message
+            result = _attempt(spec, index, scenario_fn)
+            result.attempts = attempt
+            if progress is not None:
+                progress(result)
+            with send_lock:
+                conn.send(("result", index, attempt, result.to_dict()))
+            completed += 1
+    except (EOFError, BrokenPipeError, ConnectionResetError):
+        pass  # coordinator finished (or died): either way, we are done
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+    return completed

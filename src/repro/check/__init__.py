@@ -63,8 +63,13 @@ from repro.check.selftest import (
 from repro.check.sweep import (
     CheckSweep,
     Counterexample,
+    CoverageReport,
     ExplorationReport,
+    ScheduleBatch,
     explore,
+    explore_coverage,
+    mutate_schedule,
+    run_batch_scenario,
     run_check_scenario,
 )
 
@@ -80,6 +85,7 @@ __all__ = [
     "CheckResult",
     "CheckSweep",
     "Counterexample",
+    "CoverageReport",
     "DEFAULT_FRAME_TYPES",
     "ExplorationReport",
     "FORMAT",
@@ -90,14 +96,18 @@ __all__ = [
     "Mutation",
     "OMISSION_CONSISTENT",
     "OMISSION_INCONSISTENT",
+    "ScheduleBatch",
     "ScheduleSpace",
     "SelftestReport",
     "enumerate_schedules",
     "expected_members",
     "explore",
+    "explore_coverage",
     "minimize_schedule",
+    "mutate_schedule",
     "read_artifact",
     "replay_artifact",
+    "run_batch_scenario",
     "run_check_scenario",
     "run_schedule",
     "run_selftest",

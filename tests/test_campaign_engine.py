@@ -251,3 +251,163 @@ def test_progress_called_once_per_scenario():
 def test_run_campaign_validates_arguments(kwargs):
     with pytest.raises(CampaignError):
         run_campaign(TINY, scenario_fn=quick, **kwargs)
+
+
+# -- result-loss races and checkpoint hygiene ----------------------------------
+
+
+def post_then_hang(spec, index):
+    """Return a result but leave a non-daemon thread keeping the worker
+    process alive well past its put() — the lingering-child shape."""
+    import threading
+
+    threading.Thread(target=time.sleep, args=(20,)).start()
+    return quick(spec, index)
+
+
+def test_result_posted_then_timeout_is_kept():
+    """A result posted just before the deadline survives the reaper.
+
+    This is the race the timeout branch used to lose: the worker finishes
+    and put()s its result, then the wall-clock check fires before the
+    exit is observed. The reaper must drain the queue before (and after)
+    terminating, exactly like the crash branch always has.
+    """
+    from repro.campaign.executors import LocalPoolExecutor, _Job, _context
+
+    ctx = _context()
+    queue = ctx.SimpleQueue()
+    queue.put(quick(TINY, 0).to_dict())
+    process = ctx.Process(target=time.sleep, args=(30,))
+    process.start()
+    job = _Job(
+        index=0,
+        process=process,
+        queue=queue,
+        started=time.monotonic() - 100.0,
+        attempt=1,
+    )
+    collected, gave_up = [], []
+    LocalPoolExecutor._reap_timed_out(
+        job,
+        timeout=1.0,
+        retries=1,
+        collect=lambda j, raw: collected.append(raw),
+        give_up=lambda j, verdict, detail: gave_up.append(verdict),
+    )
+    assert not process.is_alive()
+    assert gave_up == []
+    assert [raw["index"] for raw in collected] == [0]
+    assert collected[0]["verdict"] == VERDICT_OK
+
+
+def test_timed_out_worker_without_result_still_times_out():
+    from repro.campaign.executors import LocalPoolExecutor, _Job, _context
+
+    ctx = _context()
+    queue = ctx.SimpleQueue()
+    process = ctx.Process(target=time.sleep, args=(30,))
+    process.start()
+    job = _Job(
+        index=0,
+        process=process,
+        queue=queue,
+        started=time.monotonic() - 100.0,
+        attempt=2,
+    )
+    collected, gave_up = [], []
+    LocalPoolExecutor._reap_timed_out(
+        job,
+        timeout=1.0,
+        retries=1,
+        collect=lambda j, raw: collected.append(raw),
+        give_up=lambda j, verdict, detail: gave_up.append(verdict),
+    )
+    assert not process.is_alive()
+    assert collected == []
+    assert gave_up == [VERDICT_TIMEOUT]
+
+
+def test_lingering_worker_does_not_stall_campaign():
+    spec = CampaignSpec(scenarios=2, seed=4)
+    started = time.monotonic()
+    results = run_campaign(
+        spec, workers=2, timeout=60.0, scenario_fn=post_then_hang
+    )
+    elapsed = time.monotonic() - started
+    assert all(r.verdict == VERDICT_OK for r in results)
+    # The hung children sleep 20s each; the bounded post-collect join must
+    # terminate them instead of waiting that out.
+    assert elapsed < 15.0
+
+
+def test_non_resume_rerun_truncates_stale_checkpoint(tmp_path):
+    """Rerunning into an existing checkpoint without resume starts clean.
+
+    The old appender left the first run's lines in place, so the file
+    held duplicates — and a later ``resume=True`` would trust whichever
+    stale line it read last.
+    """
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    spec = CampaignSpec(scenarios=3, seed=6)
+    run_campaign(spec, workers=0, checkpoint=checkpoint, scenario_fn=quick)
+    # A stale shard from an earlier distributed run must also go.
+    stale_shard = tmp_path / "campaign.0007.jsonl"
+    stale_shard.write_text('{"index": 0, "seed": 0, "verdict": "ok"}\n')
+
+    results = run_campaign(
+        spec, workers=0, checkpoint=checkpoint, scenario_fn=quick
+    )
+    lines = [
+        json.loads(line)
+        for line in open(checkpoint)
+        if line.strip()
+    ]
+    assert len(lines) == spec.scenarios  # no duplicates from run one
+    assert sorted(line["index"] for line in lines) == [0, 1, 2]
+    assert not stale_shard.exists()
+    assert _fingerprint(results) == _fingerprint(
+        run_campaign(spec, workers=0, scenario_fn=quick)
+    )
+
+
+def test_incomplete_executor_raises_with_missing_indexes():
+    """An executor that loses scenarios cannot return a silently short
+    result list — the engine names every missing index."""
+    from repro.campaign import Executor
+
+    class DropsEverything(Executor):
+        def execute(
+            self, spec, pending, *, timeout, retries, scenario_fn, finish
+        ):
+            index = pending.popleft()  # finish only the first
+            finish(scenario_fn(spec, index))
+
+    with pytest.raises(CampaignError) as excinfo:
+        run_campaign(TINY, scenario_fn=quick, executor=DropsEverything())
+    message = str(excinfo.value)
+    assert "campaign incomplete" in message
+    assert "DropsEverything" in message
+    assert "1, 2" in message
+
+
+def test_prior_results_skip_execution_and_are_checkpointed(tmp_path):
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    spec = CampaignSpec(scenarios=3, seed=9)
+    known = quick(spec, 1)
+    seen = []
+
+    def observing(inner_spec, index):
+        seen.append(index)
+        return quick(inner_spec, index)
+
+    results = run_campaign(
+        spec,
+        workers=0,
+        checkpoint=checkpoint,
+        scenario_fn=observing,
+        prior_results={1: known},
+    )
+    assert seen == [0, 2]  # index 1 answered from prior_results
+    assert [r.index for r in results] == [0, 1, 2]
+    assert len(load_checkpoint(checkpoint, spec)) == 3

@@ -1,0 +1,214 @@
+"""Tests for the pluggable executors, including the remote work queue.
+
+The remote tests fork real worker-agent processes against a coordinator
+bound to a loopback auto-assigned port. Scenario functions live at module
+level so the pickled task resolves inside the agents.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign import (
+    VERDICT_OK,
+    CampaignSpec,
+    LocalPoolExecutor,
+    RemoteQueueExecutor,
+    ScenarioResult,
+    SerialExecutor,
+    load_checkpoint,
+    run_campaign,
+    run_worker_agent,
+)
+from repro.errors import CampaignError
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="remote-executor tests fork worker agents",
+)
+
+SPEC = CampaignSpec(scenarios=6, seed=3)
+
+
+def _fingerprint(results):
+    return [
+        (r.index, r.seed, r.verdict, r.nodes, r.crashes, r.latencies)
+        for r in results
+    ]
+
+
+def quick(spec, index):
+    return ScenarioResult(
+        index=index,
+        seed=spec.scenario_seed(index),
+        verdict=VERDICT_OK,
+        latencies=[index + 1],
+    )
+
+
+def slow_quick(spec, index):
+    time.sleep(0.2)
+    return quick(spec, index)
+
+
+def die_on_flagged_index(spec, index):
+    """Hard-kill the whole agent on scenario 2 — once."""
+    flag = os.environ["EXECUTOR_TEST_FLAG"]
+    if index == 2 and not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return quick(spec, index)
+
+
+def _fork_agent(address, **kwargs):
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(
+        target=run_worker_agent, args=address, kwargs=kwargs
+    )
+    process.start()
+    return process
+
+
+def _remote(**kwargs):
+    kwargs.setdefault("host", "127.0.0.1")
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("startup_timeout", 30.0)
+    return RemoteQueueExecutor(**kwargs)
+
+
+# -- remote executor -----------------------------------------------------------
+
+
+def test_remote_matches_serial_and_shards_checkpoints(tmp_path):
+    checkpoint = str(tmp_path / "campaign.jsonl")
+    executor = _remote()
+    address = executor.listen()
+    agents = [_fork_agent(address) for _ in range(2)]
+    try:
+        results = run_campaign(
+            SPEC,
+            executor=executor,
+            scenario_fn=quick,
+            checkpoint=checkpoint,
+        )
+    finally:
+        for agent in agents:
+            agent.join(10)
+    serial = run_campaign(SPEC, workers=0, scenario_fn=quick)
+    pool = run_campaign(
+        SPEC, executor=LocalPoolExecutor(2), scenario_fn=quick
+    )
+    # Remote, local-pool and serial execution are indistinguishable in
+    # the results: a function of (scenario, seed) only.
+    assert _fingerprint(results) == _fingerprint(serial)
+    assert _fingerprint(results) == _fingerprint(pool)
+    assert all(agent.exitcode == 0 for agent in agents)
+    # Each worker slot checkpointed into its own shard; the merge holds
+    # every scenario exactly once.
+    shards = sorted(p.name for p in tmp_path.iterdir())
+    assert "campaign.0000.jsonl" in shards
+    assert len(load_checkpoint(checkpoint, SPEC)) == SPEC.scenarios
+
+
+def test_remote_requeues_work_from_killed_worker(tmp_path, monkeypatch):
+    monkeypatch.setenv("EXECUTOR_TEST_FLAG", str(tmp_path / "flag"))
+    executor = _remote(heartbeat_s=0.2, heartbeat_timeout=1.0)
+    address = executor.listen()
+    agents = [_fork_agent(address) for _ in range(2)]
+    try:
+        results = run_campaign(
+            SPEC,
+            executor=executor,
+            retries=1,
+            scenario_fn=die_on_flagged_index,
+        )
+    finally:
+        for agent in agents:
+            agent.join(15)
+            if agent.is_alive():
+                agent.terminate()
+    # The SIGKILLed agent's scenario was requeued and finished elsewhere.
+    assert _fingerprint(results) == _fingerprint(
+        run_campaign(SPEC, workers=0, scenario_fn=quick)
+    )
+
+
+def test_remote_worker_joining_late_still_serves():
+    executor = _remote(steal_after=2.0)
+    address = executor.listen()
+
+    def delayed_start():
+        time.sleep(0.5)
+        return _fork_agent(address)
+
+    first = _fork_agent(address, max_items=1)
+    results = None
+    second_holder = {}
+
+    import threading
+
+    def launch_second():
+        second_holder["agent"] = delayed_start()
+
+    thread = threading.Thread(target=launch_second)
+    thread.start()
+    try:
+        results = run_campaign(
+            SPEC, executor=executor, scenario_fn=slow_quick
+        )
+    finally:
+        thread.join()
+        first.join(10)
+        second = second_holder.get("agent")
+        if second is not None:
+            second.join(10)
+            if second.is_alive():
+                second.terminate()
+    assert [r.index for r in results] == list(range(SPEC.scenarios))
+    assert all(r.verdict == VERDICT_OK for r in results)
+
+
+def test_remote_times_out_with_no_workers():
+    executor = _remote(startup_timeout=0.5)
+    executor.listen()
+    with pytest.raises(CampaignError, match="worker"):
+        run_campaign(SPEC, executor=executor, scenario_fn=quick)
+
+
+def test_worker_agent_refuses_bad_address():
+    with pytest.raises((CampaignError, OSError)):
+        run_worker_agent("127.0.0.1", 1, authkey=b"x")
+
+
+# -- local executors -----------------------------------------------------------
+
+
+def test_explicit_executor_overrides_workers():
+    seen = []
+
+    class Recording(SerialExecutor):
+        def execute(self, spec, pending, **kwargs):
+            seen.append(len(pending))
+            super().execute(spec, pending, **kwargs)
+
+    results = run_campaign(
+        SPEC, workers=4, executor=Recording(), scenario_fn=quick
+    )
+    assert seen == [SPEC.scenarios]
+    assert len(results) == SPEC.scenarios
+
+
+def test_local_pool_rejects_zero_workers():
+    with pytest.raises(CampaignError):
+        LocalPoolExecutor(0)
+
+
+def test_executors_describe_themselves():
+    assert "LocalPoolExecutor" in LocalPoolExecutor(2).describe()
+    assert "workers=2" in LocalPoolExecutor(2).describe()
+    assert SerialExecutor().describe() == "SerialExecutor"
+    assert "RemoteQueueExecutor" in _remote().describe()

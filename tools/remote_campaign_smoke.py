@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI smoke: the remote campaign fabric survives losing a worker.
+
+Runs a small campaign twice — once in-process (the sequential baseline),
+once through a ``RemoteQueueExecutor`` on localhost fed by two
+``repro campaign-worker`` CLI agents, one of which is SIGKILLed after the
+first result lands — and asserts the deterministic projections of both
+result sets are identical. Exercises, end to end: the TCP coordinator,
+CLI worker agents, heartbeat-based dead-worker requeue, sharded
+checkpoints, and the engine's completeness guarantee.
+
+Usage: python tools/remote_campaign_smoke.py [--scenarios N]
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+from repro.campaign import (
+    CampaignSpec,
+    RemoteQueueExecutor,
+    load_checkpoint,
+    run_campaign,
+)
+
+
+def projection(results):
+    """The deterministic fields of each result (attempts/elapsed vary)."""
+    return [
+        (r.index, r.seed, r.verdict, r.nodes, r.crashes, r.latencies, r.missed)
+        for r in results
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scenarios", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    spec = CampaignSpec(
+        scenarios=args.scenarios,
+        seed=args.seed,
+        node_min=4,
+        node_max=6,
+        crash_min=1,
+        crash_max=1,
+    )
+
+    print(f"[smoke] sequential baseline: {args.scenarios} scenarios")
+    baseline = run_campaign(spec, workers=0)
+
+    executor = RemoteQueueExecutor(
+        host="127.0.0.1",
+        port=0,
+        startup_timeout=60.0,
+        heartbeat_s=0.2,
+        heartbeat_timeout=2.0,
+    )
+    host, port = executor.listen()
+    print(f"[smoke] coordinator on {host}:{port}")
+
+    env = dict(os.environ)
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "campaign-worker",
+                "--connect",
+                f"{host}:{port}",
+            ],
+            env=env,
+        )
+        for _ in range(2)
+    ]
+
+    victim = workers[0]
+    killed = threading.Event()
+
+    def kill_victim(result):
+        """SIGKILL worker 0 as soon as the first result lands — with work
+        still outstanding, so the coordinator must requeue its flight."""
+        if not killed.is_set():
+            killed.set()
+            print(
+                f"[smoke] first result (scenario {result.index}) — "
+                f"SIGKILLing worker pid {victim.pid}"
+            )
+            os.kill(victim.pid, signal.SIGKILL)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "remote-smoke.jsonl")
+        results = run_campaign(
+            spec,
+            executor=executor,
+            retries=2,
+            checkpoint=checkpoint,
+            progress=kill_victim,
+        )
+        merged = load_checkpoint(checkpoint, spec)
+        shards = [
+            name
+            for name in sorted(os.listdir(tmp))
+            if name != "remote-smoke.jsonl"
+        ]
+        print(f"[smoke] checkpoint shards: {shards or 'none'}")
+        assert len(merged) == spec.scenarios, (
+            f"checkpoint merge holds {len(merged)} of {spec.scenarios}"
+        )
+
+    for worker in workers:
+        worker.wait(timeout=30)
+    assert killed.is_set(), "victim worker was never killed"
+
+    got, want = projection(results), projection(baseline)
+    if got != want:
+        print("[smoke] MISMATCH vs sequential baseline:")
+        for g, w in zip(got, want):
+            marker = "  " if g == w else "->"
+            print(f"{marker} remote {g}")
+            print(f"{marker} serial {w}")
+        return 1
+    print(
+        f"[smoke] OK: {len(results)} results identical to the sequential "
+        f"baseline despite losing a worker mid-run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
