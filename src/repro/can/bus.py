@@ -26,7 +26,12 @@ from repro.can.bitstream import (
     INTERFRAME_BITS,
     SUSPEND_TRANSMISSION_BITS,
 )
-from repro.can.controller import CanController, ControllerState, TxRequest
+from repro.can.controller import (
+    BUS_OFF_THRESHOLD,
+    CanController,
+    ControllerState,
+    TxRequest,
+)
 from repro.can.errormodel import FaultInjector, FaultKind, FaultVerdict
 from repro.can.frame import CanFrame
 from repro.can.phy import BitTiming
@@ -139,7 +144,13 @@ class CanBus:
 
     def alive_controllers(self) -> List[CanController]:
         """Controllers currently participating in bus traffic."""
-        return [c for c in self._controllers.values() if c.alive]
+        # ``alive`` inlined (one property call per controller per frame
+        # adds up at campaign scale).
+        return [
+            c
+            for c in self._controllers.values()
+            if not c.crashed and c.tec <= BUS_OFF_THRESHOLD
+        ]
 
     # -- scheduling ------------------------------------------------------------
 
@@ -187,41 +198,51 @@ class CanBus:
         self.kick()
 
     def _start_next(self) -> None:
+        # Offers carry their owning controller so the take step below needs
+        # no ownership scan (the seed's ``_owner_of`` walked every
+        # controller per taken request).
         offers = [
-            request
+            (request, controller)
             for controller in self._controllers.values()
             if (request := controller.head_request()) is not None
         ]
         if not offers:
             return
-        offers.sort(key=lambda r: r.priority_key)
-        winner = offers[0]
+        if len(offers) == 1:
+            # Uncontended arbitration — the common case on a lightly
+            # loaded bus: no sort, no clustering scan.
+            winner = offers[0][0]
+            taken = offers
+        else:
+            offers.sort(key=lambda pair: pair[0].priority_key)
+            winner = offers[0][0]
 
-        # Wired-AND clustering: bit-identical frames transmit as one.
-        requests = [winner]
-        for other in offers[1:]:
-            if other is winner:
-                continue
-            same_id = other.frame.identifier == winner.frame.identifier
-            if not same_id:
-                continue
-            if other.frame == winner.frame:
-                if self.clustering:
-                    requests.append(other)
-                continue
-            if not other.frame.remote and not winner.frame.remote:
-                raise BusError(
-                    f"two different data frames contend with identifier "
-                    f"{winner.frame.identifier:#x}: {winner.frame!r} vs "
-                    f"{other.frame!r}"
-                )
-            # Same identifier, one data / one remote: the data frame's
-            # dominant RTR bit wins; the remote frame just loses arbitration.
+            # Wired-AND clustering: bit-identical frames transmit as one.
+            taken = [offers[0]]
+            for pair in offers[1:]:
+                other = pair[0]
+                same_id = other.frame.identifier == winner.frame.identifier
+                if not same_id:
+                    continue
+                if other.frame == winner.frame:
+                    if self.clustering:
+                        taken.append(pair)
+                    continue
+                if not other.frame.remote and not winner.frame.remote:
+                    raise BusError(
+                        f"two different data frames contend with identifier "
+                        f"{winner.frame.identifier:#x}: {winner.frame!r} vs "
+                        f"{other.frame!r}"
+                    )
+                # Same identifier, one data / one remote: the data frame's
+                # dominant RTR bit wins; the remote frame just loses
+                # arbitration.
 
+        requests = []
         senders = []
-        for request in requests:
-            owner = self._owner_of(request)
+        for request, owner in taken:
             owner.take(request)
+            requests.append(request)
             senders.append(owner)
 
         frame_bits = winner.frame.wire_bits(with_interframe=False)
@@ -236,9 +257,9 @@ class CanBus:
         if self._spans.enabled:
             # Frames that offered but were not taken lost this arbitration
             # round; their queue spans get one "arb-loss" point event each.
-            taken = {id(request) for request in requests}
-            for offer in offers:
-                if id(offer) not in taken:
+            taken_ids = {id(request) for request in requests}
+            for offer, _ in offers:
+                if id(offer) not in taken_ids:
                     self._spans.event(offer.span_id, "arb-loss")
             self._current.span_id = self._spans.begin(
                 "can.tx",
@@ -328,17 +349,24 @@ class CanBus:
         # same reason.
         record_delivery = self._trace.wants("bus.deliver")
         if tx.span_id is None:
+            frame = tx.frame
+            mid = frame.mid
+            remote = frame.remote
+            now = self._sim.now
+            trace_record = self._trace.record
             for controller in alive:
-                # .ind includes own transmissions (paper Fig. 4).
-                if controller.alive:
-                    controller.deliver(tx.frame)
+                # .ind includes own transmissions (paper Fig. 4). The
+                # ``alive`` re-check guards against a crash triggered by
+                # an earlier recipient's upcall; inlined like above.
+                if not controller.crashed and controller.tec <= BUS_OFF_THRESHOLD:
+                    controller.deliver(frame)
                     if record_delivery:
-                        self._trace.record(
-                            self._sim.now,
+                        trace_record(
+                            now,
                             "bus.deliver",
                             node=controller.node_id,
-                            mid=tx.frame.mid,
-                            remote=tx.frame.remote,
+                            mid=mid,
+                            remote=remote,
                         )
             return
         spans = self._spans
@@ -456,6 +484,26 @@ class CanBus:
     def busy(self) -> bool:
         """True while a frame (or its interframe space) occupies the bus."""
         return self._busy
+
+    @property
+    def quiescent(self) -> bool:
+        """True when the bus has no traffic it could start at this instant.
+
+        Idle wire, no pending arbitration event, no open inaccessibility
+        window, and no controller holding a transmit request: any future
+        bus activity can only originate from an event already in the
+        simulator's queue (a timer expiry, a scheduled workload send).
+        This is the guard the analytic idle-skip uses before leaping the
+        clock to the next scheduled event.
+        """
+        if self._busy or self._arbitration_pending:
+            return False
+        if self._sim.now < self._inaccessible_until:
+            return False
+        return all(
+            controller.head_request() is None
+            for controller in self._controllers.values()
+        )
 
     def utilization(self, window_ticks: Optional[int] = None) -> float:
         """Fraction of bus capacity consumed so far (or over ``window_ticks``)."""

@@ -59,10 +59,15 @@ class TxRequest:
     #: span tracing is disabled.
     span_id: Optional[int] = None
 
-    @property
-    def priority_key(self):
-        """Arbitration order: identifier, then data-before-remote, then FIFO."""
-        return (self.frame.identifier, 1 if self.frame.remote else 0, self.seq)
+    def __post_init__(self) -> None:
+        # Arbitration order: identifier, then data-before-remote, then
+        # FIFO. Precomputed — the key is immutable and every arbitration
+        # round sorts on it.
+        self.priority_key = (
+            self.frame.identifier,
+            1 if self.frame.remote else 0,
+            self.seq,
+        )
 
 
 class CanController:
@@ -168,7 +173,12 @@ class CanController:
 
     def head_request(self) -> Optional[TxRequest]:
         """The highest-priority pending request, or None."""
-        if not self.alive or not self._queue:
+        # ``alive`` inlined: arbitration polls every controller per frame.
+        if (
+            not self._queue
+            or self.crashed
+            or self.tec > BUS_OFF_THRESHOLD
+        ):
             return None
         return self._queue[0]
 
@@ -183,7 +193,8 @@ class CanController:
 
     def finish_success(self, request: TxRequest) -> None:
         """Successful transmission: TEC decrement and ``.cnf`` upcall."""
-        self.tec = max(0, self.tec - 1)
+        if self.tec:
+            self.tec -= 1
         if request.span_id is not None:
             self._spans.end(
                 request.span_id, outcome="delivered", attempts=request.attempts
@@ -208,7 +219,8 @@ class CanController:
 
     def deliver(self, frame: CanFrame) -> None:
         """A frame was accepted by this controller's receiver."""
-        self.rec = max(0, self.rec - 1)
+        if self.rec:
+            self.rec -= 1
         if self.on_rx is not None:
             self.on_rx(frame)
 

@@ -49,6 +49,18 @@ class CanStandardLayer:
         self._data_cnf: Tuple[Tuple[Optional[MessageType], CnfListener], ...] = ()
         self._rtr_cnf: Tuple[Tuple[Optional[MessageType], CnfListener], ...] = ()
         self._data_nty: Tuple[NtyListener, ...] = ()
+        # Per-message-type dispatch caches: dispatch runs once per frame
+        # per node — the hottest fan-out in the stack — and re-checking
+        # every listener's type filter per frame costs more than resolving
+        # the eligible listeners once per (table, type). Registration
+        # invalidates; the filtered tuples preserve registration order.
+        self._data_ind_cache: dict = {}
+        self._rtr_ind_cache: dict = {}
+        self._data_cnf_cache: dict = {}
+        self._rtr_cnf_cache: dict = {}
+        # Layers are built after ``bus.attach`` rebinds the controller's
+        # tracer, so the alias is stable.
+        self._spans = controller._spans
         controller.on_rx = self._handle_rx
         controller.on_tx_success = self._handle_cnf
 
@@ -87,24 +99,28 @@ class CanStandardLayer:
     ) -> None:
         """Subscribe to ``can-data.ind`` (optionally one message type only)."""
         self._data_ind += ((mtype, listener),)
+        self._data_ind_cache.clear()
 
     def add_rtr_ind(
         self, listener: RtrIndListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-rtr.ind``."""
         self._rtr_ind += ((mtype, listener),)
+        self._rtr_ind_cache.clear()
 
     def add_data_cnf(
         self, listener: CnfListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-data.cnf``."""
         self._data_cnf += ((mtype, listener),)
+        self._data_cnf_cache.clear()
 
     def add_rtr_cnf(
         self, listener: CnfListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-rtr.cnf``."""
         self._rtr_cnf += ((mtype, listener),)
+        self._rtr_cnf_cache.clear()
 
     def add_data_nty(self, listener: NtyListener) -> None:
         """Subscribe to the ``can-data.nty`` extension (all data frames)."""
@@ -112,17 +128,31 @@ class CanStandardLayer:
 
     # -- controller upcalls -----------------------------------------------------
 
+    @staticmethod
+    def _resolve(table: tuple, cache: dict, mtype: MessageType) -> tuple:
+        """Fill ``cache[mtype]`` with ``table``'s eligible listeners."""
+        eligible = cache[mtype] = tuple(
+            listener
+            for registered, listener in table
+            if registered is None or registered is mtype
+        )
+        return eligible
+
     def _handle_rx(self, frame: CanFrame) -> None:
         mid = frame.mid
         if frame.remote:
-            for mtype, listener in self._rtr_ind:
-                if mtype is None or mid.mtype is mtype:
-                    listener(mid)
+            listeners = self._rtr_ind_cache.get(mid.mtype)
+            if listeners is None:
+                listeners = self._resolve(
+                    self._rtr_ind, self._rtr_ind_cache, mid.mtype
+                )
+            for listener in listeners:
+                listener(mid)
             return
         # The .nty extension fires before .ind: it carries no data and is
         # what the failure-detection protocol taps for implicit life-signs.
-        if self._controller._spans.enabled and self._data_nty:
-            spans = self._controller._spans
+        if self._spans.enabled and self._data_nty:
+            spans = self._spans
             # Surveillance-timer restarts triggered by this notification
             # parent to the frame that acted as the life-sign — the root a
             # later detection tree hangs from.
@@ -138,13 +168,27 @@ class CanStandardLayer:
         else:
             for listener in self._data_nty:
                 listener(mid)
-        for mtype, listener in self._data_ind:
-            if mtype is None or mid.mtype is mtype:
-                listener(mid, frame.data)
+        listeners = self._data_ind_cache.get(mid.mtype)
+        if listeners is None:
+            listeners = self._resolve(
+                self._data_ind, self._data_ind_cache, mid.mtype
+            )
+        for listener in listeners:
+            listener(mid, frame.data)
 
     def _handle_cnf(self, frame: CanFrame) -> None:
-        listeners = self._rtr_cnf if frame.remote else self._data_cnf
         mid = frame.mid
-        for mtype, listener in listeners:
-            if mtype is None or mid.mtype is mtype:
-                listener(mid)
+        if frame.remote:
+            listeners = self._rtr_cnf_cache.get(mid.mtype)
+            if listeners is None:
+                listeners = self._resolve(
+                    self._rtr_cnf, self._rtr_cnf_cache, mid.mtype
+                )
+        else:
+            listeners = self._data_cnf_cache.get(mid.mtype)
+            if listeners is None:
+                listeners = self._resolve(
+                    self._data_cnf, self._data_cnf_cache, mid.mtype
+                )
+        for listener in listeners:
+            listener(mid)

@@ -38,6 +38,9 @@ class CanFrame:
             raise FrameError(f"CAN data field is at most 8 bytes, got {len(self.data)}")
         if self.remote and self.data:
             raise FrameError("remote frames carry no data")
+        # Arbitration reads the identifier several times per contention
+        # round; the frame is immutable, so encode once at construction.
+        object.__setattr__(self, "_identifier", self.mid.encode())
 
     @property
     def dlc(self) -> int:
@@ -47,7 +50,7 @@ class CanFrame:
     @property
     def identifier(self) -> int:
         """Encoded 29-bit arbitration identifier."""
-        return self.mid.encode()
+        return self._identifier
 
     def wire_bits(self, with_interframe: bool = True) -> int:
         """Exact stuffed wire length of this frame in bit-times."""

@@ -46,6 +46,11 @@ class FailureDetector:
         self._sim = timers.sim
         self._config = config
         self._fda = fda
+        # Surveillance durations resolved once (the config is frozen): the
+        # rearm below runs per observed frame per monitored node.
+        self._local_id = layer.node_id
+        self._duration_local = config.thb  # a02
+        self._duration_remote = config.thb + config.ttd  # a04
         # i00: surveillance timer identifiers, kept per monitored node.
         self._tid: Dict[int, Optional[Alarm]] = {}
         self._listeners: List[FailureCallback] = []
@@ -56,7 +61,10 @@ class FailureDetector:
         self._inc_detections = metrics.counter("fd.detections").inc
         self._spans = self._sim.spans
         layer.add_data_nty(self._on_activity)  # f03: implicit life-signs
-        layer.add_rtr_ind(self._on_els, mtype=MessageType.ELS)  # f03: explicit
+        # f03: explicit life-signs share the activity clause (own
+        # transmissions included, which is how the local heartbeat timer
+        # re-arms after an ELS broadcast).
+        layer.add_rtr_ind(self._on_activity, mtype=MessageType.ELS)
         fda.on_failure_sign(self._on_failure_sign)  # f13
 
     # -- upper-layer interface ----------------------------------------------------
@@ -91,12 +99,21 @@ class FailureDetector:
     # -- fd-alarm-start (a00-a06) ---------------------------------------------------
 
     def _alarm_start(self, node_id: int) -> None:
-        self._timers.cancel_alarm(self._tid.get(node_id))
-        if node_id == self._layer.node_id:  # a01
-            duration = self._config.thb  # a02: local timer
+        if node_id == self._local_id:  # a01
+            duration = self._duration_local  # a02: local timer
         else:
-            duration = self._config.thb + self._config.ttd  # a04: remote
-        self._tid[node_id] = self._timers.start_alarm(
+            duration = self._duration_remote  # a04: remote
+        # This runs once per observed frame per monitored node — the
+        # hottest path of the whole protocol suite. The in-place restart
+        # reuses the alarm handle and its expiry closure; the
+        # cancel-and-start fallback below is the seed-faithful idiom the
+        # restart is provably equivalent to.
+        timers = self._timers
+        alarm = self._tid.get(node_id)
+        if alarm is not None and timers.restart_alarm(alarm, duration):
+            return
+        timers.cancel_alarm(alarm)
+        self._tid[node_id] = timers.start_alarm(
             duration,
             lambda: self._on_expire(node_id),
             name="fd.surveillance",
@@ -106,15 +123,24 @@ class FailureDetector:
     # -- event clauses ------------------------------------------------------------------
 
     def _on_activity(self, mid: MessageId) -> None:
-        # f03-f05: a data frame from some node is implicit node activity.
-        if mid.node in self._tid:
-            self._alarm_start(mid.node)
-
-    def _on_els(self, mid: MessageId) -> None:
-        # f03-f05: explicit life-sign (own transmissions included, which is
-        # how the local heartbeat timer re-arms after an ELS broadcast).
-        if mid.node in self._tid:
-            self._alarm_start(mid.node)
+        # f03-f05: any frame from a monitored node — a data frame (implicit
+        # activity) or an explicit life-sign — restarts its surveillance
+        # timer. One dict probe resolves both "monitored?" and the alarm
+        # handle, and the common rearm goes straight to the timer restart;
+        # the full ``_alarm_start`` only runs when the fast path cannot.
+        node = mid.node
+        alarm = self._tid.get(node)
+        if alarm is not None:
+            duration = (
+                self._duration_local
+                if node == self._local_id
+                else self._duration_remote
+            )
+            if self._timers.restart_alarm(alarm, duration):
+                return
+            self._alarm_start(node)
+        elif node in self._tid:
+            self._alarm_start(node)
 
     def _on_expire(self, node_id: int) -> None:
         if node_id not in self._tid:

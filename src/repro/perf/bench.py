@@ -7,6 +7,12 @@ emits ``BENCH_core.json``:
   deterministic corpus of distinct frames. ``reference`` is the bit-list
   seed path, ``cold`` the table/integer path with the memo cache cleared
   every round, ``cached`` the steady-state dict-hit path.
+* **kernel_throughput** (micro) — raw kernel events per wall-second on a
+  surveillance-shaped workload (periodic events rearming watchdog alarms
+  plus same-instant bursts), isolating the event-queue + dispatch layer
+  this overhaul restructured: in-place reschedule and batched equal-time
+  dispatch against the seed's cancel-and-push queue and ``step()`` loop.
+  Both cores fire a provably identical event count.
 * **event_throughput** (macro) — simulated events per wall-second on the
   canonical 10-node membership scenario (bootstrap, crash, detection,
   view change). ``reference`` runs the same scenario under
@@ -132,6 +138,102 @@ def bench_frame_encoding(
     }
 
 
+def _run_kernel_workload(run_ticks: int) -> int:
+    """Surveillance-shaped kernel workload; returns events fired.
+
+    The shape mirrors what the protocol stack does to the kernel without
+    any protocol code: a periodic "frame" event whose action (a) restarts
+    one watchdog alarm per source — the surveillance-timer rearm that
+    dominates failure-detector traffic — and (b) schedules a burst of
+    same-instant events at mixed priorities — the fan-out a frame delivery
+    produces. Watchdogs outlive the rearm period, so they never fire;
+    both cores therefore execute exactly ``frames * (1 + burst)`` events
+    and the comparison is on provably identical work. Under the legacy
+    core every rearm is a cancel + push (dead dataclass entries sifting
+    through the heap) and every event is one ``step()``; the fast core
+    reschedules in place and drains equal-time runs in batches.
+
+    The 16-source / 6-burst mix reproduces the rearm density of the
+    canonical 10-node membership scenario (~2.3 surveillance rearms per
+    fired event), so the micro number extrapolates to protocol traffic.
+    """
+    from repro.sim.kernel import Simulator
+    from repro.sim.timers import TimerService
+    from repro.sim.trace import TraceRecorder
+
+    sources = 16
+    burst = 6
+    period = 997
+    watch = 16 * period
+
+    sim = Simulator(trace=TraceRecorder(enabled=False))
+    service = TimerService(sim)
+
+    def noop() -> None:
+        pass
+
+    alarms = [
+        service.start_alarm(watch, noop, name="watch") for _ in range(sources)
+    ]
+
+    def on_frame() -> None:
+        for index in range(sources):
+            alarm = alarms[index]
+            if not service.restart_alarm(alarm, watch):
+                service.cancel_alarm(alarm)
+                alarms[index] = service.start_alarm(watch, noop, name="watch")
+        for offset in range(burst):
+            sim.schedule(0, noop, priority=offset & 1)
+        sim.schedule(period, on_frame)
+
+    sim.schedule(0, on_frame)
+    sim.run_until(run_ticks)
+    return sim.events_processed
+
+
+def bench_kernel_throughput(
+    quick: bool = False, repeats: Optional[int] = None
+) -> Dict[str, Any]:
+    """Micro: raw kernel events/s on the rearm + burst workload, fast vs seed."""
+    run_ticks = 400_000 if quick else 2_000_000
+    reps = repeats if repeats is not None else (3 if quick else 5)
+
+    events_fast = _run_kernel_workload(run_ticks)  # warm-up + event count
+    with legacy_core():
+        events_legacy = _run_kernel_workload(run_ticks)
+    if events_fast != events_legacy:
+        raise RuntimeError(
+            "fast and legacy kernels fired different event counts "
+            f"({events_fast} vs {events_legacy}); equivalence is broken"
+        )
+
+    def run_legacy() -> None:
+        with legacy_core():
+            _run_kernel_workload(run_ticks)
+
+    # Interleaved best-of, for the same reason as the macro benchmark.
+    t_fast = float("inf")
+    t_legacy = float("inf")
+    for _ in range(reps):
+        t_fast = min(t_fast, _timed(lambda: _run_kernel_workload(run_ticks)))
+        t_legacy = min(t_legacy, _timed(run_legacy))
+    fast_rate = events_fast / t_fast
+    legacy_rate = events_legacy / t_legacy
+    return {
+        "unit": "events/s",
+        "events": events_fast,
+        "workload": {
+            "run_ticks": run_ticks,
+            "sources": 16,
+            "burst": 6,
+            "period_ticks": 997,
+        },
+        "reference_value": legacy_rate,
+        "value": fast_rate,
+        "speedup": fast_rate / legacy_rate,
+    }
+
+
 def _run_canonical_scenario(run_ms: float) -> int:
     """The canonical 10-node membership scenario; returns events fired."""
     config = CanelyConfig(
@@ -219,12 +321,15 @@ def bench_campaign_wallclock(quick: bool = False) -> Dict[str, Any]:
 
 def environment() -> Dict[str, Any]:
     """Host metadata stamped into every report."""
+    from repro.perf import compiled
+
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "compiled": compiled.status(),
     }
 
 
@@ -234,6 +339,7 @@ def run_benchmarks(
     """Run the full suite and return the report dict (``SCHEMA`` layout)."""
     results = {
         "frame_encoding": bench_frame_encoding(quick=quick, repeats=repeats),
+        "kernel_throughput": bench_kernel_throughput(quick=quick, repeats=repeats),
         "event_throughput": bench_event_throughput(quick=quick, repeats=repeats),
         "campaign_wallclock": bench_campaign_wallclock(quick=quick),
     }

@@ -15,6 +15,15 @@ O(n)) but the queue counts them, so ``len(queue)`` reports *live* events
 only, and compacts the heap once dead entries dominate — long membership
 campaigns cancel-and-rearm surveillance timers on every frame, and without
 the purge those dead entries would accumulate for the whole run.
+
+Rescheduling (:meth:`EventQueue.reschedule`) postpones a pending event
+*in place*: the event's ``time``/``seq`` fields are updated and its stale
+heap entry is repaired lazily when it surfaces, so the surveillance-timer
+rearm — the hottest operation in a membership simulation — costs a few
+attribute writes instead of a cancel, an :class:`Event` allocation and a
+``heappush``. A fresh sequence number is allocated on every reschedule, so
+the resulting ``(time, priority, seq)`` order is *identical* to the
+cancel-and-push idiom it replaces: traces stay bit-for-bit equal.
 """
 
 from __future__ import annotations
@@ -35,6 +44,10 @@ class Event:
         seq: insertion sequence number, the final tie-breaker.
         action: the zero-argument callable invoked when the event fires.
         cancelled: cancelled events stay in the heap but are skipped.
+
+    ``time`` and ``seq`` are rewritten by :meth:`EventQueue.reschedule`;
+    a heap entry whose ``seq`` no longer matches its event is *stale* and
+    is re-filed (never fired) when it reaches the top of the heap.
     """
 
     __slots__ = ("time", "priority", "seq", "action", "cancelled", "_queue")
@@ -76,6 +89,11 @@ class EventQueue:
     #: run loop relies on this layout to pop/fire without indirection.
     TUPLE_ENTRIES = True
 
+    #: This queue supports in-place deferral via :meth:`reschedule`. The
+    #: seed-faithful legacy queue does not, which keeps the reference core
+    #: on the original cancel-and-push path.
+    SUPPORTS_RESCHEDULE = True
+
     def __init__(self) -> None:
         self._heap: list = []
         self._seq = 0
@@ -102,27 +120,59 @@ class EventQueue:
         heapq.heappush(self._heap, (time, priority, seq, event))
         return event
 
+    def reschedule(self, event: Event, time: int) -> None:
+        """Defer pending ``event`` to fire at ``time`` instead, in place.
+
+        ``time`` must be at or after the event's current deadline — the
+        stale heap entry is repaired lazily when popped, and an entry can
+        only be re-filed *later* without losing heap order. A fresh
+        sequence number is consumed so the event orders among same-time
+        peers exactly as if it had been cancelled and pushed anew.
+
+        Callers must ensure the event is live and still owned by this
+        queue (``event._queue is self``); :meth:`Simulator.try_reschedule
+        <repro.sim.kernel.Simulator.try_reschedule>` wraps those checks.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
+
     def _note_cancelled(self) -> None:
         self._cancelled += 1
         # Lazy purge: rebuild the heap once cancelled entries outnumber the
         # live ones, so dead entries never occupy more than half the heap.
         # In place — the kernel's inlined run loop aliases the heap list.
+        # Entries are rebuilt from their events' current fields, which also
+        # repairs any entry left stale by reschedule().
         heap = self._heap
         if len(heap) > _PURGE_MIN_HEAP and self._cancelled * 2 > len(heap):
-            heap[:] = [entry for entry in heap if not entry[3].cancelled]
+            heap[:] = [
+                (event.time, event.priority, event.seq, event)
+                for entry in heap
+                if not (event := entry[3]).cancelled
+            ]
             heapq.heapify(heap)
             self._cancelled = 0
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` if empty.
 
-        Cancelled events are discarded transparently.
+        Cancelled events are discarded and stale (rescheduled) entries are
+        re-filed at their new position, both transparently.
         """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[3]
+            entry = heapq.heappop(heap)
+            event = entry[3]
             if event.cancelled:
                 self._cancelled -= 1
+                continue
+            if event.seq != entry[2]:
+                # Stale entry: the event was rescheduled later; re-file it.
+                heapq.heappush(
+                    heap, (event.time, event.priority, event.seq, event)
+                )
                 continue
             # A late cancel() on a fired event must not skew the count.
             event._queue = None
@@ -132,12 +182,21 @@ class EventQueue:
     def peek_time(self) -> Optional[int]:
         """Return the firing time of the earliest live event, if any."""
         heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
-            self._cancelled -= 1
-        if not heap:
-            return None
-        return heap[0][0]
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if event.seq != entry[2]:
+                heapq.heappop(heap)
+                heapq.heappush(
+                    heap, (event.time, event.priority, event.seq, event)
+                )
+                continue
+            return entry[0]
+        return None
 
     def clear(self) -> None:
         """Drop every pending event.

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import heapq
 import json
-from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -44,9 +43,13 @@ TraceSink = Callable[["TraceRecord"], None]
 _COMPACT_THRESHOLD = 1024
 
 
-@dataclass(frozen=True)
 class TraceRecord:
-    """One trace entry.
+    """One trace entry. Treat as immutable once recorded.
+
+    A slotted plain class rather than a frozen dataclass: recorders append
+    thousands of these per simulated second, and the frozen-dataclass
+    ``__init__`` (one ``object.__setattr__`` per field) is measurable at
+    that rate.
 
     Attributes:
         time: simulation time of the event, in kernel ticks.
@@ -55,10 +58,35 @@ class TraceRecord:
         data: free-form payload.
     """
 
-    time: int
-    category: str
-    node: int
-    data: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "node", "data")
+
+    def __init__(
+        self,
+        time: int,
+        category: str,
+        node: int = -1,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.node = node
+        self.data = {} if data is None else data
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.node == other.node
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(time={self.time}, category={self.category!r}, "
+            f"node={self.node}, data={self.data!r})"
+        )
 
 
 def _jsonable(value: Any) -> Any:
@@ -214,7 +242,14 @@ class TraceRecorder:
         """Append a record (no-op while the recorder or category is off)."""
         if not self.enabled or category in self._disabled:
             return
-        entry = TraceRecord(time, category, node, data)
+        # Bypasses TraceRecord.__init__: this is the single hottest
+        # allocation site in a traced run (one record per delivery per
+        # node), and the extra constructor frame is measurable there.
+        entry = TraceRecord.__new__(TraceRecord)
+        entry.time = time
+        entry.category = category
+        entry.node = node
+        entry.data = data
         seq = self._next_seq
         self._next_seq = seq + 1
         if time > self._max_time:
@@ -230,8 +265,9 @@ class TraceRecorder:
         by_node.append(seq)
         if self._capacity is not None and len(self) > self._capacity:
             self._evict_oldest()
-        for sink in self._sinks:
-            sink(entry)
+        if self._sinks:
+            for sink in self._sinks:
+                sink(entry)
 
     def _evict_oldest(self) -> None:
         oldest = self._records[self._offset]

@@ -35,6 +35,14 @@ def test_environment_metadata_fields():
     env = environment()
     assert set(env) == {
         "python", "implementation", "platform", "machine", "cpu_count",
+        "compiled",
+    }
+    compiled = env["compiled"]
+    assert set(compiled) == {
+        "requested", "backend", "toolchain", "modules", "active",
+    }
+    assert set(compiled["modules"]) == {
+        "repro.sim.event", "repro.sim.kernel", "repro.can.bitstream",
     }
 
 
@@ -104,10 +112,13 @@ def test_campaign_wallclock_quick_runs_clean():
 
 def test_committed_report_meets_the_acceptance_bars():
     """BENCH_core.json at the repo root is a real measurement: the frame
-    encoding speedup must be >= 3x and event throughput >= 1.5x."""
+    encoding speedup must be >= 3x, kernel throughput >= 4x and end-to-end
+    event throughput >= 1.5x."""
     report = load_report("BENCH_core.json")
     results = report["results"]
     assert results["frame_encoding"]["speedup"] >= 3.0
+    assert results["kernel_throughput"]["speedup"] >= 4.0
+    assert results["kernel_throughput"]["unit"] == "events/s"
     assert results["event_throughput"]["speedup"] >= 1.5
     assert report["environment"]["python"]
 

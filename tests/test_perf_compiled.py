@@ -1,0 +1,80 @@
+"""The optional compiled core: status reporting and clean degradation.
+
+The compiled build itself needs a toolchain (Cython or mypyc) the test
+environment may not have; everything here must pass either way. The CI
+smoke job installs Cython and runs ``tools/build_compiled.py`` for real.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.perf import compiled
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BUILD_TOOL = os.path.join(REPO_ROOT, "tools", "build_compiled.py")
+
+
+def test_requested_parses_truthy_values():
+    assert not compiled.requested({})
+    assert not compiled.requested({"REPRO_COMPILED": "0"})
+    assert not compiled.requested({"REPRO_COMPILED": "off"})
+    for value in ("1", "true", "YES", " on "):
+        assert compiled.requested({"REPRO_COMPILED": value})
+
+
+def test_backend_defaults_to_cython():
+    assert compiled.backend({}) == "cython"
+    assert compiled.backend({"REPRO_COMPILED_BACKEND": "mypyc"}) == "mypyc"
+    assert compiled.backend({"REPRO_COMPILED_BACKEND": "weird"}) == "cython"
+
+
+def test_status_covers_every_core_module():
+    status = compiled.status()
+    assert set(status["modules"]) == set(compiled.COMPILED_MODULES)
+    assert status["active"] == any(status["modules"].values())
+    assert status["toolchain"] in (None, "cython", "mypyc")
+
+
+def test_build_tool_check_mode_reports_without_building():
+    result = subprocess.run(
+        [sys.executable, BUILD_TOOL, "--check"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0
+    assert '"modules"' in result.stdout
+
+
+def test_build_tool_skips_cleanly_without_toolchain():
+    """The smoke-job contract: no toolchain means exit 0 and say so."""
+    if compiled.available_toolchain() is not None:
+        return  # a real toolchain is present; the build path is exercised
+    result = subprocess.run(
+        [sys.executable, BUILD_TOOL],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0
+    assert "skipped" in result.stdout
+
+
+def test_setup_py_without_flag_builds_no_extensions():
+    """Importing setup.py's extension hook with the flag unset is empty."""
+    env = dict(os.environ)
+    env.pop("REPRO_COMPILED", None)
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import os, runpy, sys; sys.argv=['setup.py', '--version']; "
+            "runpy.run_path('setup.py', run_name='__main__')",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr

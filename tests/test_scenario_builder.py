@@ -259,3 +259,65 @@ def test_frame_match_is_plain_data():
 
     match = FrameMatch(mtype="FDA", node=3, nth=2)
     assert pickle.loads(pickle.dumps(match)) == match
+
+
+# -- analytic idle-skip in the settling loop ----------------------------------
+
+
+class _StubNet:
+    """Minimal network: a quiescent bus over a bare kernel, instrumented to
+    count how many cycles are actually *simulated* (vs leapt)."""
+
+    def __init__(self, quiescent=True):
+        from repro.sim.kernel import Simulator
+
+        self.sim = Simulator()
+        self.bus = SimpleNamespace(quiescent=quiescent)
+        self.config = SimpleNamespace(tm=ms(50))
+        self.simulated_cycles = 0
+
+    def run_cycles(self, cycles):
+        self.simulated_cycles += cycles
+        self.sim.run_until(self.sim.now + round(cycles * self.config.tm))
+
+    def member_views(self):
+        return {0: (0,)}
+
+
+def test_run_until_settled_leaps_silent_cycles():
+    net = _StubNet()
+    ScenarioBuilder(net).run_until_settled(max_cycles=60, stable_cycles=5)
+    # One probe cycle simulated for the first snapshot; once the queue is
+    # provably silent the remaining stability window is leapt analytically.
+    assert net.simulated_cycles < 5
+    assert net.sim.now >= round(5 * net.config.tm)
+
+
+def test_run_until_settled_leap_respects_pending_deadline():
+    """The leap may only cover cycles that end strictly before the next
+    kernel event: a deadline 3.5 cycles out caps the jump at 3 cycles."""
+    net = _StubNet()
+    cycle = round(net.config.tm)
+    deadline = round(3.5 * cycle)
+    fired = []
+    net.sim.schedule(deadline, lambda: fired.append(net.sim.now))
+    builder = ScenarioBuilder(net)
+    probe = builder._silent_cycles_ahead(cycle, 60)
+    assert probe == 3
+    builder.run_until_settled(max_cycles=60, stable_cycles=10)
+    assert fired == [deadline]  # the event still fired, at its exact deadline
+
+
+def test_run_until_settled_never_leaps_busy_bus():
+    net = _StubNet(quiescent=False)
+    ScenarioBuilder(net).run_until_settled(max_cycles=60, stable_cycles=3)
+    # Every cycle of the stability window was simulated for real.
+    assert net.simulated_cycles == 4
+
+
+def test_run_until_settled_idle_skip_off_simulates_everything():
+    net = _StubNet()
+    ScenarioBuilder(net).run_until_settled(
+        max_cycles=60, stable_cycles=5, idle_skip=False
+    )
+    assert net.simulated_cycles == 6

@@ -150,3 +150,309 @@ def test_same_time_events_fire_in_schedule_order():
     sim.schedule(10, lambda: order.append("b"))
     sim.run()
     assert order == ["a", "b"]
+
+
+# -- event budgets (run/run_until return counts; a 0 budget fires nothing) ----
+
+
+def make_sims():
+    """One simulator per queue implementation the kernel supports."""
+    from repro.perf.legacy import LegacyEventQueue
+
+    fast = Simulator()
+    legacy = Simulator()
+    legacy._queue = LegacyEventQueue()
+    return {"fast": fast, "legacy": legacy}
+
+
+@pytest.fixture(params=["fast", "legacy"])
+def any_sim(request):
+    return make_sims()[request.param]
+
+
+def test_run_returns_fired_count(any_sim):
+    for i in range(5):
+        any_sim.schedule(i + 1, lambda: None)
+    assert any_sim.run() == 5
+
+
+def test_run_zero_budget_fires_nothing(any_sim):
+    """Regression: ``max_events=0`` used to fire one event anyway."""
+    seen = []
+    any_sim.schedule(10, lambda: seen.append(1))
+    assert any_sim.run(max_events=0) == 0
+    assert seen == []
+    assert any_sim.now == 0
+    assert any_sim.pending_events == 1
+
+
+def test_run_until_zero_budget_fires_nothing_and_keeps_clock(any_sim):
+    seen = []
+    any_sim.schedule(10, lambda: seen.append(1))
+    assert any_sim.run_until(50, max_events=0) == 0
+    assert seen == []
+    assert any_sim.now == 0
+
+
+def test_run_negative_budget_rejected(any_sim):
+    with pytest.raises(SimulationError):
+        any_sim.run(max_events=-1)
+    with pytest.raises(SimulationError):
+        any_sim.run_until(10, max_events=-1)
+
+
+def test_run_budget_stops_exactly(any_sim):
+    seen = []
+    for i in range(5):
+        any_sim.schedule(i + 1, lambda i=i: seen.append(i))
+    assert any_sim.run(max_events=3) == 3
+    assert seen == [0, 1, 2]
+    assert any_sim.now == 3  # clock stays at the last fired event
+
+
+def test_run_until_budget_exhausted_keeps_clock_at_last_event(any_sim):
+    for i in range(5):
+        any_sim.schedule(i + 1, lambda: None)
+    assert any_sim.run_until(100, max_events=2) == 2
+    assert any_sim.now == 2
+
+
+def test_run_until_budget_not_exhausted_advances_clock(any_sim):
+    any_sim.schedule(10, lambda: None)
+    assert any_sim.run_until(100, max_events=5) == 1
+    assert any_sim.now == 100
+
+
+def test_run_until_returns_fired_count(any_sim):
+    for i in range(4):
+        any_sim.schedule(i + 1, lambda: None)
+    assert any_sim.run_until(2) == 2
+    assert any_sim.run_until(10) == 2
+
+
+# -- reentrancy guard ---------------------------------------------------------
+
+
+def test_nested_run_raises(any_sim):
+    errors = []
+
+    def nested():
+        try:
+            any_sim.run()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    any_sim.schedule(10, nested)
+    any_sim.run()
+    assert len(errors) == 1
+    assert "re-entered" in errors[0]
+    # The guard must reset: a fresh drain works.
+    any_sim.schedule(5, lambda: None)
+    assert any_sim.run() == 1
+
+
+def test_nested_run_until_raises(any_sim):
+    errors = []
+    any_sim.schedule(10, lambda: errors.append(0) or any_sim.run_until(99))
+    with pytest.raises(SimulationError, match="re-entered"):
+        any_sim.run_until(50)
+
+
+def test_running_property_reflects_drain(any_sim):
+    states = []
+    any_sim.schedule(10, lambda: states.append(any_sim.running))
+    assert not any_sim.running
+    any_sim.run()
+    assert states == [True]
+    assert not any_sim.running
+
+
+# -- analytic idle-skip -------------------------------------------------------
+
+
+def test_next_event_time(any_sim):
+    assert any_sim.next_event_time() is None
+    any_sim.schedule(30, lambda: None)
+    assert any_sim.next_event_time() == 30
+
+
+def test_advance_to_next_event_jumps_without_firing(any_sim):
+    seen = []
+    any_sim.schedule(500, lambda: seen.append(any_sim.now))
+    assert any_sim.advance_to_next_event() == 500
+    assert any_sim.now == 500
+    assert seen == []
+    any_sim.run()
+    assert seen == [500]
+
+
+def test_advance_to_next_event_empty_queue(any_sim):
+    assert any_sim.advance_to_next_event() is None
+    assert any_sim.now == 0
+
+
+def test_advance_to_next_event_never_rewinds(any_sim):
+    any_sim.schedule(10, lambda: None)
+    any_sim.run_until(50)
+    any_sim.schedule(5, lambda: None)  # deadline 55 > now
+    any_sim.schedule_at(55, lambda: None)
+    assert any_sim.advance_to_next_event() == 55
+    assert any_sim.now == 55
+
+
+def test_advance_to_next_event_inside_drain_raises(any_sim):
+    errors = []
+
+    def inside():
+        try:
+            any_sim.advance_to_next_event()
+        except SimulationError:
+            errors.append(1)
+
+    any_sim.schedule(10, inside)
+    any_sim.run()
+    assert errors == [1]
+
+
+def test_run_for_returns_fired_count(any_sim):
+    any_sim.schedule(10, lambda: None)
+    any_sim.schedule(20, lambda: None)
+    assert any_sim.run_for(15) == 1
+    assert any_sim.now == 15
+
+
+# -- batched same-timestamp dispatch ------------------------------------------
+
+
+def batching_modes():
+    return [True, False]
+
+
+@pytest.mark.parametrize("batch", batching_modes())
+def test_same_time_priority_order(batch):
+    sim = Simulator(batch_dispatch=batch)
+    order = []
+    sim.schedule(10, lambda: order.append("low"), priority=5)
+    sim.schedule(10, lambda: order.append("high"), priority=0)
+    sim.schedule(10, lambda: order.append("low2"), priority=5)
+    sim.run()
+    assert order == ["high", "low", "low2"]
+
+
+@pytest.mark.parametrize("batch", batching_modes())
+def test_urgent_event_scheduled_mid_batch_preempts(batch):
+    """An action scheduling a *more urgent* same-instant event sees it fire
+    before the remaining batch entries."""
+    sim = Simulator(batch_dispatch=batch)
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, lambda: order.append("urgent"), priority=-1)
+
+    sim.schedule(10, first, priority=0)
+    sim.schedule(10, lambda: order.append("second"), priority=0)
+    sim.run()
+    assert order == ["first", "urgent", "second"]
+
+
+@pytest.mark.parametrize("batch", batching_modes())
+def test_equal_priority_scheduled_mid_batch_fires_after(batch):
+    sim = Simulator(batch_dispatch=batch)
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, lambda: order.append("late"), priority=0)
+
+    sim.schedule(10, first, priority=0)
+    sim.schedule(10, lambda: order.append("second"), priority=0)
+    sim.run()
+    assert order == ["first", "second", "late"]
+
+
+@pytest.mark.parametrize("batch", batching_modes())
+def test_mid_batch_cancel_skips_detached_event(batch):
+    """An action cancelling a *later* same-instant event must suppress it
+    even after the batch loop detached it from the queue."""
+    sim = Simulator(batch_dispatch=batch)
+    order = []
+    box = {}
+    # Scheduled first so it fires first; cancels the later entry.
+    sim.schedule(10, lambda: (order.append("killer"), box["victim"].cancel()))
+    box["victim"] = sim.schedule(10, lambda: order.append("victim"))
+    sim.run()
+    assert order == ["killer"]
+
+
+@pytest.mark.parametrize("batch", batching_modes())
+def test_rescheduled_event_orders_like_fresh_push(batch):
+    """In-place reschedule is order-equivalent to cancel + push."""
+    sim = Simulator(batch_dispatch=batch)
+    order = []
+    moved = sim.schedule(10, lambda: order.append("moved"))
+    sim.schedule(20, lambda: order.append("peer"))
+    assert sim.try_reschedule(moved, 20)
+    sim.run()
+    # The reschedule consumed a fresh seq, so "moved" now follows "peer".
+    assert order == ["peer", "moved"]
+
+
+def test_batch_dispatch_module_flag(monkeypatch):
+    import repro.sim.kernel as kernel_mod
+
+    monkeypatch.setattr(kernel_mod, "BATCH_DISPATCH", False)
+    sim = Simulator()  # inherits the module default at drain time
+    order = []
+    sim.schedule(10, lambda: order.append("a"))
+    sim.schedule(10, lambda: order.append("b"))
+    assert sim.run() == 2
+    assert order == ["a", "b"]
+
+
+# -- try_reschedule -----------------------------------------------------------
+
+
+def test_try_reschedule_defers_in_place():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, lambda: fired.append(sim.now))
+    assert sim.try_reschedule(event, 40)
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == [40]
+
+
+def test_try_reschedule_refuses_earlier_deadline():
+    sim = Simulator()
+    event = sim.schedule(50, lambda: None)
+    assert not sim.try_reschedule(event, 10)
+
+
+def test_try_reschedule_refuses_cancelled_event():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    event.cancel()
+    assert not sim.try_reschedule(event, 20)
+
+
+def test_try_reschedule_refuses_legacy_queue():
+    from repro.perf.legacy import LegacyEventQueue
+
+    sim = Simulator()
+    sim._queue = LegacyEventQueue()
+    event = sim.schedule(10, lambda: None)
+    assert not sim.try_reschedule(event, 20)
+
+
+def test_try_reschedule_refuses_detached_event():
+    sim = Simulator()
+    box = {}
+
+    def action():
+        # While firing, the event is no longer owned by the queue.
+        box["result"] = sim.try_reschedule(box["event"], sim.now + 10)
+
+    box["event"] = sim.schedule(10, action)
+    sim.run()
+    assert box["result"] is False

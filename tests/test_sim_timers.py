@@ -130,3 +130,113 @@ def test_restart_pattern():
     timers.start_alarm(100, lambda: fired.append(sim.now))
     sim.run()
     assert fired == [150]
+
+
+# -- restart_alarm (the in-place surveillance rearm) --------------------------
+
+
+def test_restart_alarm_defers_in_place():
+    sim, timers = make()
+    fired = []
+    alarm = timers.start_alarm(100, lambda: fired.append(sim.now))
+    sim.run_until(50)
+    assert timers.restart_alarm(alarm, 100)
+    assert alarm.deadline == 150
+    sim.run()
+    assert fired == [150]
+    assert timers.pending_count == 0
+
+
+def test_restart_alarm_keeps_handle_identity():
+    sim, timers = make()
+    alarm = timers.start_alarm(100, lambda: None)
+    alarm_id = alarm.alarm_id
+    assert timers.restart_alarm(alarm, 200)
+    assert alarm.alarm_id == alarm_id
+    assert timers.is_pending(alarm)
+
+
+def test_restart_alarm_applies_drift():
+    sim = Simulator()
+    timers = TimerService(sim, drift=0.5)
+    fired = []
+    alarm = timers.start_alarm(100, lambda: fired.append(sim.now))
+    assert timers.restart_alarm(alarm, 200)
+    assert alarm.deadline == 300
+    sim.run()
+    assert fired == [300]
+
+
+def test_restart_alarm_negative_duration_rejected():
+    _, timers = make()
+    alarm = timers.start_alarm(10, lambda: None)
+    with pytest.raises(ValueError):
+        timers.restart_alarm(alarm, -1)
+
+
+def test_restart_alarm_refuses_none_and_inactive():
+    sim, timers = make()
+    assert not timers.restart_alarm(None, 10)
+    fired_alarm = timers.start_alarm(10, lambda: None)
+    sim.run()
+    assert not timers.restart_alarm(fired_alarm, 10)
+    cancelled_alarm = timers.start_alarm(10, lambda: None)
+    timers.cancel_alarm(cancelled_alarm)
+    assert not timers.restart_alarm(cancelled_alarm, 10)
+
+
+def test_restart_alarm_refuses_earlier_deadline():
+    sim, timers = make()
+    alarm = timers.start_alarm(100, lambda: None)
+    assert not timers.restart_alarm(alarm, 10)
+    assert alarm.deadline == 100
+
+
+def test_restart_alarm_refuses_legacy_queue():
+    from repro.perf.legacy import LegacyEventQueue
+
+    sim = Simulator()
+    sim._queue = LegacyEventQueue()
+    timers = TimerService(sim)
+    alarm = timers.start_alarm(100, lambda: None)
+    assert not timers.restart_alarm(alarm, 200)
+
+
+def test_restart_alarm_refuses_when_spans_enabled():
+    sim, timers = make()
+    alarm = timers.start_alarm(100, lambda: None)
+    sim.spans.enabled = True
+    try:
+        assert not timers.restart_alarm(alarm, 200)
+    finally:
+        sim.spans.enabled = False
+
+
+def test_restart_alarm_honours_fast_rearm_toggle(monkeypatch):
+    import repro.sim.timers as timers_mod
+
+    monkeypatch.setattr(timers_mod, "FAST_REARM", False)
+    sim, timers = make()
+    alarm = timers.start_alarm(100, lambda: None)
+    assert not timers.restart_alarm(alarm, 200)
+
+
+def test_restart_equivalent_to_cancel_and_start():
+    """Bit-identical outcome: restart vs the seed cancel-and-start idiom,
+    including the interleaving with an independent same-deadline alarm."""
+
+    def drive(use_restart):
+        sim, timers = make()
+        fired = []
+        watched = timers.start_alarm(100, lambda: fired.append(("w", sim.now)))
+        timers.start_alarm(150, lambda: fired.append(("peer", sim.now)))
+        sim.run_until(50)
+        if use_restart:
+            assert timers.restart_alarm(watched, 100)
+        else:
+            timers.cancel_alarm(watched)
+            timers.start_alarm(100, lambda: fired.append(("w", sim.now)))
+        sim.run()
+        return fired, sim.events_processed
+
+    assert drive(True) == drive(False)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Build the optional compiled simulation core in place.
+
+Thin driver around ``REPRO_COMPILED=1 setup.py build_ext --inplace`` that
+degrades gracefully: when no compiler backend (Cython, or mypyc via
+``REPRO_COMPILED_BACKEND=mypyc``) is importable it reports *skipped* and
+exits 0, so CI smoke jobs and developer machines without a toolchain pass
+cleanly. On success it prints the per-module compiled status from
+:mod:`repro.perf.compiled`.
+
+Usage::
+
+    python tools/build_compiled.py [--check]
+
+``--check`` only reports the current status (no build).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _status() -> dict:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.perf import compiled
+
+    return compiled.status()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report compiled-core status without building",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        print(json.dumps(_status(), indent=2, sort_keys=True))
+        return 0
+
+    status = _status()
+    if status["toolchain"] is None:
+        print(
+            "compiled core: skipped (no Cython or mypyc toolchain; "
+            "pure-Python modules remain in use)"
+        )
+        return 0
+
+    env = dict(os.environ, REPRO_COMPILED="1")
+    result = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    if result.returncode != 0:
+        print("compiled core: build FAILED", file=sys.stderr)
+        return result.returncode
+
+    # Re-import in a fresh interpreter so the freshly built extensions (not
+    # the already-imported pure modules) are what gets reported.
+    probe = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import json; from repro.perf import compiled; "
+            "print(json.dumps(compiled.status(), indent=2, sort_keys=True))",
+        ],
+        cwd=REPO_ROOT,
+        env=dict(env, PYTHONPATH=os.path.join(REPO_ROOT, "src")),
+    )
+    return probe.returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
