@@ -594,11 +594,30 @@ def _cmd_bench(args) -> int:
     # Load the baseline up front: --baseline and --json may name the same
     # file (the `make bench-json` refresh-and-gate idiom).
     baseline = load_report(args.baseline) if args.baseline else None
-    report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    report = run_benchmarks(
+        quick=args.quick, repeats=args.repeats, only=args.only or None
+    )
     print(render_report(report))
     if args.json:
         write_report(report, args.json)
         print(f"report written to {args.json}")
+    if args.require_sublinear:
+        scaling = report["results"].get("stack_scaling")
+        if scaling is None:
+            print("--require-sublinear: stack_scaling did not run")
+            return 1
+        if not scaling.get("sublinear"):
+            print(
+                "--require-sublinear: per-event cost grew linearly "
+                f"(cost ratio {scaling['cost_ratio']:.2f}x >= population "
+                f"ratio {scaling['linear_ratio']:.0f}x)"
+            )
+            return 1
+        print(
+            f"sub-linear scaling: per-event cost ratio "
+            f"{scaling['cost_ratio']:.2f}x over a "
+            f"{scaling['linear_ratio']:.0f}x population"
+        )
     if baseline is not None:
         regressions = compare_reports(
             baseline,
@@ -993,6 +1012,19 @@ def main(argv=None) -> int:
         "--portable-only",
         action="store_true",
         help="compare only machine-independent speedup ratios",
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only the named benchmark (repeatable), e.g. "
+        "--only stack_scaling",
+    )
+    bench.add_argument(
+        "--require-sublinear",
+        action="store_true",
+        help="exit 1 unless stack_scaling reports sub-linear per-event "
+        "cost growth",
     )
     bench.set_defaults(func=_cmd_bench)
 

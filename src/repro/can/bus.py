@@ -32,11 +32,35 @@ from repro.can.controller import (
     ControllerState,
     TxRequest,
 )
-from repro.can.errormodel import FaultInjector, FaultKind, FaultVerdict
+from repro.can.errormodel import (
+    OK_VERDICT,
+    FaultInjector,
+    FaultKind,
+    FaultVerdict,
+)
 from repro.can.frame import CanFrame
 from repro.can.phy import BitTiming
 from repro.errors import BusError
 from repro.sim.kernel import Simulator
+
+#: When True (the default), delivery resolves recipients through a cached
+#: per-identifier dispatch plan instead of offering every frame to every
+#: alive controller and re-checking its filter bank inline. The plan holds
+#: one entry per accepting controller (so non-accepting nodes cost nothing
+#: per delivery) and, for controllers driven by the standard layer, bakes
+#: the listener tuples the layer would resolve — delivery then upcalls the
+#: listeners directly instead of walking ``deliver`` -> ``on_rx`` ->
+#: ``_handle_rx`` per recipient. Observable behaviour is identical to the
+#: broadcast path (same deliveries, same REC bookkeeping, same trace
+#: records, in the same order); with no filters installed the accepting
+#: set is simply "every controller" and the two paths are bit-identical.
+#: Read per delivery, so tests can toggle it on a live module.
+FILTERED_DELIVERY = True
+
+#: Delivery plans are dropped wholesale past this many distinct
+#: identifiers (application refs roll, so the identifier space is not
+#: bounded by the node count).
+_ACCEPT_TABLE_LIMIT = 4096
 
 
 @dataclass
@@ -101,6 +125,24 @@ class CanBus:
         #: enforces the system model's weak-fail-silent assumption.
         self.bus_off_recovery = bus_off_recovery
         self._controllers: Dict[int, CanController] = {}
+        #: identifier -> delivery plan: one ``(controller, baked_on_rx,
+        #: first_listeners, second_listeners)`` entry per controller whose
+        #: acceptance filters pass it, in attach order (the delivery order
+        #: of the broadcast path). Data and remote frames plan separately —
+        #: the RTR bit is not part of the identifier, but it selects a
+        #: different upcall. Aliveness is *not* baked in — it is re-checked
+        #: inline at every delivery, so crashes and bus-off need no
+        #: invalidation; attach, filter changes and listener registration
+        #: do (:meth:`invalidate_delivery_tables`).
+        self._plan_data: Dict[int, tuple] = {}
+        self._plan_rtr: Dict[int, tuple] = {}
+        #: node id -> controller, for controllers that *may* hold a
+        #: pending transmit request. A conservative superset, maintained
+        #: at the two points requests enter a queue (submit and the
+        #: error-retransmission requeue) and pruned lazily when
+        #: arbitration finds an empty queue — so arbitration scans the
+        #: handful of nodes with traffic instead of the whole membership.
+        self._tx_pending: Dict[int, CanController] = {}
         self._busy = False
         self._arbitration_pending = False
         self._inaccessible_until = 0
@@ -132,6 +174,19 @@ class CanBus:
         self._controllers[controller.node_id] = controller
         controller._bus = self
         controller._spans = self._spans
+        self.invalidate_delivery_tables()
+
+    def invalidate_delivery_tables(self) -> None:
+        """Drop the cached per-identifier delivery plans.
+
+        Called whenever the accepting set for any identifier — or the
+        upcall a delivery must make — may have changed: a controller
+        attached, a filter bank was installed, replaced or cleared, or a
+        standard layer gained a listener. Plans rebuild lazily on the
+        next delivery.
+        """
+        self._plan_data.clear()
+        self._plan_rtr.clear()
 
     def controller(self, node_id: int) -> CanController:
         """The controller attached as ``node_id``."""
@@ -200,12 +255,28 @@ class CanBus:
     def _start_next(self) -> None:
         # Offers carry their owning controller so the take step below needs
         # no ownership scan (the seed's ``_owner_of`` walked every
-        # controller per taken request).
-        offers = [
-            (request, controller)
-            for controller in self._controllers.values()
-            if (request := controller.head_request()) is not None
-        ]
+        # controller per taken request). Only the pending-transmitter set
+        # is polled — the arbitration outcome cannot depend on the scan
+        # order because contended offers are totally ordered by
+        # ``priority_key`` below.
+        pending = self._tx_pending
+        offers = []
+        stale = None
+        for controller in pending.values():
+            request = controller.head_request()
+            if request is not None:
+                offers.append((request, controller))
+            elif not controller._queue:
+                # Empty queue: nothing to offer until the next submit
+                # re-registers the node. (A bus-off or crashed node with
+                # queued requests stays registered — it may recover.)
+                if stale is None:
+                    stale = [controller.node_id]
+                else:
+                    stale.append(controller.node_id)
+        if stale is not None:
+            for node_id in stale:
+                del pending[node_id]
         if not offers:
             return
         if len(offers) == 1:
@@ -294,10 +365,15 @@ class CanBus:
 
         alive = self.alive_controllers()
         sender_ids = [c.node_id for c in tx.senders]
-        receiver_ids = [c.node_id for c in alive]
-        verdict = self.injector.verdict(
-            tx.frame, sender_ids, receiver_ids, self._tx_index - 1
-        )
+        if self.injector.armed:
+            receiver_ids = [c.node_id for c in alive]
+            verdict = self.injector.verdict(
+                tx.frame, sender_ids, receiver_ids, self._tx_index - 1
+            )
+        else:
+            # Fault-free bus: skip the receiver-id assembly and the
+            # verdict scan — per frame, and O(membership) of it.
+            verdict = OK_VERDICT
         if tx.span_id is not None:
             self._spans.end(tx.span_id, kind=verdict.kind.value)
 
@@ -341,7 +417,8 @@ class CanBus:
 
     def _deliver_all(self, tx: _Transmission, alive: List[CanController]) -> None:
         for sender, request in zip(tx.senders, tx.requests):
-            if sender.alive:
+            # ``alive`` inlined, as everywhere on the completion path.
+            if not sender.crashed and sender.tec <= BUS_OFF_THRESHOLD:
                 sender.finish_success(request)
         # Hoisted out of the per-recipient loop: delivery is the hottest
         # trace site (one record per alive controller per frame). The
@@ -350,15 +427,70 @@ class CanBus:
         record_delivery = self._trace.wants("bus.deliver")
         if tx.span_id is None:
             frame = tx.frame
+            ident = frame.identifier
             mid = frame.mid
             remote = frame.remote
             now = self._sim.now
             trace_record = self._trace.record
+            if FILTERED_DELIVERY:
+                # Plan path: the filter match and the upcall resolution
+                # were paid once, when this identifier's plan was built.
+                # Entries whose controller is driven by the standard layer
+                # carry its listener tuples baked in, so the loop below
+                # upcalls them directly — transcribing ``deliver`` (the
+                # REC heal) and ``_handle_rx`` (nty before ind; rtr
+                # listeners for remote frames) without the three call
+                # frames per recipient. The baked handler is re-validated
+                # by identity at every delivery; anything unexpected —
+                # a rebound ``on_rx``, a facade, span tracing switched on
+                # mid-flight — falls back to the generic ``deliver``.
+                plans = self._plan_rtr if remote else self._plan_data
+                plan = plans.get(ident)
+                if plan is None:
+                    plan = self._build_plan(frame, plans)
+                data = frame.data
+                fused_ok = not self._spans.enabled
+                if record_delivery:
+                    payload = {"mid": mid, "remote": remote}
+                    record_row = self._trace.record_row
+                for controller, baked_rx, first, second in plan:
+                    # .ind includes own transmissions (paper Fig. 4). The
+                    # aliveness re-check guards against a crash triggered
+                    # by an earlier recipient's upcall; inlined like above.
+                    if (
+                        controller.crashed
+                        or controller.tec > BUS_OFF_THRESHOLD
+                    ):
+                        continue
+                    if (
+                        fused_ok
+                        and first is not None
+                        and controller.on_rx is baked_rx
+                    ):
+                        if controller.rec:
+                            controller.rec -= 1
+                        for listener in first:
+                            listener(mid)
+                        for listener in second:
+                            listener(mid, data)
+                    else:
+                        controller.deliver(frame)
+                    if record_delivery:
+                        record_row(
+                            now, "bus.deliver", controller.node_id, payload
+                        )
+                return
             for controller in alive:
-                # .ind includes own transmissions (paper Fig. 4). The
-                # ``alive`` re-check guards against a crash triggered by
-                # an earlier recipient's upcall; inlined like above.
-                if not controller.crashed and controller.tec <= BUS_OFF_THRESHOLD:
+                # Broadcast path: same semantics, with the filter bank
+                # consulted per delivery instead of per identifier.
+                if (
+                    not controller.crashed
+                    and controller.tec <= BUS_OFF_THRESHOLD
+                    and (
+                        (bank := controller._filters) is None
+                        or bank.accepts(ident)
+                    )
+                ):
                     controller.deliver(frame)
                     if record_delivery:
                         trace_record(
@@ -370,8 +502,9 @@ class CanBus:
                         )
             return
         spans = self._spans
+        ident = tx.frame.identifier
         for controller in alive:
-            if controller.alive:
+            if controller.alive and controller.accepts(ident):
                 rx_span = spans.begin(
                     "can.rx",
                     "bus",
@@ -393,6 +526,62 @@ class CanBus:
                         remote=tx.frame.remote,
                     )
 
+    def _build_plan(self, frame: CanFrame, plans: Dict[int, tuple]) -> tuple:
+        """Compile the delivery plan for ``frame``'s identifier.
+
+        One ``(controller, baked_on_rx, first, second)`` entry per
+        accepting controller, in attach order. When the controller's
+        ``on_rx`` is the standard layer's ``_handle_rx``, the entry bakes
+        the listener tuples that upcall would resolve — ``first`` is the
+        nty tuple (data frames) or the rtr-ind tuple (remote frames),
+        ``second`` the data-ind tuple (empty for remote) — and the
+        delivery loop dispatches straight to them. Any other receiver
+        (no handler, a custom handler, a redundancy facade) keeps
+        ``first is None`` and the generic ``controller.deliver``
+        fallback. Listener registration, filter changes and attach all
+        funnel through :meth:`invalidate_delivery_tables`.
+        """
+        # Deferred import: the driver imports the controller module, and
+        # the bus is imported by layers below it — binding at build time
+        # keeps the module graph acyclic.
+        from repro.can.driver import CanStandardLayer
+
+        handle_rx = CanStandardLayer._handle_rx
+        resolve = CanStandardLayer._resolve
+        mtype = frame.mid.mtype
+        remote = frame.remote
+        ident = frame.identifier
+        entries = []
+        for controller in self._controllers.values():
+            if not controller.accepts(ident):
+                continue
+            handler = controller.on_rx
+            first = second = None
+            if (
+                handler is not None
+                and getattr(handler, "__func__", None) is handle_rx
+            ):
+                layer = handler.__self__
+                if remote:
+                    first = layer._rtr_ind_cache.get(mtype)
+                    if first is None:
+                        first = resolve(
+                            layer._rtr_ind, layer._rtr_ind_cache, mtype
+                        )
+                    second = ()
+                else:
+                    first = layer._data_nty
+                    second = layer._data_ind_cache.get(mtype)
+                    if second is None:
+                        second = resolve(
+                            layer._data_ind, layer._data_ind_cache, mtype
+                        )
+            entries.append((controller, handler, first, second))
+        if len(plans) >= _ACCEPT_TABLE_LIMIT:
+            plans.clear()
+        plan = plans[ident] = tuple(entries)
+        return plan
+
     def _resolve_fault(
         self,
         tx: _Transmission,
@@ -402,10 +591,16 @@ class CanBus:
         sender_set = {c.node_id for c in tx.senders}
         record_delivery = self._trace.wants("bus.deliver")
         spans = self._spans if tx.span_id is not None else None
+        ident = tx.frame.identifier
         for controller in alive:
             if controller.node_id in sender_set:
                 continue
             if controller.node_id in verdict.accepting:
+                if not controller.accepts(ident):
+                    # Error signalling happens at the bit level, *before*
+                    # acceptance filtering: this node saw a valid frame
+                    # (no REC bump), its filter just dropped it.
+                    continue
                 if spans is not None:
                     rx_span = spans.begin(
                         "can.rx",

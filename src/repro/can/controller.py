@@ -82,6 +82,11 @@ class CanController:
         self._seq = itertools.count()
         self._bus = None  # set by CanBus.attach
         self._spans = NULL_TRACER  # rebound to the sim's tracer by attach
+        #: Hardware acceptance filters; ``None`` means accept-all (the
+        #: seed behaviour, and the only correct configuration for a full
+        #: CANELy node — see :mod:`repro.can.filters`). Install via
+        #: :meth:`set_filters` so the bus drops its delivery tables.
+        self._filters = None
         # Delivery hooks, wired by the standard-layer driver.
         self.on_rx: Optional[Callable[[CanFrame], None]] = None
         self.on_tx_success: Optional[Callable[[CanFrame], None]] = None
@@ -106,6 +111,29 @@ class CanController:
         chaining through the :attr:`state` property.
         """
         return not self.crashed and self.tec <= BUS_OFF_THRESHOLD
+
+    # -- acceptance filtering ---------------------------------------------------
+
+    @property
+    def filters(self):
+        """The installed :class:`~repro.can.filters.FilterBank`, or ``None``."""
+        return self._filters
+
+    def set_filters(self, bank) -> None:
+        """Install (or clear, with ``None``/empty) acceptance filters.
+
+        Mutating a bank after installation must go through this method
+        again: the bus caches per-identifier delivery tables keyed on the
+        installed filter configuration and invalidates them here.
+        """
+        self._filters = bank if bank is not None and len(bank) else None
+        if self._bus is not None:
+            self._bus.invalidate_delivery_tables()
+
+    def accepts(self, identifier: int) -> bool:
+        """True when this controller's receiver passes ``identifier`` up."""
+        bank = self._filters
+        return bank is None or bank.accepts(identifier)
 
     def crash(self) -> None:
         """Fail silent: stop transmitting and receiving, drop the queue.
@@ -140,9 +168,12 @@ class CanController:
                 remote=frame.remote,
             )
         self._queue.append(request)
-        self._queue.sort(key=lambda r: r.priority_key)
-        if self._bus is not None:
-            self._bus.kick()
+        if len(self._queue) > 1:
+            self._queue.sort(key=lambda r: r.priority_key)
+        bus = self._bus
+        if bus is not None:
+            bus._tx_pending[self.node_id] = self
+            bus.kick()
         return request
 
     def abort(self, mid: MessageId) -> bool:
@@ -215,7 +246,10 @@ class CanController:
             return
         request.attempts += 1
         self._queue.append(request)
-        self._queue.sort(key=lambda r: r.priority_key)
+        if len(self._queue) > 1:
+            self._queue.sort(key=lambda r: r.priority_key)
+        if self._bus is not None:
+            self._bus._tx_pending[self.node_id] = self
 
     def deliver(self, frame: CanFrame) -> None:
         """A frame was accepted by this controller's receiver."""

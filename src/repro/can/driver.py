@@ -58,6 +58,12 @@ class CanStandardLayer:
         self._rtr_ind_cache: dict = {}
         self._data_cnf_cache: dict = {}
         self._rtr_cnf_cache: dict = {}
+        # Remote frames are immutable value objects fully determined by
+        # their mid, and the CANELy control messages (ELS, failure signs,
+        # membership signs) are re-requested every cycle — memoizing them
+        # skips a frame construction (and its encode) per request.
+        # Bounded: application refs roll, so the mid space is unbounded.
+        self._rtr_frames: dict = {}
         # Layers are built after ``bus.attach`` rebinds the controller's
         # tracer, so the alias is stable.
         self._spans = controller._spans
@@ -82,7 +88,12 @@ class CanStandardLayer:
 
     def rtr_req(self, mid: MessageId) -> None:
         """``can-rtr.req``: queue a remote frame for transmission."""
-        self._controller.submit(remote_frame(mid))
+        frame = self._rtr_frames.get(mid)
+        if frame is None:
+            if len(self._rtr_frames) >= 256:
+                self._rtr_frames.clear()
+            frame = self._rtr_frames[mid] = remote_frame(mid)
+        self._controller.submit(frame)
 
     def abort_req(self, mid: MessageId) -> bool:
         """``can-abort.req``: drop pending requests for ``mid``."""
@@ -94,12 +105,21 @@ class CanStandardLayer:
 
     # -- listener registration -----------------------------------------------------
 
+    def _invalidate_delivery_plans(self) -> None:
+        # The bus's fused delivery plans bake this layer's resolved
+        # indication tuples; any registration that changes what a
+        # delivery must upcall has to drop them.
+        bus = self._controller._bus
+        if bus is not None:
+            bus.invalidate_delivery_tables()
+
     def add_data_ind(
         self, listener: DataIndListener, mtype: Optional[MessageType] = None
     ) -> None:
         """Subscribe to ``can-data.ind`` (optionally one message type only)."""
         self._data_ind += ((mtype, listener),)
         self._data_ind_cache.clear()
+        self._invalidate_delivery_plans()
 
     def add_rtr_ind(
         self, listener: RtrIndListener, mtype: Optional[MessageType] = None
@@ -107,6 +127,7 @@ class CanStandardLayer:
         """Subscribe to ``can-rtr.ind``."""
         self._rtr_ind += ((mtype, listener),)
         self._rtr_ind_cache.clear()
+        self._invalidate_delivery_plans()
 
     def add_data_cnf(
         self, listener: CnfListener, mtype: Optional[MessageType] = None
@@ -125,6 +146,7 @@ class CanStandardLayer:
     def add_data_nty(self, listener: NtyListener) -> None:
         """Subscribe to the ``can-data.nty`` extension (all data frames)."""
         self._data_nty += (listener,)
+        self._invalidate_delivery_plans()
 
     # -- controller upcalls -----------------------------------------------------
 

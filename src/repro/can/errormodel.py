@@ -150,6 +150,21 @@ class FaultInjector:
 
     # -- verdict --------------------------------------------------------------
 
+    @property
+    def armed(self) -> bool:
+        """True while any fault could still be injected.
+
+        The completion hot path consults this before assembling the
+        receiver list a verdict would need — on a fault-free bus (the
+        common case outside fault campaigns) the whole verdict machinery
+        is skipped per frame.
+        """
+        if self._scheduled:
+            return True
+        return self._rng is not None and bool(
+            self._p_consistent or self._p_inconsistent
+        )
+
     def verdict(
         self,
         frame: CanFrame,

@@ -26,6 +26,7 @@ from repro.can.driver import CanStandardLayer
 from repro.can.identifiers import MessageId, MessageType
 from repro.core.config import CanelyConfig
 from repro.core.fda import FdaProtocol
+from repro.sim import timers as _timers_mod
 from repro.sim.timers import Alarm, TimerService
 
 FailureCallback = Callable[[int], None]
@@ -126,21 +127,44 @@ class FailureDetector:
         # f03-f05: any frame from a monitored node — a data frame (implicit
         # activity) or an explicit life-sign — restarts its surveillance
         # timer. One dict probe resolves both "monitored?" and the alarm
-        # handle, and the common rearm goes straight to the timer restart;
-        # the full ``_alarm_start`` only runs when the fast path cannot.
+        # handle, and the common rearm is inlined all the way down to the
+        # kernel queue's in-place reschedule: this upcall runs once per
+        # observed frame per monitored node, and at that rate even
+        # ``restart_alarm``'s call frame is measurable. The inline body
+        # transcribes its heap fast path exactly (same guards, same
+        # effect); everything else falls back to the method and, failing
+        # that, the seed-faithful ``_alarm_start``.
         node = mid.node
         alarm = self._tid.get(node)
-        if alarm is not None:
-            duration = (
-                self._duration_local
-                if node == self._local_id
-                else self._duration_remote
-            )
-            if self._timers.restart_alarm(alarm, duration):
-                return
-            self._alarm_start(node)
-        elif node in self._tid:
-            self._alarm_start(node)
+        if alarm is None:
+            if node in self._tid:
+                self._alarm_start(node)
+            return
+        duration = (
+            self._duration_local
+            if node == self._local_id
+            else self._duration_remote
+        )
+        timers = self._timers
+        if (
+            timers._rearm_plain
+            and _timers_mod.FAST_REARM
+            and alarm._active
+            and alarm._span is None
+            and not self._spans.enabled
+        ):
+            sim = self._sim
+            event = alarm._event
+            queue = sim._queue
+            if event._queue is queue and not event.cancelled:
+                deadline = sim._now + duration
+                if deadline >= event.time:
+                    queue.reschedule(event, deadline)
+                    alarm.deadline = deadline
+                    return
+        if timers.restart_alarm(alarm, duration):
+            return
+        self._alarm_start(node)
 
     def _on_expire(self, node_id: int) -> None:
         if node_id not in self._tid:

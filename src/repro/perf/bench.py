@@ -14,14 +14,22 @@ emits ``BENCH_core.json``:
   dispatch against the seed's cancel-and-push queue and ``step()`` loop.
   Both cores fire a provably identical event count.
 * **event_throughput** (macro) — simulated events per wall-second on the
-  canonical 10-node membership scenario (bootstrap, crash, detection,
-  view change). ``reference`` runs the same scenario under
-  :func:`repro.perf.legacy.legacy_core` — the seed's event queue and
-  encoder — and the runner asserts both cores fire the *same number of
-  events*, so the speedup is measured on provably identical work.
+  canonical large-membership scenario (48 nodes: bootstrap, crash,
+  detection, view change). ``reference`` runs the same scenario under
+  :func:`repro.perf.legacy.legacy_core` — the seed's event queue,
+  encoder and per-frame bus paths — and the runner asserts the protocol
+  observables match, so the speedup is measured on identical work.
 * **campaign_wallclock** (macro) — wall-clock seconds for a small
   sequential in-process campaign (``workers=0``), the unit of work large
-  statistical campaigns fan out.
+  statistical campaigns fan out. ``reference`` runs the same campaign
+  under the seed core, so the entry carries a machine-portable speedup
+  ratio and participates in the CI gate.
+* **stack_scaling** (macro) — events per wall-second on a full-stack
+  surveillance scenario at 10 / 50 / 200 nodes, run under the shipped
+  fast configuration. The headline check is the **per-event cost
+  curve**: growing the membership 20x may not grow the per-event cost
+  20x (``sublinear``), and the committed ratio is CI-gated through the
+  portable ``speedup`` metric (linear ratio over measured ratio).
 
 Every report carries environment metadata; :func:`compare_reports` checks
 a current report against a committed baseline with a configurable
@@ -38,7 +46,8 @@ import json
 import os
 import platform
 import time
-from typing import Any, Callable, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.can.bitstream import (
     clear_encoding_cache,
@@ -57,9 +66,52 @@ SCHEMA = "repro.bench/1"
 #: Default regression threshold: fail when a metric drops by more than 25%.
 DEFAULT_THRESHOLD = 0.25
 
-#: The canonical membership scenario the macro benchmark times.
-CANONICAL_NODES = 10
-CANONICAL_CONFIG = dict(capacity=16, tm_ms=50, thb_ms=10, tjoin_wait_ms=150)
+#: The canonical membership scenario the macro benchmark times. A large
+#: membership (48 of the RHV wire format's 64-node ceiling): the hot-path
+#: work this overhaul targets — arbitration scans, delivery fan-out,
+#: surveillance rearms, trace recording — all scale with the population,
+#: so a small scenario under-weights exactly the costs the optimized
+#: core removes.
+CANONICAL_NODES = 48
+CANONICAL_CONFIG = dict(capacity=64, tm_ms=50, thb_ms=10, tjoin_wait_ms=150)
+
+#: Node populations the scaling benchmark sweeps. The two largest exceed
+#: the membership layer's 64-node RHV wire format, so the sweep runs the
+#: surveillance stack (bus -> standard layer -> failure detector -> FDA),
+#: which has no architectural population cap — and is where the per-node
+#: hot-path cost lives.
+SCALING_NODE_COUNTS = [10, 50, 200]
+
+
+@contextmanager
+def fast_config() -> Iterator[None]:
+    """The shipped fast configuration: every opt-in toggle enabled.
+
+    The defaults keep :data:`repro.sim.timers.TIMER_WHEEL` and
+    :data:`repro.sim.trace.COLUMNAR` off so the golden-trace tests pin
+    the heap/row paths bit-identical against the seed; benchmarks time
+    the configuration a large deployment would actually run.
+    """
+    import repro.can.bus as bus_mod
+    import repro.sim.timers as timers_mod
+    import repro.sim.trace as trace_mod
+
+    saved = (
+        timers_mod.TIMER_WHEEL,
+        trace_mod.COLUMNAR,
+        bus_mod.FILTERED_DELIVERY,
+    )
+    timers_mod.TIMER_WHEEL = True
+    trace_mod.COLUMNAR = True
+    bus_mod.FILTERED_DELIVERY = True
+    try:
+        yield
+    finally:
+        (
+            timers_mod.TIMER_WHEEL,
+            trace_mod.COLUMNAR,
+            bus_mod.FILTERED_DELIVERY,
+        ) = saved
 
 
 def _timed(fn: Callable[[], Any]) -> float:
@@ -153,9 +205,9 @@ def _run_kernel_workload(run_ticks: int) -> int:
     through the heap) and every event is one ``step()``; the fast core
     reschedules in place and drains equal-time runs in batches.
 
-    The 16-source / 6-burst mix reproduces the rearm density of the
-    canonical 10-node membership scenario (~2.3 surveillance rearms per
-    fired event), so the micro number extrapolates to protocol traffic.
+    The 16-source / 6-burst mix reproduces the rearm density of a small
+    (10-node) membership scenario (~2.3 surveillance rearms per fired
+    event), so the micro number extrapolates to protocol traffic.
     """
     from repro.sim.kernel import Simulator
     from repro.sim.timers import TimerService
@@ -234,8 +286,13 @@ def bench_kernel_throughput(
     }
 
 
-def _run_canonical_scenario(run_ms: float) -> int:
-    """The canonical 10-node membership scenario; returns events fired."""
+def _run_canonical_scenario(run_ms: float) -> Dict[str, Any]:
+    """The canonical large-membership scenario; returns its outcome.
+
+    The outcome dict carries the event count plus every protocol-level
+    observable the throughput benchmark asserts equivalence on: final
+    views, physical frame count and wire occupancy.
+    """
     config = CanelyConfig(
         capacity=CANONICAL_CONFIG["capacity"],
         tm=ms(CANONICAL_CONFIG["tm_ms"]),
@@ -248,24 +305,50 @@ def _run_canonical_scenario(run_ms: float) -> int:
     net.node(7).crash()
     net.run_for(ms(run_ms))
     assert net.views_agree()
-    return net.sim.events_processed
+    views = {}
+    for node in net.correct_nodes():
+        view = node.view()
+        views[node.node_id] = (sorted(view.members), view.round_index)
+    return {
+        "events": net.sim.events_processed,
+        "views": views,
+        "physical_frames": net.bus.stats.physical_frames,
+        "busy_bits": net.bus.stats.busy_bits,
+    }
 
 
 def bench_event_throughput(
     quick: bool = False, repeats: Optional[int] = None
 ) -> Dict[str, Any]:
-    """Macro: events/sec on the canonical scenario, fast core vs seed core."""
+    """Macro: events/sec on the canonical scenario, fast core vs seed core.
+
+    The fast side runs the shipped :func:`fast_config` (timer wheel,
+    columnar trace, filtered delivery), which trades bit-identical kernel
+    bookkeeping for outcome equivalence: the wheel replaces per-alarm
+    events with cursor events, so the two cores fire *different event
+    counts* on identical protocol work. The runner therefore asserts the
+    protocol observables match — views, physical frames, wire occupancy —
+    and reports the wall-clock ratio of the identical scenario as the
+    speedup.
+    """
     run_ms = 200 if quick else 600
     reps = repeats if repeats is not None else (2 if quick else 3)
 
-    events_fast = _run_canonical_scenario(run_ms)  # warm-up + event count
+    with fast_config():
+        fast_outcome = _run_canonical_scenario(run_ms)  # warm-up + outcome
     with legacy_core():
-        events_legacy = _run_canonical_scenario(run_ms)
-    if events_fast != events_legacy:
-        raise RuntimeError(
-            "fast and legacy cores fired different event counts "
-            f"({events_fast} vs {events_legacy}); equivalence is broken"
-        )
+        legacy_outcome = _run_canonical_scenario(run_ms)
+    for key in ("views", "physical_frames", "busy_bits"):
+        if fast_outcome[key] != legacy_outcome[key]:
+            raise RuntimeError(
+                f"fast and legacy cores disagree on {key} "
+                f"({fast_outcome[key]!r} vs {legacy_outcome[key]!r}); "
+                "equivalence is broken"
+            )
+
+    def run_fast() -> None:
+        with fast_config():
+            _run_canonical_scenario(run_ms)
 
     def run_legacy() -> None:
         with legacy_core():
@@ -278,50 +361,202 @@ def bench_event_throughput(
     t_fast = float("inf")
     t_legacy = float("inf")
     for _ in range(reps):
-        t_fast = min(t_fast, _timed(lambda: _run_canonical_scenario(run_ms)))
+        t_fast = min(t_fast, _timed(run_fast))
         t_legacy = min(t_legacy, _timed(run_legacy))
-    fast_rate = events_fast / t_fast
-    legacy_rate = events_legacy / t_legacy
+    events_fast = fast_outcome["events"]
+    events_legacy = legacy_outcome["events"]
     return {
         "unit": "events/s",
         "events": events_fast,
+        "reference_events": events_legacy,
         "scenario": {
             "nodes": CANONICAL_NODES,
             "run_ms": run_ms,
             **CANONICAL_CONFIG,
         },
-        "reference_value": legacy_rate,
-        "value": fast_rate,
-        "speedup": fast_rate / legacy_rate,
+        "reference_value": events_legacy / t_legacy,
+        "value": events_fast / t_fast,
+        # Wall-clock ratio on the identical scenario: the event counts
+        # differ between the cores (see docstring), so a rate ratio would
+        # conflate bookkeeping volume with speed.
+        "speedup": t_legacy / t_fast,
     }
 
 
 def bench_campaign_wallclock(quick: bool = False) -> Dict[str, Any]:
-    """Macro: wall-clock of a small sequential in-process campaign."""
+    """Macro: wall-clock of a small sequential in-process campaign.
+
+    The same campaign also runs under the seed core, giving the entry a
+    machine-portable ``speedup`` ratio — which is what wires it into the
+    CI regression gate (raw wall seconds only compare on a same-machine
+    baseline). The corpus is deliberately identical in quick and full
+    mode: the speedup ratio shifts with scenario count and horizon (the
+    fixed per-scenario setup dilutes it), so a quick CI run is only
+    comparable against the committed full-mode baseline if both measure
+    the same campaign.
+    """
     from repro.campaign import CampaignSpec, run_campaign
 
     spec = CampaignSpec(
-        scenarios=2 if quick else 6,
+        scenarios=6,
         seed=2003,
         node_min=6,
         node_max=10,
-        run_ms=150.0 if quick else 300.0,
+        run_ms=300.0,
     )
-    started = time.perf_counter()
-    results = run_campaign(spec, workers=0)
-    elapsed = time.perf_counter() - started
+
+    def run_fast() -> List[Any]:
+        with fast_config():
+            return run_campaign(spec, workers=0)
+
+    def run_reference() -> List[Any]:
+        with legacy_core():
+            return run_campaign(spec, workers=0)
+
+    results = run_fast()  # warm-up + verdicts
+    verdicts = sorted(r.verdict for r in results)
+    reference_results = run_reference()
+    if sorted(r.verdict for r in reference_results) != verdicts:
+        raise RuntimeError(
+            "fast and legacy cores returned different campaign verdicts; "
+            "equivalence is broken"
+        )
+    # Interleaved best-of-2, for the same reason as the macro benchmark.
+    elapsed = float("inf")
+    reference_elapsed = float("inf")
+    for _ in range(2):
+        elapsed = min(elapsed, _timed(run_fast))
+        reference_elapsed = min(reference_elapsed, _timed(run_reference))
     return {
         "unit": "s",
         "value": elapsed,
+        "reference_value": reference_elapsed,
         "lower_is_better": True,
         "scenarios": spec.scenarios,
-        "verdicts": sorted(r.verdict for r in results),
+        "verdicts": verdicts,
+        "speedup": reference_elapsed / elapsed,
+    }
+
+
+def _run_surveillance_network(
+    node_count: int, run_ms: float
+) -> Dict[str, Any]:
+    """Full-stack surveillance scenario at ``node_count`` nodes.
+
+    Every node runs the real stack below the membership layer — CAN
+    controller, standard layer, timer service, FDA and failure detector —
+    and monitors every node (itself included, so silent nodes heartbeat
+    with explicit life-signs). One node crashes mid-run; the scenario
+    asserts every survivor's detector reports exactly that failure, so
+    the sweep measures correct protocol work, not an idling bus. Returns
+    the event count and wall seconds of the run.
+    """
+    from repro.can.bus import CanBus
+    from repro.can.controller import CanController
+    from repro.can.driver import CanStandardLayer
+    from repro.core.failure_detector import FailureDetector
+    from repro.core.fda import FdaProtocol
+    from repro.sim.kernel import Simulator
+    from repro.sim.timers import TimerService
+
+    # ``Ttd`` must cover the synchronized life-sign burst of the whole
+    # population draining through the bus; ``for_population`` derives it.
+    config = CanelyConfig.for_population(node_count, capacity=64, thb=ms(50))
+    started = time.perf_counter()
+    sim = Simulator()
+    bus = CanBus(sim)
+    failures: Dict[int, List[int]] = {}
+    for node_id in range(node_count):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        layer = CanStandardLayer(controller)
+        timers = TimerService(sim, node=node_id)
+        fda = FdaProtocol(layer, sim=sim)
+        detector = FailureDetector(layer, timers, config, fda)
+        failures[node_id] = []
+        detector.on_failure(failures[node_id].append)
+        for monitored in range(node_count):
+            detector.start(monitored)
+    settle = ms(120)
+    sim.run_until(settle)
+    crashed = node_count // 2
+    bus.controller(crashed).crash()
+    sim.run_until(settle + config.thb + config.ttd + ms(run_ms))
+    elapsed = time.perf_counter() - started
+    for node_id, seen in failures.items():
+        if node_id != crashed and seen != [crashed]:
+            raise RuntimeError(
+                f"node {node_id} saw failures {seen}, expected "
+                f"[{crashed}]: the scaling scenario is broken"
+            )
+    return {"events": sim.events_processed, "seconds": elapsed}
+
+
+def bench_stack_scaling(quick: bool = False) -> Dict[str, Any]:
+    """Macro: per-event cost across the :data:`SCALING_NODE_COUNTS` sweep.
+
+    Runs the surveillance scenario at each population under the shipped
+    :func:`fast_config` and fits the per-event wall cost curve. A frame
+    event's work necessarily touches its recipients, so total cost grows
+    with the population — the claim under test is that the *per-event*
+    cost does not grow linearly with it: ``cost_ratio`` (largest over
+    smallest population) must stay below ``linear_ratio`` (the population
+    ratio). The portable gated metric is ``linear_ratio / cost_ratio`` —
+    bigger is better, 1.0 is the linear-growth floor.
+    """
+    run_ms = 60 if quick else 200
+    reps = 1 if quick else 2
+
+    per_node: Dict[str, Dict[str, Any]] = {}
+    with fast_config():
+        for node_count in SCALING_NODE_COUNTS:
+            best: Optional[Dict[str, Any]] = None
+            for _ in range(reps):
+                outcome = _run_surveillance_network(node_count, run_ms)
+                if best is None or outcome["seconds"] < best["seconds"]:
+                    best = outcome
+            assert best is not None
+            events = best["events"]
+            seconds = best["seconds"]
+            per_node[str(node_count)] = {
+                "events": events,
+                "seconds": round(seconds, 6),
+                "events_per_s": events / seconds,
+                "cost_us": 1e6 * seconds / events,
+            }
+
+    smallest = per_node[str(SCALING_NODE_COUNTS[0])]
+    largest = per_node[str(SCALING_NODE_COUNTS[-1])]
+    cost_ratio = largest["cost_us"] / smallest["cost_us"]
+    linear_ratio = SCALING_NODE_COUNTS[-1] / SCALING_NODE_COUNTS[0]
+    return {
+        "unit": "events/s",
+        "value": largest["events_per_s"],
+        "nodes": list(SCALING_NODE_COUNTS),
+        "run_ms": run_ms,
+        "per_node": per_node,
+        "cost_ratio": cost_ratio,
+        "linear_ratio": linear_ratio,
+        "sublinear": cost_ratio < linear_ratio,
+        "speedup": linear_ratio / cost_ratio,
     }
 
 
 def environment() -> Dict[str, Any]:
-    """Host metadata stamped into every report."""
+    """Host metadata stamped into every report.
+
+    ``toggles`` records the state of every switchable fast path at report
+    time, so a number can always be traced back to the configuration that
+    produced it (the ``*_throughput`` fast sides additionally force the
+    shipped :func:`fast_config` regardless of these defaults).
+    """
+    import repro.can.bus as bus_mod
+    import repro.sim.kernel as kernel_mod
+    import repro.sim.timers as timers_mod
+    import repro.sim.trace as trace_mod
     from repro.perf import compiled
+    from repro.sim.event import EventQueue
+    from repro.workloads.builder import DEFAULT_IDLE_SKIP
 
     return {
         "python": platform.python_version(),
@@ -330,18 +565,53 @@ def environment() -> Dict[str, Any]:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "compiled": compiled.status(),
+        "toggles": {
+            "batch_dispatch": kernel_mod.BATCH_DISPATCH,
+            "fast_rearm": timers_mod.FAST_REARM,
+            "tuple_entries": bool(getattr(EventQueue, "TUPLE_ENTRIES", False)),
+            "idle_skip": DEFAULT_IDLE_SKIP,
+            "timer_wheel": timers_mod.TIMER_WHEEL,
+            "filtered_delivery": bus_mod.FILTERED_DELIVERY,
+            "columnar_trace": trace_mod.COLUMNAR,
+        },
     }
 
 
+#: The suite, in execution order; ``run_benchmarks(only=...)`` filters it.
+BENCHMARKS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "frame_encoding": bench_frame_encoding,
+    "kernel_throughput": bench_kernel_throughput,
+    "event_throughput": bench_event_throughput,
+    "campaign_wallclock": lambda quick, repeats: bench_campaign_wallclock(
+        quick=quick
+    ),
+    "stack_scaling": lambda quick, repeats: bench_stack_scaling(quick=quick),
+}
+
+
 def run_benchmarks(
-    quick: bool = False, repeats: Optional[int] = None
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    only: Optional[List[str]] = None,
 ) -> Dict[str, Any]:
-    """Run the full suite and return the report dict (``SCHEMA`` layout)."""
+    """Run the suite and return the report dict (``SCHEMA`` layout).
+
+    ``only`` restricts the run to the named benchmarks (suite order is
+    kept); unknown names raise so a CI job cannot silently gate nothing.
+    """
+    if only:
+        unknown = sorted(set(only) - set(BENCHMARKS))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmarks: {', '.join(unknown)} "
+                f"(available: {', '.join(BENCHMARKS)})"
+            )
+        selected = [name for name in BENCHMARKS if name in set(only)]
+    else:
+        selected = list(BENCHMARKS)
     results = {
-        "frame_encoding": bench_frame_encoding(quick=quick, repeats=repeats),
-        "kernel_throughput": bench_kernel_throughput(quick=quick, repeats=repeats),
-        "event_throughput": bench_event_throughput(quick=quick, repeats=repeats),
-        "campaign_wallclock": bench_campaign_wallclock(quick=quick),
+        name: BENCHMARKS[name](quick=quick, repeats=repeats)
+        for name in selected
     }
     return {
         "schema": SCHEMA,

@@ -64,6 +64,7 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._batch_dispatch = batch_dispatch
+        self._timer_wheel = None
 
     @property
     def now(self) -> int:
@@ -94,6 +95,20 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return len(self._queue)
+
+    def timer_wheel(self):
+        """The simulator-wide hierarchical timer wheel, built on demand.
+
+        Shared by every :class:`~repro.sim.timers.TimerService` whose
+        construction saw :data:`repro.sim.timers.TIMER_WHEEL` enabled; the
+        wheel files alarms in O(1) buckets and drives them through a
+        single kernel cursor event (see :mod:`repro.sim.wheel`).
+        """
+        if self._timer_wheel is None:
+            from repro.sim.wheel import TimerWheel
+
+            self._timer_wheel = TimerWheel(self)
+        return self._timer_wheel
 
     @property
     def running(self) -> bool:

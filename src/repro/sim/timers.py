@@ -26,6 +26,18 @@ from repro.sim.kernel import Simulator
 #: so tests can toggle it on a live module.
 FAST_REARM = True
 
+#: When True, new :class:`TimerService` instances file their alarms on the
+#: simulator's shared hierarchical timer wheel (:mod:`repro.sim.wheel`)
+#: instead of scheduling one kernel event per alarm: start, cancel and
+#: restart become O(1) regardless of how many alarms are live, and the
+#: kernel heap holds a single wheel cursor instead of one entry per alarm.
+#: Off by default — the heap path is the seed-faithful reference, pinned
+#: bit-identical by the golden-trace equivalence tests; the wheel is
+#: outcome-equivalent (same alarms fire at the same simulated instants)
+#: but interleaves kernel bookkeeping differently. Read at service
+#: construction, so toggle it *before* building a network.
+TIMER_WHEEL = False
+
 
 class Alarm:
     """Handle for a pending alarm (the ``tid`` of the pseudocode).
@@ -45,6 +57,12 @@ class Alarm:
         "_service",
         "_active",
         "_span",
+        # Wheel-backed alarms: intrusive bucket links + arm-order seq
+        # (initialized only when the owning service uses the wheel).
+        "_wbucket",
+        "_wprev",
+        "_wnext",
+        "_wseq",
     )
 
     def __init__(
@@ -109,6 +127,17 @@ class TimerService:
         self._can_reschedule = getattr(
             sim._queue, "SUPPORTS_RESCHEDULE", False
         )
+        #: The simulator-wide hierarchical wheel, or ``None`` on the
+        #: seed-faithful per-alarm-event heap path. Resolved once at
+        #: construction (module toggle), like the reschedule capability.
+        self._wheel = sim.timer_wheel() if TIMER_WHEEL else None
+        #: True when :meth:`restart_alarm`'s heap fast path needs no
+        #: duration stretch: reschedulable queue, no wheel, zero drift.
+        #: Hot callers (the failure detector's activity clause) use this
+        #: to inline the rearm down to the queue's in-place reschedule.
+        self._rearm_plain = (
+            self._can_reschedule and self._wheel is None and drift == 0.0
+        )
 
     @property
     def drift(self) -> float:
@@ -139,7 +168,15 @@ class TimerService:
         """
         duration = self._stretch(duration)
         alarm = Alarm(next(self._ids), self._sim.now + duration, on_expire, self)
-        alarm._event = self._sim.schedule(duration, alarm._fire)
+        wheel = self._wheel
+        if wheel is None:
+            alarm._event = self._sim.schedule(duration, alarm._fire)
+        else:
+            alarm._wbucket = None
+            alarm._wprev = None
+            alarm._wnext = None
+            alarm._wseq = 0
+            wheel.insert(alarm, alarm.deadline)
         self._pending += 1
         if self._spans.enabled:
             if tag is None:
@@ -174,6 +211,27 @@ class TimerService:
         equivalent. Either path consumes one event sequence number, so
         simulated outcomes are bit-identical.
         """
+        wheel = self._wheel
+        if wheel is not None:
+            # Wheel-backed restart: unlink + relink, O(1) in the number of
+            # live alarms. Span-traced alarms fall back to cancel-and-start
+            # so every arming keeps its own causal span, as on the heap
+            # path.
+            if (
+                alarm is None
+                or not alarm._active
+                or alarm._span is not None
+                or self._spans.enabled
+            ):
+                return False
+            if duration < 0:
+                raise ValueError(
+                    f"alarm duration must be non-negative: {duration}"
+                )
+            if self._drift and duration:
+                duration = max(1, round(duration * (1.0 + self._drift)))
+            wheel.restart(alarm, self._sim._now + duration)
+            return True
         if (
             not self._can_reschedule
             or not FAST_REARM
@@ -209,10 +267,14 @@ class TimerService:
         if alarm is None or not alarm._active:
             return
         alarm._active = False
-        alarm._service._pending -= 1
-        alarm._event.cancel()
+        service = alarm._service
+        service._pending -= 1
+        if alarm._event is not None:
+            alarm._event.cancel()
+        else:
+            service._wheel.remove(alarm)
         if alarm._span is not None:
-            alarm._service._spans.end(alarm._span, outcome="cancelled")
+            service._spans.end(alarm._span, outcome="cancelled")
 
     def is_pending(self, alarm: Optional[Alarm]) -> bool:
         """True while ``alarm`` is armed and has not yet fired."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import json
+from array import array
 from typing import (
     Any,
     Callable,
@@ -32,6 +33,7 @@ from typing import (
     Iterator,
     List,
     Optional,
+    Tuple,
     Union,
 )
 from collections import deque
@@ -41,6 +43,23 @@ TraceSink = Callable[["TraceRecord"], None]
 #: Compact the backing list once this much dead space accumulates in ring
 #: mode (and the dead space dominates), keeping eviction amortized O(1).
 _COMPACT_THRESHOLD = 1024
+
+#: When True, ``TraceRecorder(...)`` constructs a
+#: :class:`ColumnarTraceRecorder`: times / categories / nodes live in
+#: packed ``array`` columns (category names interned to small ints) and a
+#: :class:`TraceRecord` object only materializes when a record is actually
+#: observed — by a query, an iteration or a sink. Recording skips the
+#: per-record object allocation entirely, which is the dominant cost of a
+#: fully traced large-membership run, and the retained trace is a fraction
+#: of the row-mode footprint. Queries return identical records in
+#: identical order, so fingerprint-style comparisons cannot tell the two
+#: modes apart. Ring-buffer mode (``capacity=...``) keeps the row
+#: recorder: columnar storage is append-only. Read at construction — like
+#: :data:`repro.sim.timers.TIMER_WHEEL`, toggle before building a network.
+COLUMNAR = False
+
+#: Lines buffered per write by the columnar bulk export.
+_EXPORT_BATCH = 512
 
 
 class TraceRecord:
@@ -120,23 +139,46 @@ class JsonlSink:
     Register with :meth:`TraceRecorder.add_sink`; pairs with ring-buffer
     mode for long campaigns: the in-memory trace stays bounded while the
     full history lands on disk.
+
+    ``batch`` buffers that many encoded lines per file write: the default
+    of 1 preserves the seed's record-at-a-time behaviour (each record is
+    durable as soon as the sink returns), while bulk exports batch a few
+    hundred lines per ``write`` and cut the syscall count by that factor.
+    Buffered lines are flushed by :meth:`close` (and counted in
+    ``records_written`` as soon as they are encoded).
     """
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    def __init__(self, target: Union[str, IO[str]], batch: int = 1) -> None:
+        if batch <= 0:
+            raise ValueError(f"batch must be positive: {batch}")
         if isinstance(target, str):
             self._handle: IO[str] = open(target, "w")
             self._owns_handle = True
         else:
             self._handle = target
             self._owns_handle = False
+        self._batch = batch
+        self._buffer: List[str] = []
         self.records_written = 0
 
     def __call__(self, record: TraceRecord) -> None:
-        self._handle.write(json.dumps(record_to_dict(record)) + "\n")
+        if self._batch == 1:
+            self._handle.write(json.dumps(record_to_dict(record)) + "\n")
+            self.records_written += 1
+            return
+        self._buffer.append(json.dumps(record_to_dict(record)))
         self.records_written += 1
+        if len(self._buffer) >= self._batch:
+            self._drain_buffer()
+
+    def _drain_buffer(self) -> None:
+        if self._buffer:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
 
     def close(self) -> None:
         """Flush and close the underlying file (if this sink opened it)."""
+        self._drain_buffer()
         self._handle.flush()
         if self._owns_handle:
             self._handle.close()
@@ -150,6 +192,18 @@ class JsonlSink:
 
 class TraceRecorder:
     """Append-only sequence of :class:`TraceRecord` with indexed queries."""
+
+    def __new__(
+        cls, enabled: bool = True, capacity: Optional[int] = None
+    ) -> "TraceRecorder":
+        # Storage-mode dispatch: with COLUMNAR set, a plain
+        # ``TraceRecorder(...)`` builds the columnar recorder instead —
+        # call sites (the kernel included) need no knowledge of the mode.
+        # Ring-buffer traces stay on row storage (columns are append-only),
+        # and explicit subclass constructions are honoured as written.
+        if cls is TraceRecorder and COLUMNAR and capacity is None:
+            return object.__new__(ColumnarTraceRecorder)
+        return object.__new__(cls)
 
     def __init__(
         self, enabled: bool = True, capacity: Optional[int] = None
@@ -245,6 +299,44 @@ class TraceRecorder:
         # Bypasses TraceRecord.__init__: this is the single hottest
         # allocation site in a traced run (one record per delivery per
         # node), and the extra constructor frame is measurable there.
+        entry = TraceRecord.__new__(TraceRecord)
+        entry.time = time
+        entry.category = category
+        entry.node = node
+        entry.data = data
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if time > self._max_time:
+            self._max_time = time
+        self._records.append(entry)
+        by_category = self._by_category.get(category)
+        if by_category is None:
+            by_category = self._by_category[category] = deque()
+        by_category.append(seq)
+        by_node = self._by_node.get(node)
+        if by_node is None:
+            by_node = self._by_node[node] = deque()
+        by_node.append(seq)
+        if self._capacity is not None and len(self) > self._capacity:
+            self._evict_oldest()
+        if self._sinks:
+            for sink in self._sinks:
+                sink(entry)
+
+    def record_row(
+        self, time: int, category: str, node: int, data: Dict[str, Any]
+    ) -> None:
+        """Positional fast lane of :meth:`record` for prebuilt payloads.
+
+        Semantics are identical to ``record(time, category, node,
+        **data)`` except the payload dict is stored as given — no kwargs
+        repack. The hottest sites (bus delivery fan-out) build one
+        payload per frame and share it across that frame's records;
+        recorded payloads are therefore treated as immutable, exactly as
+        :meth:`record`'s kwargs dicts already are.
+        """
+        if not self.enabled or category in self._disabled:
+            return
         entry = TraceRecord.__new__(TraceRecord)
         entry.time = time
         entry.category = category
@@ -390,6 +482,25 @@ class TraceRecorder:
         """
         return self.select(start=start, end=end)
 
+    def category_columns(
+        self, category: str
+    ) -> Tuple["array", "array", List[Dict[str, Any]]]:
+        """``(times, nodes, payloads)`` columns for one exact category.
+
+        The storage-agnostic bulk accessor the analysis queries build on:
+        times as an ``array('q')``, nodes as an ``array('i')``, payloads as
+        a list of dicts, all in insertion order. On the row recorder the
+        columns are gathered from the records; the columnar recorder
+        answers straight from its backing arrays without materializing a
+        single :class:`TraceRecord`.
+        """
+        records = self.select(category=category)
+        return (
+            array("q", (record.time for record in records)),
+            array("i", (record.node for record in records)),
+            [record.data for record in records],
+        )
+
     # -- export ------------------------------------------------------------------
 
     def export_jsonl(self, target: Union[str, IO[str]]) -> int:
@@ -409,4 +520,281 @@ class TraceRecorder:
         self._first_seq = self._next_seq
         self._by_category.clear()
         self._by_node.clear()
+        self._max_time = 0
+
+
+class ColumnarTraceRecorder(TraceRecorder):
+    """Array-backed trace storage: columns instead of record objects.
+
+    Times, interned category ids and node ids live in packed ``array``
+    columns; only the free-form payload dicts stay as Python objects.
+    Recording is four C-level appends plus one dict lookup — no
+    :class:`TraceRecord` allocation — and records materialize lazily,
+    only when something actually looks at them (a query, an iteration,
+    a registered sink). Row indexes for category/node queries are built
+    lazily on the first query and extended incrementally, so a run that
+    never queries its trace pays nothing for them.
+
+    Selected by the module-level :data:`COLUMNAR` toggle (see there for
+    the equivalence contract); behaviour-identical to the row recorder
+    for every query, in record values and order alike.
+    """
+
+    def __init__(
+        self, enabled: bool = True, capacity: Optional[int] = None
+    ) -> None:
+        if capacity is not None:
+            raise ValueError(
+                "columnar storage is append-only: ring-buffer capacity "
+                "requires the row recorder"
+            )
+        super().__init__(enabled=enabled, capacity=None)
+        self._times = array("q")
+        self._cats = array("i")
+        self._nodes = array("i")
+        self._payloads: List[Dict[str, Any]] = []
+        #: Category interning: name -> small int and back.
+        self._cat_of: Dict[str, int] = {}
+        self._cat_names: List[str] = []
+        # Bound appends: the record() below runs once per trace record,
+        # which at full tracing is once per delivery per node.
+        self._t_append = self._times.append
+        self._c_append = self._cats.append
+        self._n_append = self._nodes.append
+        self._p_append = self._payloads.append
+        #: Lazy row indexes (category id / node -> array of row numbers),
+        #: valid for rows ``< _indexed_rows``.
+        self._cat_rows: Dict[int, "array"] = {}
+        self._node_rows: Dict[int, "array"] = {}
+        self._indexed_rows = 0
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for row in range(len(self._times)):
+            yield self._materialize(row)
+
+    def _materialize(self, row: int) -> TraceRecord:
+        entry = TraceRecord.__new__(TraceRecord)
+        entry.time = self._times[row]
+        entry.category = self._cat_names[self._cats[row]]
+        entry.node = self._nodes[row]
+        entry.data = self._payloads[row]
+        return entry
+
+    # -- recording ------------------------------------------------------------
+
+    def record(
+        self,
+        time: int,
+        category: str,
+        node: int = -1,
+        **data: Any,
+    ) -> None:
+        """Append a record (no-op while the recorder or category is off)."""
+        if not self.enabled or category in self._disabled:
+            return
+        cat_id = self._cat_of.get(category)
+        if cat_id is None:
+            cat_id = self._cat_of[category] = len(self._cat_names)
+            self._cat_names.append(category)
+        self._t_append(time)
+        self._c_append(cat_id)
+        self._n_append(node)
+        self._p_append(data)
+        if time > self._max_time:
+            self._max_time = time
+        if self._sinks:
+            # Sinks observe real records: materialize once, share the
+            # payload dict exactly as the row recorder does.
+            entry = TraceRecord.__new__(TraceRecord)
+            entry.time = time
+            entry.category = category
+            entry.node = node
+            entry.data = data
+            for sink in self._sinks:
+                sink(entry)
+
+    def record_row(
+        self, time: int, category: str, node: int, data: Dict[str, Any]
+    ) -> None:
+        """Positional fast lane of :meth:`record` (see the row recorder)."""
+        if not self.enabled or category in self._disabled:
+            return
+        cat_id = self._cat_of.get(category)
+        if cat_id is None:
+            cat_id = self._cat_of[category] = len(self._cat_names)
+            self._cat_names.append(category)
+        self._t_append(time)
+        self._c_append(cat_id)
+        self._n_append(node)
+        self._p_append(data)
+        if time > self._max_time:
+            self._max_time = time
+        if self._sinks:
+            entry = TraceRecord.__new__(TraceRecord)
+            entry.time = time
+            entry.category = category
+            entry.node = node
+            entry.data = data
+            for sink in self._sinks:
+                sink(entry)
+
+    # -- queries --------------------------------------------------------------
+
+    def _ensure_indexes(self) -> None:
+        start = self._indexed_rows
+        total = len(self._times)
+        if start == total:
+            return
+        cats = self._cats
+        nodes = self._nodes
+        cat_rows = self._cat_rows
+        node_rows = self._node_rows
+        for row in range(start, total):
+            cid = cats[row]
+            bucket = cat_rows.get(cid)
+            if bucket is None:
+                bucket = cat_rows[cid] = array("q")
+            bucket.append(row)
+            nid = nodes[row]
+            bucket = node_rows.get(nid)
+            if bucket is None:
+                bucket = node_rows[nid] = array("q")
+            bucket.append(row)
+        self._indexed_rows = total
+
+    def _candidate_rows(
+        self, category: Optional[str], node: Optional[int]
+    ) -> Iterator[int]:
+        """Row numbers to inspect, narrowed by the cheapest index."""
+        self._ensure_indexes()
+        if category is not None and not category.endswith("."):
+            cid = self._cat_of.get(category)
+            exact = self._cat_rows.get(cid) if cid is not None else None
+            if exact is None:
+                return iter(())
+            if node is not None:
+                by_node = self._node_rows.get(node)
+                if by_node is None:
+                    return iter(())
+                return iter(exact if len(exact) <= len(by_node) else by_node)
+            return iter(exact)
+        if category is not None:
+            runs = [
+                self._cat_rows[cid]
+                for name, cid in self._cat_of.items()
+                if name.startswith(category) and cid in self._cat_rows
+            ]
+            if not runs:
+                return iter(())
+            if len(runs) == 1:
+                return iter(runs[0])
+            return heapq.merge(*runs)
+        if node is not None:
+            index = self._node_rows.get(node)
+            return iter(index) if index is not None else iter(())
+        return iter(range(len(self._times)))
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        node: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+    ) -> List[TraceRecord]:
+        """Column-native filtering; records materialize only on a match."""
+        prefix = category is not None and category.endswith(".")
+        want_cid: Optional[int] = None
+        if category is not None and not prefix:
+            want_cid = self._cat_of.get(category)
+            if want_cid is None:
+                return []
+        times = self._times
+        cats = self._cats
+        nodes = self._nodes
+        names = self._cat_names
+        result = []
+        for row in self._candidate_rows(category, node):
+            if want_cid is not None and cats[row] != want_cid:
+                continue
+            if prefix and not names[cats[row]].startswith(category):
+                continue
+            if node is not None and nodes[row] != node:
+                continue
+            time = times[row]
+            if start is not None and time < start:
+                continue
+            if end is not None and time > end:
+                continue
+            record = self._materialize(row)
+            if predicate is not None and not predicate(record):
+                continue
+            result.append(record)
+        return result
+
+    def count(self, category: str) -> int:
+        """C-speed column scan — no index required."""
+        if category.endswith("."):
+            return sum(
+                self._cats.count(cid)
+                for name, cid in self._cat_of.items()
+                if name.startswith(category)
+            )
+        cid = self._cat_of.get(category)
+        return 0 if cid is None else self._cats.count(cid)
+
+    def categories(self) -> Dict[str, int]:
+        """Record count per category, sorted by category name."""
+        self._ensure_indexes()
+        counts = {
+            name: len(self._cat_rows[cid])
+            for name, cid in sorted(self._cat_of.items())
+            if cid in self._cat_rows
+        }
+        return {name: count for name, count in counts.items() if count}
+
+    def category_columns(
+        self, category: str
+    ) -> Tuple["array", "array", List[Dict[str, Any]]]:
+        """``(times, nodes, payloads)`` straight off the backing arrays."""
+        self._ensure_indexes()
+        cid = self._cat_of.get(category)
+        rows = self._cat_rows.get(cid) if cid is not None else None
+        if not rows:
+            return array("q"), array("i"), []
+        times = self._times
+        nodes = self._nodes
+        payloads = self._payloads
+        return (
+            array("q", (times[row] for row in rows)),
+            array("i", (nodes[row] for row in rows)),
+            [payloads[row] for row in rows],
+        )
+
+    # -- export ---------------------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Batched bulk export: a few hundred lines per file write."""
+        sink = JsonlSink(target, batch=_EXPORT_BATCH)
+        try:
+            for record in self:
+                sink(record)
+        finally:
+            sink.close()
+        return sink.records_written
+
+    def clear(self) -> None:
+        """Drop all records and indexes (sinks and interning stay)."""
+        del self._times[:]
+        del self._cats[:]
+        del self._nodes[:]
+        self._payloads.clear()
+        self._cat_rows.clear()
+        self._node_rows.clear()
+        self._indexed_rows = 0
         self._max_time = 0

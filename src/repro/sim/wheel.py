@@ -1,0 +1,305 @@
+"""Hierarchical timer wheel: O(1) alarm start / cancel / restart.
+
+The failure detector rearms one surveillance alarm per monitored node on
+*every* observed frame — at 200 nodes that is tens of thousands of live
+alarms churning through the kernel heap, and every rearm pays the heap's
+log-N sift (directly, or deferred into the stale-entry repair the
+tuple-queue reschedule leaves behind). The wheel takes the kernel heap out
+of that loop entirely: alarms live in doubly-linked wheel buckets (link
+and unlink are a handful of pointer writes), and the kernel only ever sees
+**one cursor event per wheel** — scheduled at the earliest instant any
+bucket needs attention — instead of one event per alarm.
+
+Layout: ``LEVELS`` levels of ``2**LEVEL_BITS`` slots each; a level-0 slot
+spans ``2**SLOT_SHIFT`` ticks and each higher level widens by
+``2**LEVEL_BITS``. An alarm is filed at the coarsest level whose slot span
+still resolves its deadline; when a higher-level bucket's window opens,
+its members *cascade* down one or more levels, and when a level-0 bucket's
+earliest deadline arrives its due members fire — in arm order, at their
+exact deadlines (the wheel never rounds a deadline to slot granularity,
+so drifted clocks and odd durations fire at precisely the tick the heap
+backend would have used). Each alarm cascades at most ``LEVELS`` times
+over its whole life, so every operation stays amortized O(1).
+
+The wheel is shared by every :class:`~repro.sim.timers.TimerService` of a
+simulator (``Simulator.timer_wheel()``) and is enabled by the
+:data:`repro.sim.timers.TIMER_WHEEL` toggle. It deliberately changes *no
+simulated outcome*: the same alarms fire at the same simulated instants —
+only the interleaving of kernel bookkeeping (cursor events instead of
+per-alarm events) differs, which the golden outcome-equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+    from repro.sim.timers import Alarm
+
+#: log2 of the level-0 slot width in ticks (65536 ticks = 65.5 us at the
+#: nanosecond kernel tick — about one CAN frame time at 1 Mbit/s).
+SLOT_SHIFT = 16
+#: log2 of the slot count per level.
+LEVEL_BITS = 6
+#: Number of wheel levels; deadlines beyond the top level's span go to the
+#: overflow list and re-file as the wheel turns.
+LEVELS = 4
+
+_SLOTS = 1 << LEVEL_BITS
+_SLOT_MASK = _SLOTS - 1
+#: ``delta < _LEVEL_SPAN[k]`` means level ``k`` can resolve the deadline.
+_LEVEL_SPAN = [1 << (SLOT_SHIFT + LEVEL_BITS * (k + 1)) for k in range(LEVELS)]
+_LEVEL_SHIFT = [SLOT_SHIFT + LEVEL_BITS * k for k in range(LEVELS)]
+
+
+class _Bucket:
+    """One wheel slot: an intrusive doubly-linked ring of alarms.
+
+    ``armed_time`` is the instant for which a cursor-heap entry exists
+    (``None`` when no live entry points here); entries whose time no
+    longer matches are stale and skipped when popped.
+    """
+
+    __slots__ = ("level", "head", "tail", "count", "armed_time")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.head: Optional["Alarm"] = None
+        self.tail: Optional["Alarm"] = None
+        self.count = 0
+        self.armed_time: Optional[int] = None
+
+    def link(self, alarm: "Alarm") -> None:
+        alarm._wbucket = self
+        alarm._wprev = self.tail
+        alarm._wnext = None
+        if self.tail is None:
+            self.head = alarm
+        else:
+            self.tail._wnext = alarm
+        self.tail = alarm
+        self.count += 1
+
+    def unlink(self, alarm: "Alarm") -> None:
+        prev, nxt = alarm._wprev, alarm._wnext
+        if prev is None:
+            self.head = nxt
+        else:
+            prev._wnext = nxt
+        if nxt is None:
+            self.tail = prev
+        else:
+            nxt._wprev = prev
+        alarm._wbucket = None
+        alarm._wprev = None
+        alarm._wnext = None
+        self.count -= 1
+
+    def drain(self) -> List["Alarm"]:
+        """Unlink and return every member, in insertion order."""
+        members = []
+        alarm = self.head
+        while alarm is not None:
+            nxt = alarm._wnext
+            alarm._wbucket = None
+            alarm._wprev = None
+            alarm._wnext = None
+            members.append(alarm)
+            alarm = nxt
+        self.head = None
+        self.tail = None
+        self.count = 0
+        return members
+
+
+class TimerWheel:
+    """A hierarchical timer wheel driven by one kernel cursor event."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        # Buckets allocated lazily per (level, slot-index); at most
+        # LEVELS * 2**LEVEL_BITS ever exist.
+        self._buckets = [
+            [None] * _SLOTS for _ in range(LEVELS)
+        ]  # type: List[List[Optional[_Bucket]]]
+        #: Alarms whose deadline exceeds the top level's span; re-filed
+        #: whenever the top level cascades past them.
+        self._overflow: Optional[_Bucket] = None
+        #: Min-heap of ``(time, seq, bucket)`` visit requests. Entries are
+        #: never removed eagerly: a popped entry is live only while
+        #: ``bucket.armed_time == time``.
+        self._heap: list = []
+        self._heap_seq = 0
+        #: The kernel event carrying the next wheel visit (lazily
+        #: cancelled whenever an earlier visit is needed).
+        self._cursor_event = None
+        self._cursor_time: Optional[int] = None
+        #: Arm-order sequence: the deterministic fire order among alarms
+        #: sharing an exact deadline.
+        self._arm_seq = 0
+        #: Live alarms currently filed (linked or mid-fire collection).
+        self.pending = 0
+
+    # -- filing ------------------------------------------------------------------
+
+    def _bucket_for(self, deadline: int) -> _Bucket:
+        delta = deadline - self._sim._now
+        for level in range(LEVELS):
+            if delta < _LEVEL_SPAN[level]:
+                slot = (deadline >> _LEVEL_SHIFT[level]) & _SLOT_MASK
+                bucket = self._buckets[level][slot]
+                if bucket is None:
+                    bucket = self._buckets[level][slot] = _Bucket(level)
+                return bucket
+        if self._overflow is None:
+            self._overflow = _Bucket(LEVELS)
+        return self._overflow
+
+    def _visit_time(self, bucket: _Bucket, deadline: int) -> int:
+        """When the cursor must next look at ``bucket`` for ``deadline``.
+
+        Level-0 buckets are visited at the member's exact deadline (they
+        fire); higher levels at the opening of the slot window (they
+        cascade); the overflow list at the top level's horizon.
+        """
+        if bucket.level == 0:
+            return deadline
+        if bucket.level >= LEVELS:
+            return self._sim._now + _LEVEL_SPAN[-1] // 2
+        return (deadline >> _LEVEL_SHIFT[bucket.level]) << _LEVEL_SHIFT[
+            bucket.level
+        ]
+
+    def _arm(self, bucket: _Bucket, time: int) -> None:
+        if bucket.armed_time is not None and bucket.armed_time <= time:
+            return
+        bucket.armed_time = time
+        seq = self._heap_seq
+        self._heap_seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, bucket))
+        if self._cursor_time is None or time < self._cursor_time:
+            self._schedule_cursor(time)
+
+    def _schedule_cursor(self, time: int) -> None:
+        if self._cursor_event is not None:
+            self._cursor_event.cancel()
+        self._cursor_time = time
+        # A cascade can request a visit for the already-open window; the
+        # kernel cannot schedule in the past, and "this instant" is the
+        # earliest a discrete-event kernel can honour anyway.
+        now = self._sim._now
+        self._cursor_event = self._sim.schedule_at(
+            time if time > now else now, self._on_cursor
+        )
+
+    def insert(self, alarm: "Alarm", deadline: int) -> None:
+        """File ``alarm`` to fire at ``deadline`` (absolute ticks)."""
+        alarm.deadline = deadline
+        alarm._wseq = self._arm_seq
+        self._arm_seq += 1
+        bucket = self._bucket_for(deadline)
+        bucket.link(alarm)
+        self.pending += 1
+        self._arm(bucket, self._visit_time(bucket, deadline))
+
+    def remove(self, alarm: "Alarm") -> None:
+        """Unlink ``alarm``; a no-op when it is not filed."""
+        bucket = alarm._wbucket
+        if bucket is not None:
+            bucket.unlink(alarm)
+            self.pending -= 1
+
+    def restart(self, alarm: "Alarm", deadline: int) -> None:
+        """Move a filed alarm to a new deadline — the O(1) rearm.
+
+        When the new deadline resolves to the slot the alarm already
+        occupies — the common case for surveillance rearms, whose
+        deadline advances by less than a slot span per observed frame —
+        the relink is skipped entirely: only the deadline, the arm-order
+        sequence and (for level 0, via :meth:`_arm`'s monotonic guard)
+        the visit time change. Same window means same cascade visit, so
+        fire instants and fire order are identical to unlink + insert.
+        """
+        bucket = alarm._wbucket
+        if bucket is None:
+            self.insert(alarm, deadline)
+            return
+        alarm.deadline = deadline
+        alarm._wseq = self._arm_seq
+        self._arm_seq += 1
+        target = self._bucket_for(deadline)
+        if target is not bucket:
+            bucket.unlink(alarm)
+            target.link(alarm)
+        self._arm(target, self._visit_time(target, deadline))
+
+    # -- turning -----------------------------------------------------------------
+
+    def _refile(self, alarm: "Alarm") -> None:
+        bucket = self._bucket_for(alarm.deadline)
+        bucket.link(alarm)
+        self._arm(bucket, self._visit_time(bucket, alarm.deadline))
+
+    def _on_cursor(self) -> None:
+        now = self._sim._now
+        self._cursor_event = None
+        self._cursor_time = None
+        heap = self._heap
+        due: List["Alarm"] = []
+        while heap and heap[0][0] <= now:
+            time, _, bucket = heapq.heappop(heap)
+            if bucket.armed_time != time:
+                continue  # stale: the bucket emptied or was re-armed
+            bucket.armed_time = None
+            if bucket.count == 0:
+                continue
+            if bucket.level == 0:
+                # Fire due members; keep the rest armed at the earliest
+                # remaining deadline.
+                remaining_min: Optional[int] = None
+                alarm = bucket.head
+                while alarm is not None:
+                    nxt = alarm._wnext
+                    if alarm.deadline <= now:
+                        bucket.unlink(alarm)
+                        due.append(alarm)
+                    elif remaining_min is None or alarm.deadline < remaining_min:
+                        remaining_min = alarm.deadline
+                    alarm = nxt
+                if remaining_min is not None:
+                    self._arm(bucket, remaining_min)
+            else:
+                # Cascade the whole window down; members land in lower
+                # levels (or fire-collect via the loop when already due).
+                for alarm in bucket.drain():
+                    if alarm.deadline <= now and alarm._wbucket is None:
+                        due.append(alarm)
+                    else:
+                        self._refile(alarm)
+        if due:
+            self.pending -= len(due)
+            # Exact-deadline order, then arm order: deterministic and
+            # equal to the order the heap backend would have used for
+            # alarms armed in the same sequence.
+            due.sort(key=_fire_key)
+            for alarm in due:
+                # A callback earlier in the batch may have cancelled or
+                # re-armed this alarm; re-filed alarms are linked again.
+                if alarm._active and alarm._wbucket is None:
+                    alarm._fire()
+        # Re-arm the kernel cursor at the next live visit.
+        while heap:
+            time, _, bucket = heap[0]
+            if bucket.armed_time != time or bucket.count == 0:
+                heapq.heappop(heap)
+                if bucket.armed_time == time:
+                    bucket.armed_time = None
+                continue
+            self._schedule_cursor(time)
+            break
+
+
+def _fire_key(alarm: "Alarm"):
+    return (alarm.deadline, alarm._wseq)

@@ -39,6 +39,11 @@ from repro.errors import ScenarioError
 #: Default number of membership cycles a cold-start settles for.
 DEFAULT_SETTLE_CYCLES = 6.0
 
+#: Default for the analytic idle-skip of :meth:`run_until_settled` —
+#: named so the bench report's ``environment.toggles`` block can record
+#: it alongside the other switchable fast paths.
+DEFAULT_IDLE_SKIP = True
+
 
 @dataclass(frozen=True)
 class FrameMatch:
@@ -278,7 +283,7 @@ class ScenarioBuilder:
         self,
         max_cycles: int = 60,
         stable_cycles: int = 2,
-        idle_skip: bool = True,
+        idle_skip: bool = DEFAULT_IDLE_SKIP,
     ) -> "ScenarioBuilder":
         """Run until every scripted action has fired and the surviving full
         members agree on an unchanged view for ``stable_cycles`` consecutive

@@ -1,0 +1,224 @@
+"""Property: filtered delivery is observation-identical to broadcast.
+
+:data:`repro.can.bus.FILTERED_DELIVERY` swaps the delivery fan-out from
+"offer the frame to every alive controller" to a cached per-identifier
+dispatch plan with baked listener upcalls. The contract is that this is a
+pure mechanism change: whatever the filter masks, the traffic, the churn
+and the injected faults, both paths must produce byte-identical traces,
+identical delivery logs and identical bus accounting. Hypothesis drives
+randomized schedules against both paths and compares the full fingerprint.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.can.bus as bus_mod
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.driver import CanStandardLayer
+from repro.can.errormodel import FaultInjector, FaultKind
+from repro.can.filters import AcceptanceFilter, FilterBank
+from repro.can.identifiers import MessageId, MessageType
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+from repro.sim.kernel import Simulator
+from repro.sim.trace import record_to_dict
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_ID_MASK = (1 << 16) - 1
+
+
+def _run_modes(scenario):
+    """Run ``scenario`` under both delivery paths, restoring the toggle."""
+    saved = bus_mod.FILTERED_DELIVERY
+    try:
+        bus_mod.FILTERED_DELIVERY = True
+        filtered = scenario()
+        bus_mod.FILTERED_DELIVERY = False
+        broadcast = scenario()
+    finally:
+        bus_mod.FILTERED_DELIVERY = saved
+    return filtered, broadcast
+
+
+# -- raw bus with random acceptance masks -------------------------------------
+
+
+@st.composite
+def bus_schedules(draw):
+    node_count = draw(st.integers(min_value=2, max_value=5))
+    # Per-node filter bank: None = accept-all, else 1-2 random code/mask
+    # pairs (random masks make partial-match and reject-all banks likely).
+    banks = [
+        draw(
+            st.none()
+            | st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=_ID_MASK),
+                    st.integers(min_value=0, max_value=_ID_MASK),
+                ),
+                min_size=1,
+                max_size=2,
+            )
+        )
+        for _ in range(node_count)
+    ]
+    submissions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=node_count - 1),  # sender
+                st.integers(min_value=0, max_value=3),  # ref
+                st.booleans(),  # remote frame?
+                st.integers(min_value=0, max_value=ms(2)),  # submit time
+                st.binary(max_size=4),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    # Churn: maybe crash one node mid-run; maybe re-filter one node
+    # mid-run (exercises plan invalidation).
+    crash = draw(
+        st.none()
+        | st.tuples(
+            st.integers(min_value=0, max_value=node_count - 1),
+            st.integers(min_value=0, max_value=ms(2)),
+        )
+    )
+    refilter = draw(
+        st.none()
+        | st.tuples(
+            st.integers(min_value=0, max_value=node_count - 1),
+            st.integers(min_value=0, max_value=ms(2)),
+            st.integers(min_value=0, max_value=_ID_MASK),
+        )
+    )
+    fault_tx = draw(st.none() | st.integers(min_value=0, max_value=6))
+    return node_count, banks, submissions, crash, refilter, fault_tx
+
+
+def _run_bus_scenario(schedule):
+    node_count, banks, submissions, crash, refilter, fault_tx = schedule
+    injector = FaultInjector()
+    if fault_tx is not None:
+        injector.fault_on_transmission(fault_tx, FaultKind.CONSISTENT_OMISSION)
+    sim = Simulator()
+    bus = CanBus(sim, injector=injector)
+    layers = {}
+    controllers = {}
+    received = {node_id: [] for node_id in range(node_count)}
+    for node_id in range(node_count):
+        controller = CanController(node_id)
+        bus.attach(controller)
+        controllers[node_id] = controller
+        layers[node_id] = CanStandardLayer(controller)
+        log = received[node_id]
+        layers[node_id].add_data_ind(
+            lambda mid, data, log=log: log.append(("data", mid.node, mid.ref, data))
+        )
+        layers[node_id].add_rtr_ind(
+            lambda mid, log=log: log.append(("rtr", mid.node, mid.ref))
+        )
+        spec = banks[node_id]
+        if spec is not None:
+            controller.set_filters(
+                FilterBank(AcceptanceFilter(code, mask) for code, mask in spec)
+            )
+    for sender, ref, remote, at, payload in submissions:
+        mid = MessageId(MessageType.DATA, node=sender, ref=ref)
+        if remote:
+            sim.schedule_at(at, lambda s=sender, m=mid: layers[s].rtr_req(m))
+        else:
+            sim.schedule_at(
+                at, lambda s=sender, m=mid, p=payload: layers[s].data_req(m, p)
+            )
+    if crash is not None:
+        node_id, at = crash
+        sim.schedule_at(at, controllers[node_id].crash)
+    if refilter is not None:
+        node_id, at, mask = refilter
+        sim.schedule_at(
+            at,
+            lambda c=controllers[node_id], m=mask: c.set_filters(
+                FilterBank([AcceptanceFilter(0, m)])
+            ),
+        )
+    sim.run()
+    return {
+        "trace": [record_to_dict(record) for record in sim.trace],
+        "received": received,
+        "events": sim.events_processed,
+        "physical_frames": bus.stats.physical_frames,
+        "error_frames": bus.stats.error_frames,
+        "busy_bits": bus.stats.busy_bits,
+        "bits_by_type": dict(bus.stats.bits_by_type),
+        "rec": {n: c.rec for n, c in controllers.items()},
+        "tec": {n: c.tec for n, c in controllers.items()},
+    }
+
+
+@SLOW
+@given(bus_schedules())
+def test_filtered_delivery_matches_broadcast_on_raw_bus(schedule):
+    filtered, broadcast = _run_modes(lambda: _run_bus_scenario(schedule))
+    assert filtered == broadcast
+
+
+# -- full protocol stack under churn and inconsistent omissions ---------------
+
+
+CONFIG = CanelyConfig(capacity=16, tm=ms(50), thb=ms(10), tjoin_wait=ms(150))
+
+
+@st.composite
+def network_scenarios(draw):
+    node_count = draw(st.integers(min_value=3, max_value=6))
+    crash_node = draw(st.integers(min_value=0, max_value=node_count - 1))
+    crash_at = draw(st.integers(min_value=ms(150), max_value=ms(300)))
+    leave = draw(st.booleans())
+    fault_accepting = draw(
+        st.none() | st.integers(min_value=0, max_value=node_count - 1)
+    )
+    return node_count, crash_node, crash_at, leave, fault_accepting
+
+
+def _run_network_scenario(scenario):
+    node_count, crash_node, crash_at, leave, fault_accepting = scenario
+    injector = FaultInjector()
+    if fault_accepting is not None:
+        injector.fault_on_frame(
+            lambda f: f.mid.mtype is MessageType.FDA,
+            FaultKind.INCONSISTENT_OMISSION,
+            accepting=[fault_accepting],
+        )
+    net = CanelyNetwork(node_count=node_count, config=CONFIG, injector=injector)
+    net.join_all()
+    net.run_for(ms(150))
+    if leave and node_count > 2:
+        net.node((crash_node + 1) % node_count).leave()
+    net.sim.schedule_at(crash_at, net.node(crash_node).crash)
+    net.run_for(ms(350))
+    views = {}
+    for node in net.correct_nodes():
+        view = node.view()
+        views[node.node_id] = (sorted(view.members), view.round_index)
+    return {
+        "trace": [record_to_dict(record) for record in net.sim.trace],
+        "events": net.sim.events_processed,
+        "physical_frames": net.bus.stats.physical_frames,
+        "error_frames": net.bus.stats.error_frames,
+        "busy_bits": net.bus.stats.busy_bits,
+        "views": views,
+    }
+
+
+@SLOW
+@given(network_scenarios())
+def test_filtered_delivery_matches_broadcast_on_protocol_stack(scenario):
+    filtered, broadcast = _run_modes(lambda: _run_network_scenario(scenario))
+    assert filtered == broadcast

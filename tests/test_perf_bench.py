@@ -35,7 +35,7 @@ def test_environment_metadata_fields():
     env = environment()
     assert set(env) == {
         "python", "implementation", "platform", "machine", "cpu_count",
-        "compiled",
+        "compiled", "toggles",
     }
     compiled = env["compiled"]
     assert set(compiled) == {
@@ -44,6 +44,21 @@ def test_environment_metadata_fields():
     assert set(compiled["modules"]) == {
         "repro.sim.event", "repro.sim.kernel", "repro.can.bitstream",
     }
+    # The feature-toggle block records the live defaults, so a report is
+    # attributable to an exact fast-path configuration.
+    toggles = env["toggles"]
+    assert set(toggles) == {
+        "batch_dispatch", "fast_rearm", "tuple_entries", "idle_skip",
+        "timer_wheel", "filtered_delivery", "columnar_trace",
+    }
+    assert all(isinstance(value, bool) for value in toggles.values())
+
+
+def test_environment_toggles_track_live_modules(monkeypatch):
+    import repro.sim.timers as timers_mod
+
+    monkeypatch.setattr(timers_mod, "TIMER_WHEEL", True)
+    assert environment()["toggles"]["timer_wheel"] is True
 
 
 def test_write_and_load_roundtrip(tmp_path):
@@ -107,20 +122,33 @@ def test_campaign_wallclock_quick_runs_clean():
     assert result["unit"] == "s"
     assert result["value"] > 0
     assert result["lower_is_better"]
-    assert result["verdicts"] == ["ok", "ok"]
+    # The corpus is mode-invariant (see the benchmark's docstring), so
+    # even the quick run measures the full six-scenario campaign.
+    assert result["verdicts"] == ["ok"] * 6
 
 
 def test_committed_report_meets_the_acceptance_bars():
     """BENCH_core.json at the repo root is a real measurement: the frame
-    encoding speedup must be >= 3x, kernel throughput >= 4x and end-to-end
-    event throughput >= 1.5x."""
+    encoding speedup must be >= 3x, kernel throughput >= 4x, end-to-end
+    event throughput >= 4x on the 48-node canonical scenario, and the
+    10->200-node sweep must report sub-linear per-event cost growth."""
     report = load_report("BENCH_core.json")
     results = report["results"]
     assert results["frame_encoding"]["speedup"] >= 3.0
     assert results["kernel_throughput"]["speedup"] >= 4.0
     assert results["kernel_throughput"]["unit"] == "events/s"
-    assert results["event_throughput"]["speedup"] >= 1.5
+    assert results["event_throughput"]["speedup"] >= 4.0
+    scaling = results["stack_scaling"]
+    assert scaling["sublinear"]
+    assert scaling["cost_ratio"] < scaling["linear_ratio"]
+    assert scaling["nodes"] == [10, 50, 200]
+    assert set(scaling["per_node"]) == {"10", "50", "200"}
+    # The wall-clock macro carries its sequential reference so the report
+    # renders an attributable speedup, not a bare absolute.
+    assert results["campaign_wallclock"]["reference_value"] > 0
+    assert results["campaign_wallclock"]["lower_is_better"]
     assert report["environment"]["python"]
+    assert "toggles" in report["environment"]
 
 
 def test_render_report_mentions_every_benchmark():
@@ -144,7 +172,9 @@ def test_cli_bench_regression_gate(tmp_path, monkeypatch, capsys):
 
     current = _report({"enc": {"unit": "x/s", "value": 1.0, "speedup": 2.0}})
     monkeypatch.setattr(
-        repro.perf, "run_benchmarks", lambda quick=False, repeats=None: current
+        repro.perf,
+        "run_benchmarks",
+        lambda quick=False, repeats=None, only=None: current,
     )
     baseline_path = str(tmp_path / "baseline.json")
     out_path = str(tmp_path / "out.json")
@@ -157,3 +187,53 @@ def test_cli_bench_regression_gate(tmp_path, monkeypatch, capsys):
     assert main(["bench", "--quick", "--baseline", baseline_path, "--json", out_path]) == 0
     assert load_report(out_path) == current
     assert "no regressions" in capsys.readouterr().out
+
+
+def test_run_benchmarks_only_filters_the_suite(monkeypatch):
+    """``only`` restricts the run to the named benchmarks in suite order
+    and rejects unknown names before running anything."""
+    from repro.perf.bench import BENCHMARKS, run_benchmarks
+
+    calls = []
+    for name in BENCHMARKS:
+        monkeypatch.setitem(
+            BENCHMARKS, name,
+            lambda quick=False, repeats=None, _n=name: (
+                calls.append(_n) or {"unit": "u", "value": 1.0}
+            ),
+        )
+    report = run_benchmarks(quick=True, only=["stack_scaling"])
+    assert calls == ["stack_scaling"]
+    assert set(report["results"]) == {"stack_scaling"}
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        run_benchmarks(quick=True, only=["no_such_bench"])
+
+
+def test_cli_require_sublinear_gate(monkeypatch, capsys):
+    """``repro bench --require-sublinear`` exits 1 when the scaling sweep
+    reports linear growth (or did not run) and 0 when it is sub-linear."""
+    import repro.perf
+    from repro.__main__ import main
+
+    def stub(result):
+        return lambda quick=False, repeats=None, only=None: _report(result)
+
+    linear = {"stack_scaling": {
+        "unit": "events/s", "value": 1.0, "sublinear": False,
+        "cost_ratio": 25.0, "linear_ratio": 20.0,
+    }}
+    monkeypatch.setattr(repro.perf, "run_benchmarks", stub(linear))
+    assert main(["bench", "--quick", "--require-sublinear"]) == 1
+    assert "grew linearly" in capsys.readouterr().out
+
+    monkeypatch.setattr(repro.perf, "run_benchmarks", stub({}))
+    assert main(["bench", "--quick", "--require-sublinear"]) == 1
+    assert "did not run" in capsys.readouterr().out
+
+    sublinear = {"stack_scaling": {
+        "unit": "events/s", "value": 1.0, "sublinear": True,
+        "cost_ratio": 8.0, "linear_ratio": 20.0,
+    }}
+    monkeypatch.setattr(repro.perf, "run_benchmarks", stub(sublinear))
+    assert main(["bench", "--quick", "--require-sublinear"]) == 0
+    assert "sub-linear scaling" in capsys.readouterr().out

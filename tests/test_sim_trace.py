@@ -303,3 +303,145 @@ def test_ring_buffer_eviction_with_jsonl_sink_attached():
     assert [r.time for r in trace.select(node=4)] == [4]
     sink.close()
     assert not buffer.closed  # the sink does not own a caller's handle
+
+
+# -- columnar storage mode ----------------------------------------------------
+#
+# ColumnarTraceRecorder must be indistinguishable from the row recorder for
+# every query: same records, same values, same order. The parity harness
+# records one mixed workload into both and compares each public accessor.
+
+
+from repro.sim.trace import ColumnarTraceRecorder
+import repro.sim.trace as trace_mod
+
+
+def _mixed_workload(trace):
+    trace.record(1, "bus.tx", node=0, bits=100, mid="m0")
+    trace.record(2, "bus.deliver", node=1, mid="m0")
+    trace.record(2, "bus.deliver", node=2, mid="m0")
+    trace.record_row(3, "bus.deliver", 0, {"mid": "m1", "remote": True})
+    trace.record(5, "msh.view", node=1, members=[0, 1, 2])
+    trace.record(4, "fd.nty", node=2)  # out-of-order append
+    trace.record(7, "bus.tx", node=2, bits=60, mid="m2")
+    return trace
+
+
+def _both():
+    return _mixed_workload(TraceRecorder()), _mixed_workload(ColumnarTraceRecorder())
+
+
+def test_columnar_iteration_matches_row_recorder():
+    row, col = _both()
+    assert len(row) == len(col)
+    assert [record_to_dict(r) for r in row] == [record_to_dict(r) for r in col]
+
+
+def test_columnar_select_matches_row_recorder():
+    row, col = _both()
+    queries = [
+        dict(category="bus.deliver"),
+        dict(category="bus."),
+        dict(node=2),
+        dict(category="bus.deliver", node=0),
+        dict(start=2, end=4),
+        dict(category="bus.", predicate=lambda r: r.data.get("bits", 0) > 50),
+        dict(category="absent"),
+        dict(node=99),
+    ]
+    for query in queries:
+        got = [record_to_dict(r) for r in col.select(**query)]
+        want = [record_to_dict(r) for r in row.select(**query)]
+        assert got == want, query
+
+
+def test_columnar_count_categories_window_match():
+    row, col = _both()
+    for category in ("bus.tx", "bus.", "msh.view", "absent", "absent."):
+        assert col.count(category) == row.count(category)
+    assert col.categories() == row.categories()
+    assert [record_to_dict(r) for r in col.window(2, 5)] == [
+        record_to_dict(r) for r in row.window(2, 5)
+    ]
+    assert col.last_time == row.last_time == 7
+
+
+def test_columnar_category_columns_match():
+    row, col = _both()
+    for category in ("bus.deliver", "bus.tx", "absent"):
+        r_times, r_nodes, r_payloads = row.category_columns(category)
+        c_times, c_nodes, c_payloads = col.category_columns(category)
+        assert list(c_times) == list(r_times)
+        assert list(c_nodes) == list(r_nodes)
+        assert c_payloads == r_payloads
+
+
+def test_columnar_export_jsonl_matches_row_recorder():
+    row, col = _both()
+    row_buf, col_buf = io.StringIO(), io.StringIO()
+    assert row.export_jsonl(row_buf) == col.export_jsonl(col_buf)
+    assert row_buf.getvalue() == col_buf.getvalue()
+
+
+def test_columnar_sinks_observe_real_records():
+    seen = []
+    col = ColumnarTraceRecorder()
+    col.add_sink(lambda record: seen.append(record_to_dict(record)))
+    _mixed_workload(col)
+    assert seen == [record_to_dict(r) for r in col]
+
+
+def test_columnar_disabled_categories_and_enabled_flag():
+    col = ColumnarTraceRecorder()
+    col.disable_categories("bus.deliver")
+    col.record(1, "bus.deliver", node=0)
+    col.record_row(1, "bus.deliver", 0, {})
+    col.record(2, "bus.tx", node=0)
+    assert [r.category for r in col] == ["bus.tx"]
+    off = ColumnarTraceRecorder(enabled=False)
+    off.record(1, "bus.tx")
+    assert len(off) == 0
+
+
+def test_columnar_clear_resets_queries():
+    col = _mixed_workload(ColumnarTraceRecorder())
+    assert col.count("bus.tx") == 2  # force the lazy indexes into being
+    col.clear()
+    assert len(col) == 0
+    assert col.count("bus.tx") == 0
+    assert col.select(category="bus.") == []
+    assert col.last_time == 0
+    col.record(9, "bus.tx", node=1)
+    assert [r.time for r in col] == [9]
+
+
+def test_columnar_rejects_ring_buffer_capacity():
+    with pytest.raises(ValueError):
+        ColumnarTraceRecorder(capacity=10)
+
+
+def test_columnar_toggle_routes_plain_constructions(monkeypatch):
+    monkeypatch.setattr(trace_mod, "COLUMNAR", True)
+    assert isinstance(TraceRecorder(), ColumnarTraceRecorder)
+    # Ring-buffer traces stay on row storage: columns are append-only.
+    ring = TraceRecorder(capacity=4)
+    assert not isinstance(ring, ColumnarTraceRecorder)
+    assert ring.capacity == 4
+    # Explicit subclass constructions are honoured as written.
+    monkeypatch.setattr(trace_mod, "COLUMNAR", False)
+    assert isinstance(ColumnarTraceRecorder(), ColumnarTraceRecorder)
+    assert not isinstance(TraceRecorder(), ColumnarTraceRecorder)
+
+
+def test_columnar_index_extends_incrementally():
+    """Queries interleaved with recording: the lazy index must pick up
+    rows appended after the first query."""
+    col = ColumnarTraceRecorder()
+    col.record(1, "a", node=0)
+    assert col.count("a") == 1
+    col.record(2, "a", node=1)
+    col.record(3, "b", node=0)
+    assert col.count("a") == 2
+    assert [r.time for r in col.select(category="a")] == [1, 2]
+    assert [r.time for r in col.select(node=0)] == [1, 3]
+    assert col.categories() == {"a": 2, "b": 1}
