@@ -31,12 +31,27 @@ from repro.core.stack import CanelyNetwork, CanelyNode
 from repro.core.views import MembershipChange, MembershipView
 from repro.util.sets import NodeSet
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Lazily re-exported name -> home module (PEP 562). Importing ``repro``
 #: must not drag in multiprocessing (campaign), the benchmark corpus
 #: (perf) or the checker; attribute access resolves them on first use.
 _LAZY_EXPORTS = {
+    # membership backends (repro.core.backend, repro.swim) and the
+    # multi-segment gateway (repro.can.gateway)
+    "MembershipBackend": "repro.core.backend",
+    "CanelyBackend": "repro.core.backend",
+    "backend_names": "repro.core.backend",
+    "register_backend": "repro.core.backend",
+    "resolve_backend": "repro.core.backend",
+    "SwimBackend": "repro.swim",
+    "SwimConfig": "repro.swim",
+    "SwimNode": "repro.swim",
+    "CanGateway": "repro.can.gateway",
+    # head-to-head backend QoS (repro.analysis.comparison)
+    "BackendQoS": "repro.analysis.comparison",
+    "compare_backends": "repro.analysis.comparison",
+    "probe_backend": "repro.analysis.comparison",
     # scenario builder (repro.workloads) — the fluent scripting API
     "FrameMatch": "repro.workloads",
     "ScenarioBuilder": "repro.workloads",

@@ -28,6 +28,10 @@ Commands:
   asserts the checker finds it (see :mod:`repro.check`).
 * ``bench``     — run the core hot-path benchmarks, write ``BENCH_core.json``
   and optionally gate on a regression threshold (see :mod:`repro.perf`).
+* ``compare``   — run the same seeded crash scenario under rival membership
+  backends (CANELy vs SWIM, optionally over gateway-bridged bus segments)
+  and print their QoS side by side: detection latency, view stability,
+  bandwidth per node (see :mod:`repro.analysis.comparison`).
 """
 
 from __future__ import annotations
@@ -387,6 +391,11 @@ def _cmd_campaign(args) -> int:
         node_max=args.node_max,
         crash_min=args.crash_min,
         crash_max=args.crash_max,
+        backend=args.backend,
+        segments=args.segments,
+        # The online monitors encode CANELy's guarantees; rival backends
+        # are judged by the final-state checks alone.
+        monitors=args.backend == "canely",
     )
 
     executor = None
@@ -580,6 +589,45 @@ def _cmd_check(args) -> int:
     if report.ok:
         print("every invariant held on every schedule")
     return 0 if report.ok else 1
+
+
+def _cmd_compare(args) -> int:
+    import json
+
+    from repro.analysis.comparison import compare_backends, comparison_rows
+    from repro.core.backend import backend_names
+
+    for name in args.backends:
+        if name not in backend_names():
+            print(
+                f"unknown backend {name!r}; "
+                f"registered: {', '.join(backend_names())}"
+            )
+            return 2
+    report = compare_backends(
+        tuple(args.backends),
+        nodes=args.nodes,
+        segments=args.segments,
+        seed=args.seed,
+        crash_window_ms=args.crash_window,
+        run_ms=args.run_ms,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    scenario = report["scenario"]
+    header, rows = comparison_rows(report)
+    print(
+        render_table(
+            header,
+            rows,
+            title=(
+                f"Backend QoS — {scenario['nodes']} nodes, "
+                f"{scenario['segments']} segment(s), seed {scenario['seed']}"
+            ),
+        )
+    )
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -784,6 +832,17 @@ def main(argv=None) -> int:
     )
     campaign.add_argument(
         "--crash-max", type=int, default=3, help="most crashes per scenario"
+    )
+    campaign.add_argument(
+        "--backend",
+        default="canely",
+        help="membership backend every scenario runs (canely, swim)",
+    )
+    campaign.add_argument(
+        "--segments",
+        type=int,
+        default=1,
+        help="bus segments per scenario, gateway-bridged when > 1",
     )
     campaign.add_argument(
         "--timeout",
@@ -1027,6 +1086,46 @@ def main(argv=None) -> int:
         "cost growth",
     )
     bench.set_defaults(func=_cmd_bench)
+    compare = sub.add_parser(
+        "compare",
+        help="run the same seeded crash scenario under rival membership "
+        "backends and print their QoS side by side",
+    )
+    compare.add_argument(
+        "--nodes", type=int, default=12, help="network population"
+    )
+    compare.add_argument(
+        "--segments",
+        type=int,
+        default=1,
+        help="bus segments, bridged by a store-and-forward gateway when > 1",
+    )
+    compare.add_argument("--seed", type=int, default=0, help="scenario seed")
+    compare.add_argument(
+        "--backends",
+        nargs="+",
+        default=["canely", "swim"],
+        metavar="NAME",
+        help="backends to compare (default: canely swim)",
+    )
+    compare.add_argument(
+        "--crash-window",
+        type=float,
+        default=40.0,
+        help="crash offset drawn from [0, this] ms after settling",
+    )
+    compare.add_argument(
+        "--run-ms",
+        type=float,
+        default=500.0,
+        help="how long the scenario runs after the crash, ms",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report (byte-identical per seed)",
+    )
+    compare.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
     try:

@@ -1,16 +1,27 @@
-"""The qualitative comparison tables of the paper (Figs. 1 and 11).
+"""Comparison tables and head-to-head backend QoS measurement.
 
-These tables are part of the paper's evaluation narrative: Fig. 1 contrasts
-TTP with standard CAN to motivate the work; Fig. 11 adds the CANELy column
-to show the gap has been closed. The rows are reproduced verbatim; the
-quantitative cells (inaccessibility, membership latency, clock precision)
-can be overridden with values measured/derived by this reproduction, which
-is what the Fig. 11 benchmark does.
+The first half reproduces the qualitative comparison tables of the paper
+(Figs. 1 and 11): Fig. 1 contrasts TTP with standard CAN to motivate the
+work; Fig. 11 adds the CANELy column to show the gap has been closed. The
+rows are reproduced verbatim; the quantitative cells (inaccessibility,
+membership latency, clock precision) can be overridden with values
+measured/derived by this reproduction, which is what the Fig. 11 benchmark
+does.
+
+The second half is quantitative and runs live simulations:
+:func:`probe_backend` executes one seeded crash scenario on one membership
+backend (:mod:`repro.core.backend`) and distils it into a
+:class:`BackendQoS` record — detection latency, view-stability mistakes
+and flaps, bandwidth per node — and :func:`compare_backends` runs the
+*same* scenario under rival backends so ``repro compare`` can print them
+side by side. Both are fully deterministic: the same seed yields a
+byte-identical report.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.inaccessibility import (
     can_inaccessibility_range,
@@ -81,3 +92,266 @@ def fig11_rows(
             measured.get("clock", "tens of us precision"),
         ],
     ]
+
+
+# ---------------------------------------------------------------------------
+# Head-to-head backend QoS (``repro compare``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackendQoS:
+    """One backend's quality-of-service record for one seeded scenario.
+
+    Latencies are crash-to-``msh.change`` notification times in
+    milliseconds: ``detection_first_ms`` at the earliest survivor,
+    ``detection_last_ms`` when the *last* survivor learned (``None`` when
+    some survivor never did — ``notified`` counts how many were).
+    ``mistakes`` counts removals of nodes that never crashed (false
+    suspicions that went through); ``flaps`` counts re-additions of
+    previously removed nodes. ``bandwidth_bits_per_node_ms`` is total bus
+    occupancy across all segments divided by population and simulated
+    time — the per-node cost of running the protocol suite.
+    """
+
+    backend: str
+    nodes: int
+    segments: int
+    seed: int
+    converged: bool
+    victim: int
+    crash_at_ms: float
+    detection_first_ms: Optional[float]
+    detection_last_ms: Optional[float]
+    notified: int
+    survivors: int
+    mistakes: int
+    flaps: int
+    final_view_ok: bool
+    bus_utilization: float
+    bandwidth_bits_per_node_ms: float
+    physical_frames: int
+    gateway_forwarded: int
+    gateway_dropped: int
+    metrics: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form with stable key order and fixed precision."""
+
+        def _round(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value, 3)
+
+        return {
+            "backend": self.backend,
+            "nodes": self.nodes,
+            "segments": self.segments,
+            "seed": self.seed,
+            "converged": self.converged,
+            "victim": self.victim,
+            "crash_at_ms": _round(self.crash_at_ms),
+            "detection_first_ms": _round(self.detection_first_ms),
+            "detection_last_ms": _round(self.detection_last_ms),
+            "notified": self.notified,
+            "survivors": self.survivors,
+            "mistakes": self.mistakes,
+            "flaps": self.flaps,
+            "final_view_ok": self.final_view_ok,
+            "bus_utilization": round(self.bus_utilization, 6),
+            "bandwidth_bits_per_node_ms": round(
+                self.bandwidth_bits_per_node_ms, 3
+            ),
+            "physical_frames": self.physical_frames,
+            "gateway_forwarded": self.gateway_forwarded,
+            "gateway_dropped": self.gateway_dropped,
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+
+
+def probe_backend(
+    backend: str,
+    *,
+    nodes: int = 12,
+    segments: int = 1,
+    seed: int = 0,
+    config=None,
+    crash_window_ms: float = 40.0,
+    run_ms: float = 500.0,
+) -> BackendQoS:
+    """Run one seeded crash scenario on ``backend`` and measure its QoS.
+
+    The scenario — victim and crash offset drawn from ``seed`` — depends
+    only on the seed, never on the backend, so rival backends face exactly
+    the same fault and the comparison is fair. The whole run is
+    deterministic: same arguments, same :class:`BackendQoS`.
+    """
+    from repro.core.stack import CanelyNetwork
+    from repro.sim.clock import ms
+    from repro.sim.rng import RngStreams
+
+    rng = RngStreams(seed).stream("compare")
+    victim = rng.randint(0, nodes - 1)
+    crash_offset = ms(rng.randint(0, max(0, int(crash_window_ms))))
+
+    net = CanelyNetwork(
+        node_count=nodes, config=config, backend=backend, segments=segments
+    )
+    net.join_all()
+    net.run_for(net.config.tjoin_wait + round(6 * net.config.tm))
+    converged = (
+        len(net.member_views()) == nodes and net.views_agree()
+    )
+
+    net.run_for(crash_offset)
+    crash_time = net.sim.now
+    net.node(victim).crash()
+    net.run_for(ms(run_ms))
+
+    survivors = sorted(set(range(nodes)) - {victim})
+    # Per-survivor notification latency: first msh.change at that node
+    # whose failed set names the victim, at or after the crash.
+    latencies: Dict[int, Optional[int]] = {n: None for n in survivors}
+    pending = set(survivors)
+    ever_removed: set = set()
+    prev_active: Dict[int, Any] = {}
+    mistakes = 0
+    flaps = 0
+    for record in net.sim.trace.select(category="msh.change"):
+        observer = record.node
+        failed = record.data["failed"]
+        active = record.data["active"]
+        if (
+            observer in pending
+            and record.time >= crash_time
+            and victim in failed
+        ):
+            latencies[observer] = record.time - crash_time
+            pending.discard(observer)
+        # View stability, judged at one observer (the lowest surviving id)
+        # so a single mistake is not multiplied by the population.
+        if observer == survivors[0]:
+            for node_id in failed:
+                if node_id != victim:
+                    mistakes += 1
+            previous = prev_active.get(observer)
+            if previous is not None:
+                for node_id in active:
+                    if node_id not in previous and node_id in ever_removed:
+                        flaps += 1
+            ever_removed.update(failed)
+            prev_active[observer] = set(active)
+
+    notified = [v for v in latencies.values() if v is not None]
+    elapsed_ms = net.sim.now / ms(1)
+    busy_bits = sum(bus.stats.busy_bits for bus in net.buses)
+    frames = sum(bus.stats.physical_frames for bus in net.buses)
+    utilization = sum(bus.utilization() for bus in net.buses) / len(net.buses)
+    final_views = net.member_views()
+    final_view_ok = (
+        net.views_agree()
+        and bool(final_views)
+        and set(next(iter(final_views.values()))) == set(survivors)
+    )
+    gateway = net.gateway
+    return BackendQoS(
+        backend=net.backend_name,
+        nodes=nodes,
+        segments=segments,
+        seed=seed,
+        converged=converged,
+        victim=victim,
+        crash_at_ms=crash_time / ms(1),
+        detection_first_ms=(
+            min(notified) / ms(1) if notified else None
+        ),
+        detection_last_ms=(
+            max(notified) / ms(1) if len(notified) == len(survivors) else None
+        ),
+        notified=len(notified),
+        survivors=len(survivors),
+        mistakes=mistakes,
+        flaps=flaps,
+        final_view_ok=final_view_ok,
+        bus_utilization=utilization,
+        bandwidth_bits_per_node_ms=(
+            busy_bits / nodes / elapsed_ms if elapsed_ms else 0.0
+        ),
+        physical_frames=frames,
+        gateway_forwarded=gateway.stats.forwarded if gateway else 0,
+        gateway_dropped=gateway.stats.dropped if gateway else 0,
+        metrics=dict(net.node(survivors[0]).backend.metrics()),
+    )
+
+
+def compare_backends(
+    backends: Sequence[str] = ("canely", "swim"),
+    *,
+    nodes: int = 12,
+    segments: int = 1,
+    seed: int = 0,
+    config=None,
+    crash_window_ms: float = 40.0,
+    run_ms: float = 500.0,
+) -> Dict[str, Any]:
+    """Run the same seeded crash scenario under every backend in
+    ``backends`` and fold the :class:`BackendQoS` records into one report.
+
+    Deterministic by construction: the report for a given argument tuple
+    is byte-identical run to run (``repro compare``'s contract).
+    """
+    probes = [
+        probe_backend(
+            name,
+            nodes=nodes,
+            segments=segments,
+            seed=seed,
+            config=config,
+            crash_window_ms=crash_window_ms,
+            run_ms=run_ms,
+        )
+        for name in backends
+    ]
+    return {
+        "scenario": {
+            "nodes": nodes,
+            "segments": segments,
+            "seed": seed,
+            "crash_window_ms": round(crash_window_ms, 3),
+            "run_ms": round(run_ms, 3),
+        },
+        "backends": [probe.to_dict() for probe in probes],
+    }
+
+
+def comparison_rows(report: Dict[str, Any]) -> Tuple[List[str], List[List[str]]]:
+    """``(header, rows)`` for rendering a comparison report as a table."""
+
+    def _fmt(value: Any) -> str:
+        if value is None:
+            return "never"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    probes = report["backends"]
+    header = ["metric"] + [probe["backend"] for probe in probes]
+    metrics = [
+        ("converged after bootstrap", "converged"),
+        ("detection latency, first survivor (ms)", "detection_first_ms"),
+        ("detection latency, last survivor (ms)", "detection_last_ms"),
+        ("survivors notified", "notified"),
+        ("false removals (mistakes)", "mistakes"),
+        ("view flaps (re-additions)", "flaps"),
+        ("final view correct", "final_view_ok"),
+        ("bus utilization", "bus_utilization"),
+        ("bandwidth (bits/node/ms)", "bandwidth_bits_per_node_ms"),
+        ("physical frames", "physical_frames"),
+        ("gateway forwarded", "gateway_forwarded"),
+        ("gateway dropped", "gateway_dropped"),
+    ]
+    rows = [
+        [label] + [_fmt(probe[key]) for probe in probes]
+        for label, key in metrics
+    ]
+    return header, rows

@@ -69,8 +69,21 @@ class CampaignReport:
 
     @property
     def notification_bound(self) -> int:
-        """The analytic worst-case notification latency, in ticks."""
-        return latency_bounds(self.spec.config()).notification
+        """The analytic worst-case notification latency, in ticks.
+
+        CANELy's bound comes from the paper's critical path
+        (:func:`~repro.analysis.latency.latency_bounds`); rival backends
+        supply their own via ``detection_latency_bound`` on their config.
+        """
+        config = self.spec.config()
+        if self.spec.backend != "canely":
+            from repro.core.backend import resolve_backend
+
+            coerced = resolve_backend(self.spec.backend).coerce_config(config)
+            bound = getattr(coerced, "detection_latency_bound", None)
+            if bound is not None:
+                return bound
+        return latency_bounds(config).notification
 
     @property
     def success(self) -> bool:

@@ -66,6 +66,10 @@ class CampaignSpec:
             after bootstrap.
         run_ms: how long the scenario runs after the crashes are scheduled.
         monitors: attach the online invariant monitors (PR-1) to every run.
+        backend: membership backend every scenario runs
+            (:func:`repro.core.backend.backend_names`).
+        segments: bus segments per scenario, bridged by a store-and-forward
+            gateway when greater than one.
     """
 
     scenarios: int
@@ -83,6 +87,8 @@ class CampaignSpec:
     crash_window_ms: float = 100.0
     run_ms: float = 400.0
     monitors: bool = True
+    backend: str = "canely"
+    segments: int = 1
 
     def __post_init__(self) -> None:
         if self.scenarios < 1:
@@ -106,6 +112,20 @@ class CampaignSpec:
             raise ConfigurationError("bad fault probability ceilings")
         if self.run_ms <= 0 or self.crash_window_ms < 0:
             raise ConfigurationError("bad scenario durations")
+        from repro.core.backend import resolve_backend
+
+        resolve_backend(self.backend)
+        if not isinstance(self.segments, int) or not (
+            1 <= self.segments <= self.node_min
+        ):
+            raise ConfigurationError(
+                f"segments must be in 1..node_min: {self.segments!r}"
+            )
+        if self.monitors and self.backend != "canely":
+            raise ConfigurationError(
+                "the online invariant monitors encode CANELy's guarantees; "
+                f"disable monitors to campaign the {self.backend!r} backend"
+            )
 
     def scenario_seed(self, index: int) -> int:
         """The private seed of scenario ``index``."""

@@ -82,7 +82,11 @@ def _simulate(spec: CampaignSpec, result: ScenarioResult) -> None:
     )
     config = spec.config()
     net = CanelyNetwork(
-        node_count=node_count, config=config, injector=injector
+        node_count=node_count,
+        config=config,
+        injector=injector,
+        backend=spec.backend,
+        segments=spec.segments,
     )
     if spec.monitors:
         standard_monitors(

@@ -176,6 +176,25 @@ class CanBus:
         controller._spans = self._spans
         self.invalidate_delivery_tables()
 
+    def detach(self, controller: CanController) -> None:
+        """Disconnect ``controller`` from the bus.
+
+        The inverse of :meth:`attach`, used by gateways whose ports come
+        and go. The cached delivery plans bake the accepting-controller
+        set per identifier, so a detach *must* drop them — otherwise a
+        stale plan keeps delivering to (or skipping) the departed port
+        and FILTERED_DELIVERY diverges from the broadcast reference.
+        """
+        attached = self._controllers.get(controller.node_id)
+        if attached is not controller:
+            raise BusError(
+                f"node id {controller.node_id} is not attached to this bus"
+            )
+        del self._controllers[controller.node_id]
+        self._tx_pending.pop(controller.node_id, None)
+        controller._bus = None
+        self.invalidate_delivery_tables()
+
     def invalidate_delivery_tables(self) -> None:
         """Drop the cached per-identifier delivery plans.
 

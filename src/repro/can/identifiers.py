@@ -58,6 +58,10 @@ class MessageType(enum.IntEnum):
     NM = 7
     #: Process group membership announcements.
     GROUP = 8
+    #: SWIM-style membership traffic (heartbeats, suspicions, verdicts)
+    #: of the rival :mod:`repro.swim` backend — below every CANELy
+    #: protocol message, above application data.
+    SWIM = 9
     #: Application data (lowest protocol priority).
     DATA = 15
 

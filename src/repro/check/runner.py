@@ -171,7 +171,10 @@ def trace_fingerprint(net: CanelyNetwork) -> str:
 
 
 def run_schedule(
-    schedule: FaultSchedule, monitors: bool = True
+    schedule: FaultSchedule,
+    monitors: bool = True,
+    backend: str = "canely",
+    segments: int = 1,
 ) -> CheckResult:
     """Execute ``schedule`` deterministically and check every invariant.
 
@@ -179,6 +182,12 @@ def run_schedule(
     online invariant violations and final-state disagreements all map to
     verdicts; only genuinely unexpected exceptions surface as the
     ``error`` verdict with the traceback in ``detail``.
+
+    ``backend`` and ``segments`` select the membership stack and bus
+    topology the schedule executes on. They are runtime parameters, not
+    part of the schedule — the same schedule can be checked against rival
+    backends — so they do not enter ``schedule_key`` fingerprints. The
+    online monitors encode CANELy's guarantees and refuse other backends.
     """
     started = time.perf_counter()
     result = CheckResult(schedule=schedule)
@@ -188,8 +197,17 @@ def run_schedule(
         thb=ms(schedule.thb_ms),
         tjoin_wait=ms(schedule.tjoin_wait_ms),
     )
+    if monitors and backend != "canely":
+        raise CheckError(
+            "the online invariant monitors encode CANELy's guarantees; "
+            f"pass monitors=False to check the {backend!r} backend"
+        )
     net = CanelyNetwork(
-        node_count=schedule.nodes, config=config, injector=FaultInjector()
+        node_count=schedule.nodes,
+        config=config,
+        injector=FaultInjector(),
+        backend=backend,
+        segments=segments,
     )
     if monitors:
         standard_monitors(

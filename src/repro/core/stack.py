@@ -9,6 +9,7 @@ examples, tests and benchmarks share.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.can.bus import CanBus
@@ -17,6 +18,7 @@ from repro.can.driver import CanStandardLayer
 from repro.can.errormodel import FaultInjector
 from repro.can.identifiers import MessageId, MessageType
 from repro.can.phy import BitTiming
+from repro.core.backend import CanelyBackend, resolve_backend
 from repro.core.config import CanelyConfig
 from repro.core.failure_detector import FailureDetector
 from repro.core.fda import FdaProtocol
@@ -44,10 +46,20 @@ class CanelyNode:
         config: CanelyConfig,
         layer=None,
         timer_drift: float = 0.0,
+        _from_backend: bool = False,
     ) -> None:
         if not 0 <= node_id < config.capacity:
             raise ConfigurationError(
                 f"node id {node_id} outside 0..{config.capacity - 1}"
+            )
+        if not _from_backend:
+            warnings.warn(
+                "constructing CanelyNode directly is deprecated; build "
+                "nodes through CanelyBackend.build_node() or "
+                "CanelyNetwork(backend=...) so they carry the "
+                "MembershipBackend contract",
+                DeprecationWarning,
+                stacklevel=2,
             )
         self.node_id = node_id
         self.config = config
@@ -85,29 +97,34 @@ class CanelyNode:
         self._message_listeners: List[MessageCallback] = []
         self._next_ref = 0
         self.layer.add_data_ind(self._on_app_data, mtype=MessageType.DATA)
+        #: The node's membership service behind the backend-neutral
+        #: contract; the node API below delegates through it, so code
+        #: written against :class:`~repro.core.backend.MembershipBackend`
+        #: and code written against the node see the same entity.
+        self.backend = CanelyBackend(self)
 
-    # -- membership API (Fig. 5) ----------------------------------------------------
+    # -- membership API (Fig. 5, via the backend contract) ---------------------------
 
     def join(self) -> None:
         """Request integration in the set of active sites."""
-        self.membership.join()
+        self.backend.join()
 
     def leave(self) -> None:
         """Request withdrawal from the site membership view."""
-        self.membership.leave()
+        self.backend.leave()
 
     def view(self) -> MembershipView:
         """The current site membership view at this node."""
-        return self.membership.view()
+        return self.backend.view()
 
     def on_membership_change(self, callback: Callable[[MembershipChange], None]) -> None:
         """Subscribe to membership change notifications."""
-        self.membership.on_change(callback)
+        self.backend.on_change(callback)
 
     @property
     def is_member(self) -> bool:
         """True while this node is a full member."""
-        return self.membership.is_member
+        return self.backend.is_member
 
     # -- application traffic ------------------------------------------------------------
 
@@ -136,8 +153,7 @@ class CanelyNode:
         further events (its controller already discards any I/O).
         """
         self.controller.crash()
-        self.detector.reset()
-        self.membership.halt()
+        self.backend.halt()
         if self._sim.spans.enabled:
             self._sim.spans.instant("node.crash", "node", node=self.node_id)
         self._sim.trace.record(self._sim.now, "node.crash", node=self.node_id)
@@ -173,10 +189,7 @@ class CanelyNode:
         self.controller.crashed = False
         self.controller.tec = 0
         self.controller.rec = 0
-        self.fda.reset_all()
-        self.rha.reset()
-        self.detector.reset()
-        self.membership.reset()
+        self.backend.reset()
         if self._sim.spans.enabled:
             self._sim.spans.instant("node.recover", "node", node=self.node_id)
         self._sim.trace.record(self._sim.now, "node.recover", node=self.node_id)
@@ -219,7 +232,7 @@ class DualChannelNetwork:
                 bus.attach(controller)
                 layers.append(CanStandardLayer(controller))
             dual = DualChannelLayer(self.sim, layers[0], layers[1], window)
-            self.nodes[node_id] = CanelyNode(
+            self.nodes[node_id] = CanelyBackend.build_node(
                 node_id, self.sim, None, self.config, layer=dual
             )
 
@@ -281,40 +294,99 @@ class DualChannelNetwork:
 
 
 class CanelyNetwork:
-    """A simulated CANELy network: simulator + bus + n protocol stacks."""
+    """A simulated membership network: simulator + bus segments + n stacks.
+
+    ``backend`` selects the membership stack every node runs — the paper's
+    CANELy suite (``"canely"``, the default) or a rival registered with
+    :func:`repro.core.backend.register_backend` (e.g. ``"swim"``); the
+    network API is backend-neutral. ``segments`` splits the population
+    over that many :class:`CanBus` segments bridged by a single multi-port
+    store-and-forward :class:`~repro.can.gateway.CanGateway` (nodes are
+    partitioned contiguously); ``segments=1`` is the seed single-bus
+    topology, bit-identical to before the parameter existed. The fault
+    ``injector`` always drives segment 0.
+    """
 
     def __init__(
         self,
         node_count: int,
-        config: Optional[CanelyConfig] = None,
+        config=None,
         injector: Optional[FaultInjector] = None,
         timing: Optional[BitTiming] = None,
         clustering: bool = True,
         timer_drifts: Optional[Dict[int, float]] = None,
         spans: bool = False,
+        backend="canely",
+        segments: int = 1,
+        gateway_latency: int = 0,
+        gateway_queue_limit: int = 64,
     ) -> None:
-        self.config = config if config is not None else CanelyConfig()
+        backend_cls = resolve_backend(backend)
+        self.backend_cls = backend_cls
+        self.backend_name = backend_cls.name
+        self.config = backend_cls.coerce_config(config)
         if node_count > self.config.capacity:
             raise ConfigurationError(
                 f"{node_count} nodes exceed the configured capacity "
                 f"{self.config.capacity}"
             )
+        if not 1 <= segments <= max(node_count, 1):
+            raise ConfigurationError(
+                f"segments must be in 1..{max(node_count, 1)}, got {segments}"
+            )
         self.sim = Simulator()
         self.sim.spans.enabled = spans
-        self.bus = CanBus(
-            self.sim, timing=timing, injector=injector, clustering=clustering
-        )
+        if segments == 1:
+            self.bus = CanBus(
+                self.sim, timing=timing, injector=injector, clustering=clustering
+            )
+            self.segments = [self.bus]
+            self.gateway = None
+        else:
+            from repro.can.gateway import CanGateway
+
+            self.segments = [
+                CanBus(
+                    self.sim,
+                    timing=timing,
+                    injector=injector if index == 0 else None,
+                    clustering=clustering,
+                )
+                for index in range(segments)
+            ]
+            self.bus = self.segments[0]
+            self.gateway = CanGateway(
+                self.sim,
+                latency=gateway_latency,
+                queue_limit=gateway_queue_limit,
+            )
+            for segment in self.segments:
+                self.gateway.attach(segment)
+        #: node id -> segment index (contiguous blocks in id order).
+        self.segment_map: Dict[int, int] = {
+            node_id: node_id * segments // node_count
+            for node_id in range(node_count)
+        }
         drifts = timer_drifts or {}
         self.nodes: Dict[int, CanelyNode] = {
-            node_id: CanelyNode(
+            node_id: backend_cls.build_node(
                 node_id,
                 self.sim,
-                self.bus,
+                self.segments[self.segment_map[node_id]],
                 self.config,
                 timer_drift=drifts.get(node_id, 0.0),
             )
             for node_id in range(node_count)
         }
+
+    @property
+    def buses(self):
+        """All bus segments, as a tuple (the idle-skip probe reads this)."""
+        return tuple(self.segments)
+
+    def segment_of(self, node_id: int) -> int:
+        """The segment index ``node_id`` is attached to."""
+        return self.segment_map[node_id]
 
     def node(self, node_id: int) -> CanelyNode:
         """The stack of one node."""

@@ -1,0 +1,119 @@
+"""SWIM backend configuration.
+
+Mirrors :class:`repro.core.config.CanelyConfig` in style and error
+behaviour: a frozen dataclass, durations in kernel ticks (nanoseconds),
+cross-field validation raising :class:`~repro.errors.ConfigurationError`
+at construction. The defaults line up with the CANELy defaults (10 ms
+heartbeats on a 1 Mbps bus) so out-of-the-box comparisons measure the
+protocols, not their tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import ms
+from repro.util.sets import WIDE_MAX_CAPACITY
+
+
+@dataclass(frozen=True)
+class SwimConfig:
+    """Protocol parameters for one SWIM membership network.
+
+    Attributes:
+        capacity: maximum node population. SWIM messages carry single
+            node identifiers (never a serialized view), so the cap is the
+            MID node-identifier space (256), not the CAN data field's
+            64-node limit that binds CANELy.
+        probe_period: interval between a node's periodic heartbeat
+            broadcasts (the SWIM protocol period ``T``).
+        fail_after: silence tolerated from a member before it is
+            *suspected* — must cover at least one full probe period plus
+            delivery, or every heartbeat gap raises a false suspicion.
+        suspicion_timeout: how long a suspected member has to refute
+            (bump its incarnation) before the suspicion is confirmed and
+            the member is removed from the view.
+        join_wait: bootstrap settle allowance a joining node budgets for
+            the membership to converge (the analogue of CANELy's
+            ``tjoin_wait``; scenario bootstrap reads it).
+        auto_rejoin: when True, a live node that hears itself confirmed
+            failed bumps its incarnation and immediately rejoins — the
+            resulting leave/join flap is exactly what the view-stability
+            comparison counts against the backend.
+    """
+
+    capacity: int = 64
+    probe_period: int = ms(10)
+    fail_after: int = ms(30)
+    suspicion_timeout: int = ms(20)
+    join_wait: int = ms(150)
+    auto_rejoin: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.capacity <= WIDE_MAX_CAPACITY:
+            raise ConfigurationError(
+                f"capacity must be in 1..{WIDE_MAX_CAPACITY}, "
+                f"got {self.capacity}"
+            )
+        for name in ("probe_period", "fail_after", "suspicion_timeout", "join_wait"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.fail_after <= self.probe_period:
+            raise ConfigurationError(
+                "a member must survive at least one heartbeat gap: "
+                f"fail_after={self.fail_after} <= "
+                f"probe_period={self.probe_period}"
+            )
+        if self.suspicion_timeout <= self.probe_period:
+            raise ConfigurationError(
+                "a suspect needs at least one probe period to refute: "
+                f"suspicion_timeout={self.suspicion_timeout} <= "
+                f"probe_period={self.probe_period}"
+            )
+        if self.join_wait <= self.probe_period:
+            raise ConfigurationError(
+                "join_wait must exceed the probe period "
+                f"(got join_wait={self.join_wait}, "
+                f"probe_period={self.probe_period})"
+            )
+
+    @classmethod
+    def from_canely(cls, config, **overrides) -> "SwimConfig":
+        """Map a :class:`~repro.core.config.CanelyConfig` onto SWIM knobs.
+
+        Heartbeats take over the life-sign period (``thb``); the silence
+        bound before suspicion matches CANELy's surveillance timeout
+        (``thb + ttd``), so both backends start their detection clock
+        from comparable evidence.
+        """
+        defaults = dict(
+            capacity=config.capacity,
+            probe_period=config.thb,
+            fail_after=config.thb + config.ttd,
+            suspicion_timeout=config.thb + config.ttd,
+            join_wait=config.tjoin_wait,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    # -- scenario-layer compatibility ----------------------------------------
+
+    @property
+    def tm(self) -> int:
+        """The backend's natural cycle period (scenario helpers measure
+        runs in cycles); for SWIM that is the probe period."""
+        return self.probe_period
+
+    @property
+    def tjoin_wait(self) -> int:
+        """Bootstrap settle allowance, under CANELy's name (the scenario
+        bootstrap reads ``config.tjoin_wait`` backend-neutrally)."""
+        return self.join_wait
+
+    @property
+    def detection_latency_bound(self) -> int:
+        """Worst-case crash-to-removal latency at a detecting node: the
+        full silence bound plus the suspicion window, plus one probe
+        period of broadcast slack."""
+        return self.fail_after + self.suspicion_timeout + self.probe_period

@@ -1,0 +1,472 @@
+"""SWIM-style membership over the CAN standard layer.
+
+The rival backend: periodic **heartbeat counters**, **incarnation
+numbers** and a **suspicion sub-protocol** in the style of SWIM ("SWIM:
+Scalable Weakly-consistent Infection-style Process Group Membership",
+PAPERS.md), adapted to a broadcast bus — on CAN every message reaches
+every node, so the gossip/piggyback machinery degenerates into plain
+broadcasts and what remains is the failure-detection core:
+
+* every ``probe_period`` a member broadcasts a heartbeat carrying its
+  incarnation and a monotonically increasing counter;
+* a member silent for ``fail_after`` is *suspected*; the suspicion is
+  broadcast, and the suspect — hearing its own suspicion — refutes it by
+  bumping its incarnation and broadcasting the new one;
+* a suspicion not refuted (or cleared by direct activity) within
+  ``suspicion_timeout`` is *confirmed*: the member is removed from the
+  view and the removal broadcast, keyed by the dead incarnation so stale
+  heartbeats cannot resurrect it. A live node hearing itself confirmed
+  failed rejoins with a higher incarnation (``auto_rejoin``) — the flap
+  is the protocol's documented weak-consistency cost.
+
+Contrasts with CANELy worth measuring (the ``repro compare`` report):
+heartbeats are unconditional data frames (CANELy suppresses life-signs
+under application traffic, and its control messages are clusterable
+remote frames), view changes install immediately and independently at
+every node (CANELy aligns them on agreed cycle boundaries), and nothing
+here serializes a view onto the wire — which is why SWIM populations may
+exceed the 64-node CAN-data-field bound that binds CANELy.
+
+All state transitions are driven by received frames and deterministic
+timers; like the CANELy stack, the protocol draws no randomness, so
+same-seed runs are bit-identical.
+
+Trace/metric surface shared with CANELy: ``msh.view`` / ``msh.change``
+records and the ``msh.change_notifications`` counter (analysis reads
+these backend-neutrally), plus ``swim.*`` records and counters for the
+protocol's own events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.can.driver import CanStandardLayer
+from repro.can.identifiers import MessageId, MessageType
+from repro.core.views import MembershipChange, MembershipView
+from repro.sim.kernel import Simulator
+from repro.sim.timers import Alarm, TimerService
+from repro.swim.config import SwimConfig
+from repro.util.sets import NodeSet
+
+ChangeCallback = Callable[[MembershipChange], None]
+
+# Message kinds, packed into bits 8-15 of the MID ref (bits 0-7 carry the
+# subject node id). Payload: 2 bytes little-endian incarnation; heartbeats
+# append 2 bytes of counter.
+HEARTBEAT = 0
+JOIN = 1
+LEAVE = 2
+SUSPECT = 3
+REFUTE = 4
+CONFIRM = 5
+
+ALIVE = "alive"
+SUSPECTED = "suspect"
+
+
+class _Member:
+    """Surveillance state for one remote member."""
+
+    __slots__ = ("incarnation", "counter", "status", "suspected_inc",
+                 "fail_alarm", "susp_alarm")
+
+    def __init__(self, incarnation: int = 0) -> None:
+        self.incarnation = incarnation
+        self.counter = -1
+        self.status = ALIVE
+        self.suspected_inc = -1
+        self.fail_alarm: Optional[Alarm] = None
+        self.susp_alarm: Optional[Alarm] = None
+
+
+class SwimProtocol:
+    """Per-node SWIM membership entity behind the ``msh-can`` contract."""
+
+    def __init__(
+        self,
+        layer: CanStandardLayer,
+        timers: TimerService,
+        sim: Simulator,
+        config: SwimConfig,
+    ) -> None:
+        self._layer = layer
+        self._timers = timers
+        self._sim = sim
+        self._config = config
+        self._local = layer.node_id
+        self._joined = False
+        self._incarnation = 0
+        self._counter = 0
+        self._round_index = 0
+        self._view = NodeSet.empty(config.capacity)
+        self._members: Dict[int, _Member] = {}
+        #: node id -> incarnation it was confirmed failed with; only a
+        #: strictly higher incarnation readmits it.
+        self._dead: Dict[int, int] = {}
+        self._hb_alarm: Optional[Alarm] = None
+        self._listeners: List[ChangeCallback] = []
+        self._spans = sim.spans
+        metrics = sim.metrics
+        self._inc_heartbeats = metrics.counter("swim.heartbeats").inc
+        self._inc_suspects = metrics.counter("swim.suspects").inc
+        self._inc_refutes = metrics.counter("swim.refutes").inc
+        self._inc_removals = metrics.counter("swim.removals").inc
+        self._inc_change_notifications = metrics.counter(
+            "msh.change_notifications"
+        ).inc
+        self.heartbeats_sent = 0
+        self.suspicions = 0
+        self.refutes = 0
+        self.removals = 0
+        layer.add_data_ind(self._on_swim, mtype=MessageType.SWIM)
+
+    # -- msh-can.req / .nty service surface ------------------------------------
+
+    def on_change(self, callback: ChangeCallback) -> None:
+        """Register a ``msh-can.nty`` membership change listener."""
+        self._listeners.append(callback)
+
+    def view(self) -> MembershipView:
+        """The current membership view at this node."""
+        return MembershipView(
+            members=self._view, round_index=self._round_index, time=self._sim.now
+        )
+
+    @property
+    def is_member(self) -> bool:
+        """True while the local node is in its own view."""
+        return self._local in self._view
+
+    def join(self) -> None:
+        """Enter the membership: announce and start heartbeating.
+
+        Every join bumps the incarnation, so a rejoining node always
+        outranks whatever incarnation it was last confirmed failed with.
+        """
+        if self._joined and self._local in self._view:
+            return
+        self._joined = True
+        self._incarnation += 1
+        if self._local not in self._view:
+            self._view = self._view.add(self._local)
+            self._install_view()
+            self._notify(self._view, NodeSet.empty(self._config.capacity))
+        self._broadcast(JOIN, self._local, self._incarnation)
+        self._arm_heartbeat()
+
+    def leave(self) -> None:
+        """Withdraw: announce the departure; the echo retires the node."""
+        if self._local not in self._view:
+            return
+        self._broadcast(LEAVE, self._local, self._incarnation)
+
+    def halt(self) -> None:
+        """Cancel every timer without touching state (node crash)."""
+        timers = self._timers
+        timers.cancel_alarm(self._hb_alarm)
+        self._hb_alarm = None
+        for member in self._members.values():
+            timers.cancel_alarm(member.fail_alarm)
+            timers.cancel_alarm(member.susp_alarm)
+            member.fail_alarm = None
+            member.susp_alarm = None
+
+    def reset(self) -> None:
+        """Forget all membership state (reboot); idempotent.
+
+        The incarnation survives — a rebooted node must be able to
+        outrank the incarnation its peers confirmed it failed with.
+        """
+        self.halt()
+        self._joined = False
+        self._view = NodeSet.empty(self._config.capacity)
+        self._members.clear()
+        self._dead.clear()
+        self._counter = 0
+
+    # -- wire encoding ----------------------------------------------------------
+
+    def _broadcast(self, kind: int, subject: int, incarnation: int,
+                   counter: Optional[int] = None) -> None:
+        payload = (incarnation & 0xFFFF).to_bytes(2, "little")
+        if counter is not None:
+            payload += (counter & 0xFFFF).to_bytes(2, "little")
+        mid = MessageId(
+            MessageType.SWIM, node=self._local, ref=(kind << 8) | subject
+        )
+        self._layer.data_req(mid, payload)
+
+    # -- timers ------------------------------------------------------------------
+
+    def _arm_heartbeat(self) -> None:
+        self._timers.cancel_alarm(self._hb_alarm)
+        self._hb_alarm = self._timers.start_alarm(
+            self._config.probe_period, self._on_heartbeat, name="swim.probe"
+        )
+
+    def _on_heartbeat(self) -> None:
+        if not self._joined:
+            return
+        self._counter += 1
+        self.heartbeats_sent += 1
+        self._inc_heartbeats()
+        self._broadcast(
+            HEARTBEAT, self._local, self._incarnation, self._counter
+        )
+        self._hb_alarm = self._timers.start_alarm(
+            self._config.probe_period, self._on_heartbeat, name="swim.probe"
+        )
+
+    def _arm_fail(self, node_id: int, member: _Member) -> None:
+        timers = self._timers
+        alarm = member.fail_alarm
+        if alarm is not None and timers.restart_alarm(
+            alarm, self._config.fail_after
+        ):
+            return
+        timers.cancel_alarm(alarm)
+        member.fail_alarm = timers.start_alarm(
+            self._config.fail_after,
+            lambda: self._on_fail_expire(node_id),
+            name="swim.fail",
+            tag=node_id,
+        )
+
+    def _on_fail_expire(self, node_id: int) -> None:
+        member = self._members.get(node_id)
+        if member is None or member.status is not ALIVE:
+            return
+        member.status = SUSPECTED
+        member.suspected_inc = member.incarnation
+        member.fail_alarm = None
+        self.suspicions += 1
+        self._inc_suspects()
+        if self._sim.trace.wants("swim.suspect"):
+            self._sim.trace.record(
+                self._sim.now, "swim.suspect", node=self._local, suspect=node_id
+            )
+        if self._spans.enabled:
+            self._spans.instant(
+                "swim.suspect", "swim", node=self._local, suspect=node_id
+            )
+        self._broadcast(SUSPECT, node_id, member.incarnation)
+        member.susp_alarm = self._timers.start_alarm(
+            self._config.suspicion_timeout,
+            lambda: self._on_suspicion_expire(node_id),
+            name="swim.suspicion",
+            tag=node_id,
+        )
+
+    def _on_suspicion_expire(self, node_id: int) -> None:
+        member = self._members.get(node_id)
+        if member is None or member.status is not SUSPECTED:
+            return
+        member.susp_alarm = None
+        self._broadcast(CONFIRM, node_id, member.suspected_inc)
+        self._remove(node_id, member.suspected_inc, failed=True)
+
+    # -- receive path -------------------------------------------------------------
+
+    def _on_swim(self, mid: MessageId, data: bytes) -> None:
+        if not self._joined:
+            return
+        sender = mid.node
+        kind = (mid.ref >> 8) & 0xFF
+        subject = mid.ref & 0xFF
+        incarnation = int.from_bytes(data[:2], "little")
+        # Any SWIM frame from a live member is direct evidence of life:
+        # restart its silence clock and clear a pending suspicion.
+        if sender != self._local:
+            member = self._members.get(sender)
+            if member is not None:
+                if incarnation > member.incarnation:
+                    member.incarnation = incarnation
+                self._revive(sender, member)
+
+        if kind == HEARTBEAT or kind == JOIN or kind == REFUTE:
+            if kind == HEARTBEAT and len(data) >= 4:
+                counter = int.from_bytes(data[2:4], "little")
+                member = self._members.get(sender)
+                if member is not None and counter > member.counter:
+                    member.counter = counter
+            self._consider_admission(sender, incarnation)
+        elif kind == LEAVE:
+            self._on_leave(subject)
+        elif kind == SUSPECT:
+            self._on_suspect(subject, incarnation)
+        elif kind == CONFIRM:
+            self._on_confirm(subject, incarnation)
+
+    def _consider_admission(self, node_id: int, incarnation: int) -> None:
+        if node_id == self._local or node_id in self._view:
+            return
+        if node_id >= self._config.capacity:
+            return
+        dead_inc = self._dead.get(node_id)
+        if dead_inc is not None and incarnation <= dead_inc:
+            return  # stale traffic from a confirmed-dead incarnation
+        self._dead.pop(node_id, None)
+        member = _Member(incarnation)
+        self._members[node_id] = member
+        self._view = self._view.add(node_id)
+        self._arm_fail(node_id, member)
+        self._install_view()
+        self._notify(self._view, NodeSet.empty(self._config.capacity))
+
+    def _revive(self, node_id: int, member: _Member) -> None:
+        if member.status is SUSPECTED:
+            member.status = ALIVE
+            member.suspected_inc = -1
+            self._timers.cancel_alarm(member.susp_alarm)
+            member.susp_alarm = None
+        self._arm_fail(node_id, member)
+
+    def _on_leave(self, subject: int) -> None:
+        if subject == self._local:
+            # Own departure (or the echo of it) completes the leave: the
+            # node stops participating entirely.
+            if self._local in self._view:
+                view = self._view.remove(self._local)
+                self._view = view
+                self._install_view()
+                self._notify(
+                    view, NodeSet.single(self._local, self._config.capacity)
+                )
+            self.halt()
+            self._joined = False
+            return
+        member = self._members.get(subject)
+        if member is not None:
+            self._remove(subject, member.incarnation, failed=False)
+
+    def _on_suspect(self, subject: int, incarnation: int) -> None:
+        if subject == self._local:
+            # Somebody suspects us: refute with a fresh incarnation.
+            self._incarnation = max(self._incarnation, incarnation) + 1
+            self.refutes += 1
+            self._inc_refutes()
+            if self._sim.trace.wants("swim.refute"):
+                self._sim.trace.record(
+                    self._sim.now, "swim.refute", node=self._local,
+                    incarnation=self._incarnation,
+                )
+            self._broadcast(REFUTE, self._local, self._incarnation)
+            return
+        member = self._members.get(subject)
+        if (
+            member is not None
+            and member.status is ALIVE
+            and incarnation >= member.incarnation
+        ):
+            member.status = SUSPECTED
+            member.suspected_inc = incarnation
+            self._timers.cancel_alarm(member.fail_alarm)
+            member.fail_alarm = None
+            member.susp_alarm = self._timers.start_alarm(
+                self._config.suspicion_timeout,
+                lambda: self._on_suspicion_expire(subject),
+                name="swim.suspicion",
+                tag=subject,
+            )
+
+    def _on_confirm(self, subject: int, incarnation: int) -> None:
+        if subject == self._local:
+            # Confirmed failed while alive — the classic SWIM mistake.
+            self._incarnation = max(self._incarnation, incarnation) + 1
+            if self._local in self._view:
+                view = self._view.remove(self._local)
+                self._view = view
+                self._install_view()
+                self._notify(
+                    view, NodeSet.single(self._local, self._config.capacity)
+                )
+            if self._config.auto_rejoin:
+                self._view = self._view.add(self._local)
+                self._install_view()
+                self._notify(
+                    self._view, NodeSet.empty(self._config.capacity)
+                )
+                self._broadcast(JOIN, self._local, self._incarnation)
+            else:
+                self.halt()
+                self._joined = False
+            return
+        member = self._members.get(subject)
+        if member is not None and incarnation >= member.incarnation:
+            self._remove(subject, incarnation, failed=True)
+
+    # -- view maintenance -----------------------------------------------------------
+
+    def _remove(self, node_id: int, incarnation: int, failed: bool) -> None:
+        member = self._members.pop(node_id, None)
+        if member is not None:
+            self._timers.cancel_alarm(member.fail_alarm)
+            self._timers.cancel_alarm(member.susp_alarm)
+        if failed:
+            prior = self._dead.get(node_id)
+            if prior is None or incarnation > prior:
+                self._dead[node_id] = incarnation
+            self.removals += 1
+            self._inc_removals()
+            if self._sim.trace.wants("swim.confirm"):
+                self._sim.trace.record(
+                    self._sim.now, "swim.confirm", node=self._local,
+                    failed=node_id,
+                )
+            if self._spans.enabled:
+                self._spans.instant(
+                    "swim.confirm", "swim", node=self._local, failed=node_id
+                )
+        if node_id not in self._view:
+            return
+        self._view = self._view.remove(node_id)
+        self._install_view()
+        if failed:
+            failed_set = NodeSet.single(node_id, self._config.capacity)
+        else:
+            failed_set = NodeSet.empty(self._config.capacity)
+        self._notify(self._view, failed_set)
+
+    def _install_view(self) -> None:
+        self._round_index += 1
+        if self._sim.trace.wants("msh.view"):
+            self._sim.trace.record(
+                self._sim.now,
+                "msh.view",
+                node=self._local,
+                members=self._view,
+                round_index=self._round_index,
+            )
+        if self._spans.enabled:
+            self._spans.instant(
+                "msh.view",
+                "msh",
+                node=self._local,
+                members=len(self._view),
+                round_index=self._round_index,
+            )
+
+    def _notify(self, active: NodeSet, failed: NodeSet) -> None:
+        change = MembershipChange(
+            active=active, failed=failed, time=self._sim.now,
+            local_node=self._local,
+        )
+        self._inc_change_notifications()
+        self._sim.trace.record(
+            change.time,
+            "msh.change",
+            node=self._local,
+            active=active,
+            failed=failed,
+        )
+        if self._spans.enabled:
+            self._spans.instant(
+                "msh.change",
+                "msh",
+                node=self._local,
+                active=len(active),
+                failed=sorted(failed),
+            )
+        for listener in list(self._listeners):
+            listener(change)

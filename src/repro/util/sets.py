@@ -14,8 +14,15 @@ from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError
 
-#: Largest node population a NodeSet can describe (RHV must fit 8 data bytes).
+#: Largest population whose serialization fits the CAN data field (the
+#: RHV travels as 8 data bytes); CANELy configurations are capped here.
 MAX_CAPACITY = 64
+
+#: Absolute NodeSet width bound. Backends that never put a view on the
+#: wire (e.g. :mod:`repro.swim`, whose messages carry single node ids)
+#: may reason in sets up to the MID node-identifier space; attempting to
+#: serialize one past :data:`MAX_CAPACITY` still fails at the frame.
+WIDE_MAX_CAPACITY = 256
 
 
 class NodeSet:
@@ -24,9 +31,9 @@ class NodeSet:
     __slots__ = ("_bits", "_capacity")
 
     def __init__(self, ids: Iterable[int] = (), capacity: int = MAX_CAPACITY):
-        if not 0 < capacity <= MAX_CAPACITY:
+        if not 0 < capacity <= WIDE_MAX_CAPACITY:
             raise ConfigurationError(
-                f"capacity must be in 1..{MAX_CAPACITY}, got {capacity}"
+                f"capacity must be in 1..{WIDE_MAX_CAPACITY}, got {capacity}"
             )
         bits = 0
         for node_id in ids:

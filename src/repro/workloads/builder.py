@@ -193,6 +193,7 @@ class ScenarioBuilder:
         accepting: Sequence[int] = (),
         count: int = 1,
         crash_sender: bool = False,
+        segment: int = 0,
     ) -> "ScenarioBuilder":
         """Arm an omission fault on the network's fault injector.
 
@@ -202,7 +203,9 @@ class ScenarioBuilder:
         ``accepting`` subset of nodes accept the frame while everyone else
         (sender included) sees an error — the paper's last-two-bits
         scenario; combined with ``crash_sender=True`` the sender dies
-        before the automatic retransmission.
+        before the automatic retransmission. On a multi-segment network,
+        ``segment`` picks the bus whose injector is armed (default: the
+        first — the one a single-bus network's scripted faults drive).
         """
         if (frame is None) == (tx_index is None):
             raise ScenarioError("omit() needs exactly one of frame/tx_index")
@@ -216,7 +219,7 @@ class ScenarioBuilder:
                 "an accepting subset only makes sense for inconsistent "
                 "omissions"
             )
-        injector = self._net.bus.injector
+        injector = self._segment_bus(segment).injector
         if tx_index is not None:
             injector.fault_on_transmission(
                 tx_index, kind, accepting=accepting, crash_sender=crash_sender
@@ -234,10 +237,25 @@ class ScenarioBuilder:
             )
         return self
 
-    def inaccessibility(self, bits: int, at: int = 0) -> "ScenarioBuilder":
+    def _segment_bus(self, segment: int):
+        """The bus of one segment; index 0 is ``net.bus`` everywhere."""
+        if segment == 0:
+            return self._net.bus
+        segments = getattr(self._net, "segments", None)
+        if segments is None or not 0 <= segment < len(segments):
+            raise ScenarioError(
+                f"network has no segment {segment} "
+                f"(seed={self.seed!r})"
+            )
+        return segments[segment]
+
+    def inaccessibility(
+        self, bits: int, at: int = 0, segment: int = 0
+    ) -> "ScenarioBuilder":
         """Inject a ``bits``-long bus inaccessibility window ``at`` ticks
-        from now."""
-        self._schedule(at, lambda: self._net.bus.inject_inaccessibility(bits))
+        from now (on ``segment``, for multi-segment networks)."""
+        bus = self._segment_bus(segment)
+        self._schedule(at, lambda: bus.inject_inaccessibility(bits))
         return self
 
     # -- advancing the clock -----------------------------------------------------

@@ -64,6 +64,8 @@ class ScenarioSpec:
     events: List[ScenarioEvent]
     duration: int
     channels: int = 1
+    backend: str = "canely"
+    segments: int = 1
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "ScenarioSpec":
@@ -132,6 +134,19 @@ class ScenarioSpec:
         duration_ms = raw.get("duration_ms", 1000)
         if not isinstance(duration_ms, (int, float)) or duration_ms <= 0:
             raise ConfigurationError(f"invalid duration_ms: {duration_ms!r}")
+
+        backend = raw.get("backend", "canely")
+        from repro.core.backend import resolve_backend
+
+        resolve_backend(backend)  # fail fast on unknown names
+        segments = raw.get("segments", 1)
+        if not isinstance(segments, int) or not 1 <= segments <= nodes:
+            raise ConfigurationError(f"invalid segment count: {segments!r}")
+        if channels == 2 and (backend != "canely" or segments != 1):
+            raise ConfigurationError(
+                "dual-channel scenarios support only the canely backend "
+                "on a single segment"
+            )
         return cls(
             nodes=nodes,
             config=config,
@@ -139,6 +154,8 @@ class ScenarioSpec:
             events=events,
             duration=ms(duration_ms),
             channels=channels,
+            backend=backend,
+            segments=segments,
         )
 
     @classmethod
@@ -198,8 +215,18 @@ def run_scenario_detailed(
 
         net = DualChannelNetwork(node_count=spec.nodes, config=spec.config)
     else:
-        net = CanelyNetwork(node_count=spec.nodes, config=spec.config)
+        net = CanelyNetwork(
+            node_count=spec.nodes,
+            config=spec.config,
+            backend=spec.backend,
+            segments=spec.segments,
+        )
     if monitors:
+        if spec.backend != "canely":
+            raise ConfigurationError(
+                "the online invariant monitors encode CANELy's guarantees; "
+                f"they cannot judge the {spec.backend!r} backend"
+            )
         from repro.analysis.latency import latency_bounds
         from repro.obs.monitors import standard_monitors
 

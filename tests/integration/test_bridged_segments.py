@@ -1,0 +1,66 @@
+"""Large bridged populations: both backends across gateway-bridged segments.
+
+The acceptance scenario for the multi-segment topology: a population of
+at least 100 nodes spread over two-plus CAN segments must bootstrap to a
+full agreed view and detect a crash under a membership backend. SWIM
+carries the >100-node case — its messages name single nodes, so the
+population is bounded by the MID space (256), not the CAN data field.
+CANELy's view serialization caps it at 64 members (RHV must fit the
+8-byte data field); its case here runs at that wire maximum. The gap is
+itself a finding of the comparison (see docs/backends.md).
+"""
+
+from repro.core.config import CanelyConfig
+from repro.core.stack import CanelyNetwork
+from repro.sim.clock import ms
+from repro.swim import SwimConfig
+
+
+def _assert_full_view(net, expected):
+    assert net.views_agree()
+    assert sorted(net.agreed_view()) == expected
+
+
+def test_swim_120_nodes_across_three_segments():
+    config = SwimConfig(
+        capacity=128,
+        probe_period=ms(50),
+        fail_after=ms(150),
+        suspicion_timeout=ms(100),
+        join_wait=ms(400),
+    )
+    net = CanelyNetwork(
+        node_count=120, config=config, backend="swim", segments=3
+    )
+    assert len(net.buses) == 3
+    assert net.gateway is not None
+    net.join_all()
+    net.run_for(config.join_wait + 6 * config.probe_period)
+    _assert_full_view(net, list(range(120)))
+    # Crash a node on the middle segment: the removal must propagate to
+    # observers on every segment through the gateway.
+    victim = 60
+    assert net.segment_of(victim) == 1
+    net.node(victim).crash()
+    net.run_for(config.detection_latency_bound + 6 * config.probe_period)
+    survivors = [n for n in range(120) if n != victim]
+    _assert_full_view(net, survivors)
+    assert net.gateway.stats.forwarded > 0
+    assert net.gateway.stats.dropped == 0
+
+
+def test_canely_at_its_64_node_wire_maximum_on_two_segments():
+    config = CanelyConfig.for_population(64, tm=ms(100), tjoin_wait=ms(400))
+    net = CanelyNetwork(node_count=64, config=config, segments=2)
+    net.join_all()
+    net.run_for(config.tjoin_wait + round(6 * config.tm))
+    _assert_full_view(net, list(range(64)))
+    # First node of the second segment fails; segment-0 observers detect.
+    victim = 32
+    assert net.segment_of(victim) == 1
+    net.node(victim).crash()
+    net.run_for(round(8 * config.tm))
+    survivors = [n for n in range(64) if n != victim]
+    _assert_full_view(net, survivors)
+    assert net.gateway.stats.forwarded > 0
+    assert net.gateway.stats.dropped == 0

@@ -222,3 +222,61 @@ def _run_network_scenario(scenario):
 def test_filtered_delivery_matches_broadcast_on_protocol_stack(scenario):
     filtered, broadcast = _run_modes(lambda: _run_network_scenario(scenario))
     assert filtered == broadcast
+
+
+# -- bridged multi-segment networks, both backends ----------------------------
+
+# Each example runs a full bridged network four times (two backends would
+# double it again), so the segmented property uses a smaller budget.
+SLOW_SEGMENTED = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def segmented_scenarios(draw):
+    node_count = draw(st.integers(min_value=4, max_value=8))
+    segments = draw(st.integers(min_value=2, max_value=3))
+    backend = draw(st.sampled_from(["canely", "swim"]))
+    crash_node = draw(st.integers(min_value=0, max_value=node_count - 1))
+    crash_at = draw(st.integers(min_value=ms(150), max_value=ms(300)))
+    return node_count, segments, backend, crash_node, crash_at
+
+
+def _run_segmented_scenario(scenario):
+    node_count, segments, backend, crash_node, crash_at = scenario
+    net = CanelyNetwork(
+        node_count=node_count,
+        config=CONFIG,
+        backend=backend,
+        segments=segments,
+    )
+    net.join_all()
+    net.run_for(ms(150))
+    net.sim.schedule_at(crash_at, net.node(crash_node).crash)
+    net.run_for(ms(350))
+    views = {}
+    for node in net.correct_nodes():
+        view = node.view()
+        views[node.node_id] = (sorted(view.members), view.round_index)
+    return {
+        "trace": [record_to_dict(record) for record in net.sim.trace],
+        "events": net.sim.events_processed,
+        "per_segment": [
+            (bus.stats.physical_frames, bus.stats.busy_bits)
+            for bus in net.buses
+        ],
+        "gateway": (net.gateway.stats.forwarded, net.gateway.stats.dropped),
+        "views": views,
+    }
+
+
+@SLOW_SEGMENTED
+@given(segmented_scenarios())
+def test_filtered_delivery_matches_broadcast_across_segments(scenario):
+    # The gateway's relay traffic and plan invalidation on attach must be
+    # mechanism-transparent too, for either membership backend.
+    filtered, broadcast = _run_modes(lambda: _run_segmented_scenario(scenario))
+    assert filtered == broadcast

@@ -63,9 +63,9 @@ def test_decode_rejects_out_of_range():
 
 
 def test_decode_rejects_unknown_type():
-    # Type code 9 is unassigned.
+    # Type code 10 is unassigned (9 became SWIM, 15 is DATA).
     with pytest.raises(FrameError):
-        MessageId.decode(9 << 24)
+        MessageId.decode(10 << 24)
 
 
 def test_frozen():

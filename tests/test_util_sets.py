@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.util.sets import MAX_CAPACITY, NodeSet
+from repro.util.sets import MAX_CAPACITY, WIDE_MAX_CAPACITY, NodeSet
 
 
 def test_empty_set():
@@ -113,7 +113,16 @@ def test_capacity_bounds():
     with pytest.raises(ConfigurationError):
         NodeSet([], capacity=0)
     with pytest.raises(ConfigurationError):
-        NodeSet([], capacity=MAX_CAPACITY + 1)
+        NodeSet([], capacity=WIDE_MAX_CAPACITY + 1)
+
+
+def test_wide_capacity_for_wire_free_backends():
+    # Populations past the CAN data field cap are representable (SWIM
+    # never serializes a view); the wire cap itself is unchanged.
+    wide = NodeSet(range(100), capacity=128)
+    assert len(wide) == 100
+    assert 99 in wide
+    assert MAX_CAPACITY == 64
 
 
 def test_capacity_mismatch_rejected():

@@ -144,3 +144,38 @@ def test_bad_channel_values_rejected():
     }
     with pytest.raises(ConfigurationError):
         ScenarioSpec.from_dict(raw)
+
+
+def test_backend_and_segments_fields_run_end_to_end():
+    raw = dict(BASIC)
+    raw["backend"] = "swim"
+    raw["segments"] = 2
+    spec = ScenarioSpec.from_dict(raw)
+    assert spec.backend == "swim"
+    assert spec.segments == 2
+    report = run_scenario(spec)
+    assert report.views_agree
+    assert report.final_view == [0, 1, 2, 4]
+
+
+def test_backend_and_segments_validation():
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_dict({"nodes": 3, "backend": "raft"})
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_dict({"nodes": 3, "segments": 0})
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_dict({"nodes": 3, "segments": 4})
+    # Dual-channel scenarios support only the default topology/backend.
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_dict(
+            {"nodes": 3, "channels": 2, "backend": "swim"}
+        )
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_dict({"nodes": 4, "channels": 2, "segments": 2})
+
+
+def test_monitors_reject_non_canely_backends():
+    raw = dict(BASIC)
+    raw["backend"] = "swim"
+    with pytest.raises(ConfigurationError):
+        run_scenario(ScenarioSpec.from_dict(raw), monitors=True)
