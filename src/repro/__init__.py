@@ -89,24 +89,38 @@ _LAZY_EXPORTS = {
     "sample_schedules": "repro.check",
     "write_artifact": "repro.check",
     # observability (repro.obs)
+    "CrashDetection": "repro.obs",
     "CriticalPath": "repro.obs",
     "DetectionLatencyMonitor": "repro.obs",
     "DuplicateFailureSignMonitor": "repro.obs",
     "InvariantMonitor": "repro.obs",
     "InvariantViolation": "repro.obs",
     "MetricsRegistry": "repro.obs",
+    "Mistake": "repro.obs",
     "PhantomRemovalMonitor": "repro.obs",
+    "QoSMetrics": "repro.obs",
     "Span": "repro.obs",
     "SpanTracer": "repro.obs",
     "ViewAgreementMonitor": "repro.obs",
+    "compute_qos": "repro.obs",
     "detection_path": "repro.obs",
     "export_chrome_trace": "repro.obs",
+    "network_qos": "repro.obs",
     "notification_path": "repro.obs",
     "render_msc": "repro.obs",
     "render_span_tree": "repro.obs",
     "standard_monitors": "repro.obs",
     "validate_chrome_trace": "repro.obs",
     "view_update_path": "repro.obs",
+    # named scenario catalog + QoS reports (repro.scenarios)
+    "QoSReport": "repro.scenarios",
+    "ScenarioOutcome": "repro.scenarios",
+    "ScenarioRecipe": "repro.scenarios",
+    "register_recipe": "repro.scenarios",
+    "resolve_recipe": "repro.scenarios",
+    "run_catalog": "repro.scenarios",
+    "run_recipe": "repro.scenarios",
+    "scenario_names": "repro.scenarios",
     # benchmarks (repro.perf)
     "compare_reports": "repro.perf",
     "load_report": "repro.perf",

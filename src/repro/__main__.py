@@ -32,6 +32,11 @@ Commands:
   backends (CANELy vs SWIM, optionally over gateway-bridged bus segments)
   and print their QoS side by side: detection latency, view stability,
   bandwidth per node (see :mod:`repro.analysis.comparison`).
+* ``qos``       — run the named scenario catalog (babbling idiot, bus-off
+  storm, churn, ...) against one or more backends and print the
+  failure-detector QoS comparison — detection quantiles, mistake rate
+  λ_M, mistake duration T_M, query accuracy P_A (see
+  :mod:`repro.scenarios` and :mod:`repro.obs.qos`).
 """
 
 from __future__ import annotations
@@ -363,9 +368,90 @@ def _cmd_spans(args) -> int:
     return 0
 
 
+def _metrics_csv(snapshot) -> str:
+    """``metric,value`` lines from a registry snapshot.
+
+    Scalar metrics emit one row; histograms flatten to dotted sub-keys
+    (``name.count``, ``name.mean``, ``name.bucket.<boundary>``). Keys are
+    emitted in sorted order, buckets in boundary order — deterministic
+    for a deterministic run.
+    """
+    lines = ["metric,value"]
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        if not isinstance(value, dict):
+            lines.append(f"{key},{value}")
+            continue
+        for sub in sorted(value):
+            nested = value[sub]
+            if isinstance(nested, dict):
+                for boundary, count in nested.items():
+                    lines.append(f"{key}.{sub}.{boundary},{count}")
+            else:
+                lines.append(f"{key}.{sub},{nested}")
+    return "\n".join(lines)
+
+
 def _cmd_metrics(args) -> int:
+    import json
+
     net = _observed_network(args)
-    print(net.sim.metrics.render())
+    registry = net.sim.metrics
+    if args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    elif args.format == "csv":
+        print(_metrics_csv(registry.snapshot()))
+    else:
+        print(registry.render())
+    return 0
+
+
+def _cmd_qos(args) -> int:
+    from repro.core.backend import backend_names
+    from repro.scenarios import run_catalog, scenario_names
+
+    names = scenario_names()
+    backends = args.backend or ["canely"]
+    for backend in backends:
+        if backend not in backend_names():
+            print(
+                f"unknown backend {backend!r}; "
+                f"registered: {', '.join(backend_names())}"
+            )
+            return 2
+    scenarios = names if args.catalog or not args.scenario else args.scenario
+    unknown = [name for name in scenarios if name not in names]
+    if unknown:
+        print(
+            f"unknown scenario(s) {', '.join(unknown)}; "
+            f"catalog: {', '.join(names)}"
+        )
+        return 2
+    report = run_catalog(
+        scenarios=scenarios,
+        backends=backends,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "csv":
+        print(report.to_csv())
+    else:
+        print(report.render())
+        if args.chart:
+            from repro.analysis.figures import qos_chart
+
+            print()
+            print(qos_chart(report))
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"report written to {args.report}")
+    if args.figure:
+        from repro.analysis.figures import save_qos_figure
+
+        print(f"figure written to {save_qos_figure(report, args.figure)}")
     return 0
 
 
@@ -806,7 +892,63 @@ def main(argv=None) -> int:
     metrics.add_argument(
         "--scenario", help="scenario JSON (default: the demo scenario)"
     )
+    metrics.add_argument(
+        "--format",
+        choices=["table", "json", "csv"],
+        default="table",
+        help="output format (json/csv keys are deterministically ordered)",
+    )
     metrics.set_defaults(func=_cmd_metrics)
+    qos = sub.add_parser(
+        "qos",
+        help="run the scenario catalog and print the failure-detector "
+        "QoS comparison across backends",
+    )
+    qos.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="catalog scenario to run (repeatable; default: whole catalog)",
+    )
+    qos.add_argument(
+        "--catalog",
+        action="store_true",
+        help="run the whole catalog (the default when no --scenario given)",
+    )
+    qos.add_argument(
+        "--backend",
+        action="append",
+        metavar="NAME",
+        help="membership backend to measure (repeatable; default: canely)",
+    )
+    qos.add_argument("--seed", type=int, default=0, help="root seed")
+    qos.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller populations and shorter runs (CI smoke budget)",
+    )
+    qos.add_argument(
+        "--format",
+        choices=["table", "json", "csv"],
+        default="table",
+        help="output format (json/csv keys are deterministically ordered)",
+    )
+    qos.add_argument(
+        "--chart",
+        action="store_true",
+        help="with the table: also print the ASCII detection-p50 chart",
+    )
+    qos.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the JSON report (byte-identical across same-seed runs)",
+    )
+    qos.add_argument(
+        "--figure",
+        metavar="PATH",
+        help="write the detection chart as an image (needs matplotlib)",
+    )
+    qos.set_defaults(func=_cmd_qos)
     campaign = sub.add_parser(
         "campaign",
         help="run a parallel randomized fault-scenario campaign",

@@ -134,6 +134,10 @@ class BackendQoS:
     gateway_forwarded: int
     gateway_dropped: int
     metrics: Dict[str, int] = field(default_factory=dict)
+    #: Flat QoS summary from :func:`repro.obs.qos.compute_qos` —
+    #: detection quantiles, λ_M, T_M, P_A, completeness (plain data,
+    #: already rounded, deterministic).
+    qos: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form with stable key order and fixed precision."""
@@ -164,6 +168,7 @@ class BackendQoS:
             "gateway_forwarded": self.gateway_forwarded,
             "gateway_dropped": self.gateway_dropped,
             "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "qos": {k: self.qos[k] for k in sorted(self.qos)},
         }
 
 
@@ -200,6 +205,7 @@ def probe_backend(
     converged = (
         len(net.member_views()) == nodes and net.views_agree()
     )
+    settled_at = net.sim.now
 
     net.run_for(crash_offset)
     crash_time = net.sim.now
@@ -241,6 +247,7 @@ def probe_backend(
             prev_active[observer] = set(active)
 
     notified = [v for v in latencies.values() if v is not None]
+    qos_summary = _qos_summary(net, settled_at)
     elapsed_ms = net.sim.now / ms(1)
     busy_bits = sum(bus.stats.busy_bits for bus in net.buses)
     frames = sum(bus.stats.physical_frames for bus in net.buses)
@@ -279,7 +286,19 @@ def probe_backend(
         gateway_forwarded=gateway.stats.forwarded if gateway else 0,
         gateway_dropped=gateway.stats.dropped if gateway else 0,
         metrics=dict(net.node(survivors[0]).backend.metrics()),
+        qos=qos_summary,
     )
+
+
+def _qos_summary(net, start: int) -> Dict[str, Any]:
+    """The flat FD-QoS summary a :class:`BackendQoS` record carries.
+
+    The :meth:`repro.obs.qos.QoSMetrics.summary` projection of the full
+    readout — the handful of figures ``repro compare`` quotes.
+    """
+    from repro.obs.qos import network_qos
+
+    return network_qos(net, start=start).summary()
 
 
 def compare_backends(
@@ -353,5 +372,22 @@ def comparison_rows(report: Dict[str, Any]) -> Tuple[List[str], List[List[str]]]
     rows = [
         [label] + [_fmt(probe[key]) for probe in probes]
         for label, key in metrics
+    ]
+    qos_metrics = [
+        ("QoS detection p50 (ms)", "detection_p50_ms"),
+        ("QoS detection p90 (ms)", "detection_p90_ms"),
+        ("QoS detection p99 (ms)", "detection_p99_ms"),
+        ("QoS mistake rate λ_M (/node·s)", "mistake_rate_per_node_s"),
+        ("QoS mistake duration T_M mean (ms)", "mistake_duration_mean_ms"),
+        ("QoS query accuracy P_A", "query_accuracy"),
+        ("QoS completeness", "completeness"),
+    ]
+    rows += [
+        [label]
+        + [
+            "-" if value is None else _fmt(value)
+            for value in (probe.get("qos", {}).get(key) for probe in probes)
+        ]
+        for label, key in qos_metrics
     ]
     return header, rows

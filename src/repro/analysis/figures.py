@@ -92,3 +92,92 @@ def fig10_chart(model=None, tm_values=None) -> str:
             f"f={model.crash_failures}"
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# QoS catalog figures (``repro qos --chart`` / ``--figure``)
+# ---------------------------------------------------------------------------
+
+
+def qos_detection_series(report):
+    """``{backend: [(scenario index, detection p50 ms), ...]}`` curves.
+
+    The data behind the QoS chart, extracted from a
+    :class:`~repro.scenarios.runner.QoSReport`: x is the scenario's index
+    in the report's scenario order, y the detection-time median. Cells
+    without a detection sample (no crash, or nothing notified) are
+    omitted. Pure data, deterministic for a deterministic report — the
+    figure-determinism tests byte-compare exactly this.
+    """
+    series = {}
+    for index, scenario in enumerate(report.scenarios):
+        for backend in report.backends:
+            outcome = report.outcome(scenario, backend)
+            if outcome is None:
+                continue
+            p50 = outcome.qos.to_dict()["detection_ms"]["p50_ms"]
+            if p50 is None:
+                continue
+            series.setdefault(backend, []).append((float(index), p50))
+    return series
+
+
+def qos_chart(report, width: int = 64, height: int = 16) -> str:
+    """The QoS catalog's detection medians as an ASCII chart.
+
+    One glyph per backend, x = scenario index (in report order), y =
+    detection p50 in ms. Falls back to a plain message when no scenario
+    produced a detection sample (an all-quiet or all-starved catalog).
+    """
+    series = qos_detection_series(report)
+    if not any(series.values()):
+        return "qos chart: no detection samples to plot"
+    scenarios = ", ".join(
+        f"{index}={name}" for index, name in enumerate(report.scenarios)
+    )
+    return ascii_chart(
+        series,
+        width=width,
+        height=height,
+        y_format="{:.1f}",
+        x_format="{:.0f}",
+        title=f"Detection p50 (ms) by scenario — {scenarios}",
+    )
+
+
+def save_qos_figure(report, path: str) -> str:
+    """Render the QoS detection chart to an image file via matplotlib.
+
+    matplotlib is an *optional* dependency: when it is not installed this
+    raises :class:`~repro.errors.ConfigurationError` with a clear message
+    instead of an ImportError mid-plot (the ASCII chart needs nothing).
+    """
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        from matplotlib import pyplot
+    except ImportError:
+        raise ConfigurationError(
+            "matplotlib is not installed; use the ASCII chart "
+            "(repro qos --chart) or install matplotlib for image output"
+        ) from None
+    series = qos_detection_series(report)
+    figure, axes = pyplot.subplots(figsize=(8, 4.5))
+    for backend in sorted(series):
+        points = series[backend]
+        axes.plot(
+            [x for x, _ in points],
+            [y for _, y in points],
+            marker="o",
+            label=backend,
+        )
+    axes.set_xticks(range(len(report.scenarios)))
+    axes.set_xticklabels(report.scenarios, rotation=45, ha="right", fontsize=7)
+    axes.set_ylabel("detection p50 (ms)")
+    axes.set_title("Failure-detector QoS catalog")
+    axes.legend()
+    figure.tight_layout()
+    figure.savefig(path)
+    pyplot.close(figure)
+    return path

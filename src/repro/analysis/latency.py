@@ -112,6 +112,46 @@ def measured_crash_times(trace: TraceRecorder) -> Dict[int, int]:
     return crash_times
 
 
+def crash_notification_times(
+    trace: TraceRecorder,
+    crash_times: Optional[Dict[int, int]] = None,
+) -> Dict[int, Dict[int, int]]:
+    """First ``msh.change`` naming each crash, per observing node.
+
+    Maps crashed node -> {observer -> time that observer's view first
+    reported the crash}, in one pass over the ``msh.change`` columns
+    (:meth:`~repro.sim.trace.TraceRecorder.category_columns`, so columnar
+    traces answer from their backing arrays). A single change record
+    whose ``failed`` set names several crashed nodes feeds every one of
+    them — two crashes folded into the same membership cycle are both
+    attributed to that one view change.
+
+    This is the one crash-event extraction shared by
+    :func:`measured_detection_latencies` and the QoS engine
+    (:mod:`repro.obs.qos`); notifications predating the crash (a stale
+    view change about an earlier incarnation) are ignored.
+    """
+    if crash_times is None:
+        crash_times = measured_crash_times(trace)
+    if not crash_times:
+        return {}
+    notifications: Dict[int, Dict[int, int]] = {
+        node: {} for node in crash_times
+    }
+    times, observers, payloads = trace.category_columns("msh.change")
+    crashed = list(crash_times.items())
+    for index in range(len(times)):
+        failed = payloads[index]["failed"]
+        time = times[index]
+        observer = observers[index]
+        for node, crashed_at in crashed:
+            if node in failed and time >= crashed_at:
+                seen = notifications[node]
+                if observer not in seen:
+                    seen[observer] = time
+    return notifications
+
+
 def measured_detection_latencies(
     trace: TraceRecorder,
     crash_times: Optional[Dict[int, int]] = None,
@@ -121,26 +161,20 @@ def measured_detection_latencies(
     ``crash_times`` maps node id -> crash instant; when omitted it is
     read from the trace's ``node.crash`` records. The result maps node
     id -> time from the crash to the first ``msh.change`` reporting the
-    node failed, or ``None`` when the run ended unnotified. One pass over
-    the ``msh.change`` columns, whatever the trace storage mode.
+    node failed, or ``None`` when the run ended unnotified. Built on
+    :func:`crash_notification_times`, the shared one-pass extraction.
     """
     if crash_times is None:
         crash_times = measured_crash_times(trace)
-    times, _nodes, payloads = trace.category_columns("msh.change")
-    latencies: Dict[int, Optional[int]] = {
-        node: None for node in crash_times
+    notifications = crash_notification_times(trace, crash_times)
+    return {
+        node: (
+            min(notifications[node].values()) - crash_times[node]
+            if notifications[node]
+            else None
+        )
+        for node in crash_times
     }
-    pending = set(crash_times)
-    for index in range(len(times)):
-        if not pending:
-            break
-        failed = payloads[index]["failed"]
-        time = times[index]
-        for node in [n for n in pending if n in failed]:
-            if time >= crash_times[node]:
-                latencies[node] = time - crash_times[node]
-                pending.discard(node)
-    return latencies
 
 
 def latency_bound_violations(

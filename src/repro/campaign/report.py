@@ -85,6 +85,36 @@ class CampaignReport:
                 return bound
         return latency_bounds(config).notification
 
+    def _qos_values(self, key: str) -> List[float]:
+        """Non-null per-scenario QoS summary values for ``key``."""
+        return [
+            r.qos[key]
+            for r in self.results
+            if r.qos and r.qos.get(key) is not None
+        ]
+
+    def qos_aggregate(self) -> Dict[str, Any]:
+        """Campaign-level FD-QoS aggregate over the per-scenario
+        summaries (scenarios that never got past bootstrap carry no QoS
+        and are excluded)."""
+
+        def mean(values):
+            return round(sum(values) / len(values), 6) if values else None
+
+        p50s = self._qos_values("detection_p50_ms")
+        return {
+            "scenarios_measured": sum(1 for r in self.results if r.qos),
+            "detection_p50_ms_mean": mean(p50s),
+            "detection_p50_ms_p95": percentile(p50s, 0.95),
+            "mistakes_total": sum(self._qos_values("mistakes")),
+            "mistake_rate_per_node_s_mean": mean(
+                self._qos_values("mistake_rate_per_node_s")
+            ),
+            "flaps_total": sum(self._qos_values("flaps")),
+            "query_accuracy_mean": mean(self._qos_values("query_accuracy")),
+            "completeness_mean": mean(self._qos_values("completeness")),
+        }
+
     @property
     def success(self) -> bool:
         """True when every scenario completed with verdict ``ok``."""
@@ -118,6 +148,7 @@ class CampaignReport:
                 "max": max(self.latencies) if self.latencies else None,
                 "bound": self.notification_bound,
             },
+            "qos": self.qos_aggregate(),
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -157,6 +188,21 @@ class CampaignReport:
             ["latency p95", latency_ms(percentile(latencies, 0.95))],
             ["latency max", latency_ms(max(latencies) if latencies else None)],
             ["analytic bound", latency_ms(self.notification_bound)],
+        ]
+        qos = self.qos_aggregate()
+
+        def ratio(value) -> str:
+            return "-" if value is None else f"{value:.4f}"
+
+        rows += [
+            ["QoS detection p50 mean",
+             "-" if qos["detection_p50_ms_mean"] is None
+             else f"{qos['detection_p50_ms_mean']:.1f} ms"],
+            ["QoS mistakes (total)", str(qos["mistakes_total"])],
+            ["QoS mistake rate λ_M mean",
+             ratio(qos["mistake_rate_per_node_s_mean"])],
+            ["QoS query accuracy P_A mean", ratio(qos["query_accuracy_mean"])],
+            ["QoS completeness mean", ratio(qos["completeness_mean"])],
         ]
         return render_table(
             ["metric", "value"],

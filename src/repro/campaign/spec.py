@@ -171,6 +171,11 @@ class ScenarioResult:
     injected_omissions: int = 0
     injected_inconsistent: int = 0
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Flat FD-QoS summary (:meth:`repro.obs.qos.QoSMetrics.summary`) of
+    #: the scenario's observation window; empty when the run never got
+    #: past bootstrap. Unknown to older checkpoints, which load fine —
+    #: :meth:`from_dict` filters by field name in both directions.
+    qos: Dict[str, Any] = field(default_factory=dict)
     detail: str = ""
     violation_slice: List[Dict[str, Any]] = field(default_factory=list)
     attempts: int = 1

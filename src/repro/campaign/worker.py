@@ -121,6 +121,12 @@ def _simulate(spec: CampaignSpec, result: ScenarioResult) -> None:
     result.latencies = sorted(v for v in latencies.values() if v is not None)
     result.missed = sum(1 for v in latencies.values() if v is None)
 
+    from repro.obs.qos import network_qos
+
+    result.qos = network_qos(
+        net, start=base, crash_times=dict(crash_times)
+    ).summary()
+
     survivors = set(range(node_count)) - set(victims)
     agree = net.views_agree() and set(net.agreed_view()) == survivors
     if agree and result.missed == 0:

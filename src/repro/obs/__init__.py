@@ -12,6 +12,11 @@ by default) that links every protocol action to its cause;
 update into named segments that sum exactly to the observed latency; and
 :mod:`repro.obs.export` serializes spans to Chrome trace-event JSON and
 renders text message sequence charts.
+
+:mod:`repro.obs.qos` computes the classic failure-detector QoS metrics
+(detection-time distribution, mistake rate λ_M, mistake duration T_M,
+query accuracy P_A, completeness/accuracy under churn) from a finished
+trace, deterministically.
 """
 
 from repro.obs.critical_path import (
@@ -35,6 +40,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.qos import (
+    CrashDetection,
+    Mistake,
+    QoSMetrics,
+    compute_qos,
+    network_qos,
+)
 from repro.obs.monitors import (
     DetectionLatencyMonitor,
     DuplicateFailureSignMonitor,
@@ -56,11 +68,14 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "CHROME_CATEGORIES",
     "Counter",
+    "CrashDetection",
     "CriticalPath",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Mistake",
     "NULL_TRACER",
+    "QoSMetrics",
     "Segment",
     "Span",
     "SpanTracer",
@@ -71,8 +86,10 @@ __all__ = [
     "PhantomRemovalMonitor",
     "ViewAgreementMonitor",
     "chrome_trace_events",
+    "compute_qos",
     "detection_path",
     "export_chrome_trace",
+    "network_qos",
     "notification_path",
     "render_msc",
     "render_span_tree",

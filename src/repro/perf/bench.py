@@ -24,6 +24,14 @@ emits ``BENCH_core.json``:
   statistical campaigns fan out. ``reference`` runs the same campaign
   under the seed core, so the entry carries a machine-portable speedup
   ratio and participates in the CI gate.
+* **qos_compute** (micro) — FD-QoS computations per wall-second
+  (:func:`repro.obs.qos.compute_qos`) over the trace of a large
+  membership scenario recorded columnar. ``reference`` answers the
+  trace's bulk accessor through the row path — ``select`` materializing
+  a :class:`~repro.sim.trace.TraceRecord` per match, then regathering
+  the columns — so the speedup isolates the columnar
+  ``category_columns`` batch read the QoS engine leans on; both sides
+  must produce byte-identical reports.
 * **stack_scaling** (macro) — events per wall-second on a full-stack
   surveillance scenario at 10 / 50 / 200 nodes, run under the shipped
   fast configuration. The headline check is the **per-event cost
@@ -492,6 +500,117 @@ def _run_surveillance_network(
     return {"events": sim.events_processed, "seconds": elapsed}
 
 
+class _RowScanColumns:
+    """Adapter answering ``category_columns`` through the row path.
+
+    Wraps a (columnar) trace but routes the bulk accessor through the
+    base recorder's generic implementation — ``select`` materializing a
+    :class:`~repro.sim.trace.TraceRecord` object per match, then
+    regathering the columns — which is what every analysis query cost
+    before the columnar batch read. Everything else delegates, so the
+    adapter drops in anywhere a trace does.
+    """
+
+    def __init__(self, trace: Any) -> None:
+        self._trace = trace
+
+    def category_columns(self, category: str):
+        from repro.sim.trace import TraceRecorder
+
+        return TraceRecorder.category_columns(self._trace, category)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._trace, name)
+
+
+def bench_qos_compute(
+    quick: bool = False, repeats: Optional[int] = None
+) -> Dict[str, Any]:
+    """Micro: FD-QoS computations/s, columnar batch read vs row scan.
+
+    Records one large-membership scenario (staggered crashes so the
+    ``msh.change`` category is wide) under the shipped columnar trace,
+    then times :func:`repro.obs.qos.compute_qos` over it — once against
+    the trace's native ``category_columns`` and once through
+    :class:`_RowScanColumns`. The QoS engine reads the trace *only*
+    through the bulk accessor, so the ratio isolates the columnar
+    advantage on identical analysis work; the reports must match
+    byte-for-byte.
+    """
+    from repro.obs.qos import compute_qos
+
+    node_count = 24 if quick else CANONICAL_NODES
+    reps = repeats if repeats is not None else (2 if quick else 3)
+    rounds = 3 if quick else 10
+
+    config = CanelyConfig(
+        capacity=CANONICAL_CONFIG["capacity"],
+        tm=ms(CANONICAL_CONFIG["tm_ms"]),
+        thb=ms(CANONICAL_CONFIG["thb_ms"]),
+        tjoin_wait=ms(CANONICAL_CONFIG["tjoin_wait_ms"]),
+    )
+    with fast_config():
+        net = CanelyNetwork(node_count=node_count, config=config)
+        net.join_all()
+        net.run_for(ms(400))
+        base = net.sim.now
+        crash_times: Dict[int, int] = {}
+        for index, victim in enumerate(range(1, node_count, node_count // 5)):
+            at = base + ms(30 * index)
+            crash_times[victim] = at
+            net.sim.schedule_at(at, net.node(victim).crash)
+        net.run_for(ms(150 if quick else 300))
+
+    trace = net.sim.trace
+    members = sorted(net.nodes)
+    horizon = net.sim.now
+    row_view = _RowScanColumns(trace)
+
+    def one(source: Any) -> Any:
+        return compute_qos(
+            source,
+            nodes=members,
+            start=base,
+            end=horizon,
+            crash_times=crash_times,
+        )
+
+    fast_report = one(trace)
+    if fast_report.to_json() != one(row_view).to_json():
+        raise RuntimeError(
+            "columnar and row-scan QoS reports differ; the bulk "
+            "accessor is broken"
+        )
+
+    def run_fast() -> None:
+        for _ in range(rounds):
+            one(trace)
+
+    def run_reference() -> None:
+        for _ in range(rounds):
+            one(row_view)
+
+    # Interleaved best-of, for the same reason as the macro benchmark.
+    t_fast = float("inf")
+    t_reference = float("inf")
+    for _ in range(reps):
+        t_fast = min(t_fast, _timed(run_fast))
+        t_reference = min(t_reference, _timed(run_reference))
+    fast_rate = rounds / t_fast
+    reference_rate = rounds / t_reference
+    return {
+        "unit": "computes/s",
+        "scenario": {
+            "nodes": node_count,
+            "crashes": len(crash_times),
+            "msh_changes": trace.count("msh.change"),
+        },
+        "reference_value": reference_rate,
+        "value": fast_rate,
+        "speedup": fast_rate / reference_rate,
+    }
+
+
 def bench_stack_scaling(quick: bool = False) -> Dict[str, Any]:
     """Macro: per-event cost across the :data:`SCALING_NODE_COUNTS` sweep.
 
@@ -585,6 +704,7 @@ BENCHMARKS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "campaign_wallclock": lambda quick, repeats: bench_campaign_wallclock(
         quick=quick
     ),
+    "qos_compute": bench_qos_compute,
     "stack_scaling": lambda quick, repeats: bench_stack_scaling(quick=quick),
 }
 

@@ -1,0 +1,40 @@
+"""Named scenario catalog: registered fault-and-load recipes.
+
+Every recipe is a :class:`~repro.scenarios.catalog.ScenarioRecipe` — a
+named, seeded, backend-neutral script over
+:class:`~repro.workloads.builder.ScenarioBuilder` — runnable by name from
+the library (:func:`~repro.scenarios.runner.run_recipe` /
+:func:`~repro.scenarios.runner.run_catalog`) and from the ``repro qos``
+CLI. The built-in catalog covers the paper's fault menagerie: babbling
+idiot (Fig. 11's admitted limitation), bus-off storms, error-passive
+flapping, inaccessibility bursts, join/leave churn, bus-load sweeps,
+gateway partition stress, and a quiet baseline.
+"""
+
+from repro.scenarios.catalog import (
+    ScenarioRecipe,
+    ScenarioRun,
+    recipe,
+    register_recipe,
+    resolve_recipe,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    QoSReport,
+    ScenarioOutcome,
+    run_catalog,
+    run_recipe,
+)
+
+__all__ = [
+    "QoSReport",
+    "ScenarioOutcome",
+    "ScenarioRecipe",
+    "ScenarioRun",
+    "recipe",
+    "register_recipe",
+    "resolve_recipe",
+    "run_catalog",
+    "run_recipe",
+    "scenario_names",
+]

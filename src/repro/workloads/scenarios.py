@@ -89,17 +89,9 @@ def detection_latencies(
 
     ``crash_times`` maps node id -> crash time; the result maps node id ->
     (first notification time - crash time), or ``None`` if never notified.
-    All latencies are computed in one pass over the ``msh.change`` trace,
-    not one full scan per crashed node.
+    A thin convenience over the shared one-pass extraction in
+    :func:`repro.analysis.latency.measured_detection_latencies`.
     """
-    latencies = {node_id: None for node_id in crash_times}
-    pending = set(crash_times)
-    for record in network.sim.trace.select(category="msh.change"):
-        if not pending:
-            break
-        failed = record.data["failed"]
-        for node_id in [n for n in pending if n in failed]:
-            if record.time >= crash_times[node_id]:
-                latencies[node_id] = record.time - crash_times[node_id]
-                pending.discard(node_id)
-    return latencies
+    from repro.analysis.latency import measured_detection_latencies
+
+    return measured_detection_latencies(network.sim.trace, dict(crash_times))

@@ -65,3 +65,76 @@ def test_cli_fig10_plot(capsys):
     out = capsys.readouterr().out
     assert "multiple join/leave" in out
     assert "|" in out
+
+
+# -- QoS catalog figures -----------------------------------------------------
+
+
+def _qos_report():
+    from repro.scenarios import run_catalog
+
+    return run_catalog(
+        scenarios=["quiet-baseline"],
+        backends=("canely", "swim"),
+        seed=0,
+        quick=True,
+    )
+
+
+def test_qos_detection_series_is_deterministic():
+    """Same seed, same figure data — byte for byte."""
+    import json
+
+    from repro.analysis.figures import qos_detection_series
+
+    first = json.dumps(qos_detection_series(_qos_report()), sort_keys=True)
+    second = json.dumps(qos_detection_series(_qos_report()), sort_keys=True)
+    assert first == second
+
+
+def test_qos_detection_series_shape():
+    from repro.analysis.figures import qos_detection_series
+
+    series = qos_detection_series(_qos_report())
+    assert set(series) == {"canely", "swim"}
+    for points in series.values():
+        assert points == [(0.0, points[0][1])]
+        assert points[0][1] > 0
+
+
+def test_qos_chart_renders_both_backends():
+    from repro.analysis.figures import qos_chart
+
+    chart = qos_chart(_qos_report())
+    assert "canely" in chart
+    assert "swim" in chart
+    assert "Detection p50" in chart
+
+
+def test_qos_chart_falls_back_without_samples():
+    from repro.analysis.figures import qos_chart
+    from repro.scenarios import run_catalog
+
+    # The babbling-idiot recipe crashes nobody: no detection samples.
+    report = run_catalog(
+        scenarios=["babbling-idiot"], backends=("canely",), quick=True
+    )
+    assert "no detection samples" in qos_chart(report)
+
+
+def test_save_qos_figure_gates_the_optional_dependency(tmp_path):
+    """With matplotlib absent the renderer must raise the configuration
+    error (pointing at the ASCII chart), never an ImportError; with it
+    installed it must actually write the file."""
+    from repro.analysis.figures import save_qos_figure
+    from repro.errors import ConfigurationError
+
+    target = tmp_path / "qos.png"
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        with pytest.raises(ConfigurationError, match="matplotlib"):
+            save_qos_figure(_qos_report(), str(target))
+    else:
+        assert save_qos_figure(_qos_report(), str(target)) == str(target)
+        assert target.stat().st_size > 0

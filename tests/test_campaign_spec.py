@@ -111,3 +111,20 @@ def test_verdict_vocabulary():
     assert VERDICT_OK in VERDICTS
     assert len(set(VERDICTS)) == 6
     assert not ScenarioResult(index=0, seed=0, verdict=VERDICT_VIOLATION).ok
+
+
+def test_result_qos_summary_roundtrips_through_dict():
+    result = ScenarioResult(
+        index=0,
+        seed=7,
+        verdict=VERDICT_OK,
+        qos={"detection_p50_ms": 13.486, "mistakes": 0, "flaps": 0},
+    )
+    restored = ScenarioResult.from_dict(result.to_dict())
+    assert restored == result
+    assert restored.qos["detection_p50_ms"] == 13.486
+    # An old checkpoint line without the field loads with an empty qos.
+    legacy = ScenarioResult.from_dict(
+        {"index": 1, "seed": 2, "verdict": VERDICT_OK}
+    )
+    assert legacy.qos == {}

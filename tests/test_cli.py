@@ -1,5 +1,7 @@
 """Smoke tests for the ``python -m repro`` command-line front end."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -308,3 +310,76 @@ def test_spans_msc(capsys):
 
 def test_spans_rejects_bad_crash_node(capsys):
     assert main(["spans", "--nodes", "4", "--crash", "9"]) == 2
+
+
+def test_metrics_format_json(capsys, scenario_file):
+    assert main(
+        ["metrics", "--scenario", scenario_file, "--format", "json"]
+    ) == 0
+    out = capsys.readouterr().out
+    snapshot = json.loads(out)
+    assert "fd.detections" in snapshot
+    # Deterministic key order: the document is sorted.
+    assert list(snapshot) == sorted(snapshot)
+
+
+def test_metrics_format_csv(capsys, scenario_file):
+    assert main(
+        ["metrics", "--scenario", scenario_file, "--format", "csv"]
+    ) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0] == "metric,value"
+    names = [line.split(",")[0] for line in lines[1:]]
+    assert any(name.startswith("fd.detections") for name in names)
+    # Metrics are emitted in sorted order; histogram bucket rows keep
+    # their boundary order (so +inf comes last, not first).
+    top_level = [name.split(".buckets.")[0] for name in names]
+    assert top_level == sorted(top_level)
+
+
+QOS_ARGS = ["qos", "--scenario", "quiet-baseline", "--quick", "--seed", "0"]
+
+
+def test_qos_table(capsys):
+    assert main(QOS_ARGS) == 0
+    out = capsys.readouterr().out
+    assert "quiet-baseline" in out
+    assert "canely" in out
+    assert "det p50 ms" in out
+
+
+def test_qos_two_backends_with_chart(capsys):
+    assert main(QOS_ARGS + ["--backend", "canely", "--backend", "swim",
+                            "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "swim" in out
+    assert "Detection p50" in out
+
+
+def test_qos_json_and_report_are_identical(capsys, tmp_path):
+    target = tmp_path / "qos.json"
+    assert main(QOS_ARGS + ["--format", "json",
+                            "--report", str(target)]) == 0
+    out = capsys.readouterr().out
+    document = out.split("report written to")[0].strip()
+    assert target.read_text().strip() == document
+    report = json.loads(document)
+    assert report["scenarios"] == ["quiet-baseline"]
+    assert report["backends"] == ["canely"]
+
+
+def test_qos_csv(capsys):
+    assert main(QOS_ARGS + ["--format", "csv"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0].startswith("scenario,backend,detection_p50_ms")
+    assert lines[1].startswith("quiet-baseline,canely,")
+
+
+def test_qos_unknown_scenario_exits_2(capsys):
+    assert main(["qos", "--scenario", "nonsense", "--quick"]) == 2
+    assert "unknown scenario" in capsys.readouterr().out
+
+
+def test_qos_unknown_backend_exits_2(capsys):
+    assert main(["qos", "--backend", "nonsense", "--quick"]) == 2
+    assert "unknown backend" in capsys.readouterr().out

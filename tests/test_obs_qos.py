@@ -1,0 +1,295 @@
+"""Unit tests for the FD-QoS engine (:mod:`repro.obs.qos`).
+
+Every test builds a tiny synthetic trace with hand-placed ``msh.change``
+records, so the expected metrics — detection latencies, mistakes, the
+exact ``P_A`` integral — are small integer arithmetic done by hand in
+the assertions.
+"""
+
+import pytest
+
+from repro.obs.qos import (
+    QoSMetrics,
+    compute_qos,
+    distribution_ms,
+    quantile,
+)
+from repro.sim.clock import ms
+from repro.sim.trace import TraceRecorder
+
+
+def change(trace, time, observer, active, failed=()):
+    """One membership change as the stack records it."""
+    trace.record(
+        time,
+        "msh.change",
+        node=observer,
+        active=frozenset(active),
+        failed=frozenset(failed),
+    )
+
+
+# -- quantiles and distributions ---------------------------------------------
+
+
+def test_quantile_nearest_rank_matches_campaign_percentile():
+    from repro.campaign.report import percentile
+
+    sample = [5, 1, 9, 3, 7]
+    for fraction in (0.0, 0.25, 0.50, 0.90, 0.99, 1.0):
+        assert quantile(sample, fraction) == percentile(sample, fraction)
+    assert quantile([], 0.5) is None
+
+
+def test_distribution_ms_converts_only_at_the_edge():
+    summary = distribution_ms([ms(10), ms(20), ms(40)])
+    assert summary["count"] == 3
+    assert summary["min_ms"] == 10.0
+    assert summary["p50_ms"] == 20.0
+    assert summary["max_ms"] == 40.0
+    assert summary["mean_ms"] == pytest.approx(70 / 3, abs=1e-6)
+
+
+def test_distribution_ms_empty_sample_is_all_none():
+    summary = distribution_ms([])
+    assert summary["count"] == 0
+    assert summary["p50_ms"] is None
+    assert summary["mean_ms"] is None
+
+
+# -- detection ---------------------------------------------------------------
+
+
+def test_detection_latencies_per_observer():
+    trace = TraceRecorder()
+    change(trace, 150, 0, {0, 1}, failed={2})
+    change(trace, 200, 1, {0, 1}, failed={2})
+    qos = compute_qos(
+        trace, nodes=[0, 1, 2], end=1000, crash_times={2: 100}
+    )
+    assert len(qos.crashes) == 1
+    crash = qos.crashes[0]
+    assert crash.node == 2
+    assert crash.expected == 2
+    assert crash.latencies == (50, 100)
+    assert crash.first == 50 and crash.last == 100
+    assert crash.complete
+    assert qos.completeness == 1.0
+    # Both removals of node 2 are genuine: no mistakes, full accuracy.
+    assert qos.removals == 2
+    assert not qos.mistakes
+    assert qos.accuracy == 1.0
+
+
+def test_multi_crash_same_cycle_feeds_every_victim():
+    # One view change folds two crashes into a single membership cycle:
+    # both victims must be attributed that one notification.
+    trace = TraceRecorder()
+    change(trace, 120, 0, {0}, failed={1, 2})
+    qos = compute_qos(
+        trace, nodes=[0, 1, 2], end=1000, crash_times={1: 100, 2: 100}
+    )
+    assert [crash.node for crash in qos.crashes] == [1, 2]
+    for crash in qos.crashes:
+        assert crash.latencies == (20,)
+        assert crash.complete
+    assert qos.completeness == 1.0
+
+
+def test_crashed_observer_is_not_expected():
+    # Node 1 crashes moments after node 2: it is not a *correct*
+    # observer over the window, so node 2's completeness cannot be
+    # charged with node 1 never learning of the crash.
+    trace = TraceRecorder()
+    change(trace, 150, 0, {0}, failed={1, 2})
+    qos = compute_qos(
+        trace, nodes=[0, 1, 2], end=1000, crash_times={2: 100, 1: 110}
+    )
+    by_node = {crash.node: crash for crash in qos.crashes}
+    assert by_node[2].expected == 1  # only node 0
+    assert by_node[2].complete
+    assert qos.completeness == 1.0
+
+
+def test_notification_before_crash_is_ignored():
+    trace = TraceRecorder()
+    change(trace, 200, 0, {0}, failed={1})  # predates the crash
+    qos = compute_qos(
+        trace, nodes=[0, 1], end=1000, crash_times={1: 600}
+    )
+    crash = qos.crashes[0]
+    assert crash.latencies == ()
+    assert not crash.complete
+    assert qos.completeness == 0.0
+
+
+# -- mistakes, flaps, accuracy ----------------------------------------------
+
+
+def test_refuted_mistake_and_flap():
+    trace = TraceRecorder()
+    change(trace, 50, 0, {0})       # wrongful removal of live node 1
+    change(trace, 80, 0, {0, 1})    # refutation / flap
+    qos = compute_qos(trace, nodes=[0, 1], end=1000)
+    assert len(qos.mistakes) == 1
+    mistake = qos.mistakes[0]
+    assert (mistake.observer, mistake.subject) == (0, 1)
+    assert mistake.refuted
+    assert qos.mistake_durations == [30]
+    assert qos.flaps == 1
+    assert qos.removals == 1
+    assert qos.accuracy == 0.0
+    # λ_M: one mistake over two observers watching for 1000 ticks.
+    assert qos.mistake_rate == pytest.approx(1 / (2000 / ms(1000)))
+
+
+def test_unrefuted_mistake_censored_at_subject_exit():
+    # Observer 0 wrongly drops node 1 at t=200; node 1 genuinely
+    # crashes at t=600. The mistake stands only while it contradicts
+    # the ground truth: 600 - 200, not window-end - 200.
+    trace = TraceRecorder()
+    change(trace, 200, 0, {0}, failed={1})
+    qos = compute_qos(
+        trace, nodes=[0, 1], end=1000, crash_times={1: 600}
+    )
+    assert len(qos.mistakes) == 1
+    assert not qos.mistakes[0].refuted
+    assert qos.mistake_durations == [400]
+
+
+def test_readd_without_prior_removal_is_not_a_flap():
+    trace = TraceRecorder()
+    change(trace, 350, 0, {0, 1, 2})  # admits the late joiner
+    qos = compute_qos(
+        trace, nodes=[0, 1], end=1000, join_times={2: 300}
+    )
+    assert qos.flaps == 0
+    assert not qos.mistakes
+
+
+# -- query accuracy (P_A) ----------------------------------------------------
+
+
+def test_query_accuracy_exact_integral_on_a_crash():
+    trace = TraceRecorder()
+    change(trace, 150, 0, {0, 1}, failed={2})
+    change(trace, 200, 1, {0, 1}, failed={2})
+    qos = compute_qos(
+        trace, nodes=[0, 1, 2], end=1000, crash_times={2: 100}
+    )
+    # By hand: observer 2 agrees fully until its own crash (300);
+    # observer 0 disagrees on node 2's entry for [100, 150) (2950 of
+    # 3000); observer 1 for [100, 200) (2900 of 3000).
+    assert qos.agreement_ticks == 300 + 2950 + 2900
+    assert qos.total_ticks == 300 + 3000 + 3000
+    assert qos.query_accuracy == pytest.approx(6150 / 6300)
+
+
+def test_query_accuracy_charges_admission_lag():
+    # Node 2 joins the ground truth at t=300. Observer 0 admits it at
+    # t=350 (50 ticks of lag); observer 1 never does (700 ticks).
+    trace = TraceRecorder()
+    change(trace, 350, 0, {0, 1, 2})
+    qos = compute_qos(
+        trace, nodes=[0, 1], end=1000, join_times={2: 300}
+    )
+    assert qos.agreement_ticks == (2950 + 2300)
+    assert qos.total_ticks == 6000
+    assert qos.query_accuracy == pytest.approx(5250 / 6000)
+    # The joiner is population, not an observer.
+    assert qos.population == (0, 1, 2)
+    assert qos.observers == (0, 1)
+
+
+def test_voluntary_leave_is_ground_truth_not_a_mistake():
+    trace = TraceRecorder()
+    change(trace, 520, 0, {0}, failed={1})
+    qos = compute_qos(
+        trace, nodes=[0, 1], end=1000, leave_times={1: 500}
+    )
+    assert qos.removals == 1
+    assert not qos.mistakes
+    assert qos.accuracy == 1.0
+    # A scripted leave is not a crash: no detection entry.
+    assert qos.crashes == ()
+
+
+# -- serialization -----------------------------------------------------------
+
+
+def test_to_json_is_deterministic_and_sorted():
+    trace = TraceRecorder()
+    change(trace, 150, 0, {0, 1}, failed={2})
+    change(trace, 200, 1, {0, 1}, failed={2})
+
+    def run():
+        return compute_qos(
+            trace, nodes=[0, 1, 2], end=1000, crash_times={2: 100}
+        )
+
+    first, second = run().to_json(), run().to_json()
+    assert first == second
+    import json
+
+    readout = json.loads(first)
+    assert list(readout) == sorted(readout)
+    assert readout["detection_ms"]["count"] == 2
+
+
+def test_summary_projects_the_headline_figures():
+    trace = TraceRecorder()
+    change(trace, 150, 0, {0, 1}, failed={2})
+    change(trace, 200, 1, {0, 1}, failed={2})
+    qos = compute_qos(
+        trace, nodes=[0, 1, 2], end=1000, crash_times={2: 100}
+    )
+    summary = qos.summary()
+    assert set(summary) == {
+        "detection_p50_ms",
+        "detection_p90_ms",
+        "detection_p99_ms",
+        "mistakes",
+        "mistake_rate_per_node_s",
+        "mistake_duration_mean_ms",
+        "flaps",
+        "query_accuracy",
+        "completeness",
+        "accuracy",
+    }
+    assert summary["mistakes"] == 0
+    assert summary["completeness"] == 1.0
+
+
+def test_per_segment_latencies_split_by_observer_segment():
+    trace = TraceRecorder()
+    change(trace, 150, 0, {0, 1}, failed={2})
+    change(trace, 200, 1, {0, 1}, failed={2})
+    qos = compute_qos(
+        trace,
+        nodes=[0, 1, 2],
+        end=1000,
+        crash_times={2: 100},
+        segment_of={0: 0, 1: 1, 2: 0},
+    )
+    assert qos.segment_latencies == {0: (50,), 1: (100,)}
+    readout = qos.to_dict()
+    assert set(readout["per_segment"]) == {"0", "1"}
+
+
+def test_network_qos_reads_the_stack():
+    from repro.core.stack import CanelyNetwork
+    from repro.obs.qos import network_qos
+    from repro.sim.clock import ms as _ms
+
+    net = CanelyNetwork(node_count=4)
+    net.scenario().bootstrap()
+    start = net.sim.now
+    victim = 2
+    crash_at = net.sim.now + _ms(20)
+    net.sim.schedule_at(crash_at, net.node(victim).crash)
+    net.run_for(_ms(150))
+    qos = network_qos(net, start=start, crash_times={victim: crash_at})
+    assert isinstance(qos, QoSMetrics)
+    assert [crash.node for crash in qos.crashes] == [victim]
+    assert qos.crashes[0].complete
+    assert qos.query_accuracy is not None and qos.query_accuracy > 0.9

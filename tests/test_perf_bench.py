@@ -147,6 +147,13 @@ def test_committed_report_meets_the_acceptance_bars():
     # renders an attributable speedup, not a bare absolute.
     assert results["campaign_wallclock"]["reference_value"] > 0
     assert results["campaign_wallclock"]["lower_is_better"]
+    # The QoS engine reads traces only through the columnar bulk
+    # accessor; the committed run must show it no slower than the
+    # row-scan reference on identical analysis work.
+    qos = results["qos_compute"]
+    assert qos["unit"] == "computes/s"
+    assert qos["speedup"] >= 1.0
+    assert qos["scenario"]["msh_changes"] > 0
     assert report["environment"]["python"]
     assert "toggles" in report["environment"]
 
@@ -237,3 +244,23 @@ def test_cli_require_sublinear_gate(monkeypatch, capsys):
     monkeypatch.setattr(repro.perf, "run_benchmarks", stub(sublinear))
     assert main(["bench", "--quick", "--require-sublinear"]) == 0
     assert "sub-linear scaling" in capsys.readouterr().out
+
+
+def test_row_scan_adapter_matches_native_columns():
+    """The qos_compute reference path must see identical columns."""
+    from repro.perf.bench import _RowScanColumns
+    from repro.sim.trace import ColumnarTraceRecorder
+
+    trace = ColumnarTraceRecorder()
+    trace.record(10, "msh.change", node=0, active=frozenset({0, 1}))
+    trace.record(20, "node.crash", node=1)
+    trace.record(30, "msh.change", node=1, active=frozenset({0}))
+    adapter = _RowScanColumns(trace)
+    for category in ("msh.change", "node.crash", "nothing"):
+        native = trace.category_columns(category)
+        via_rows = adapter.category_columns(category)
+        assert list(native[0]) == list(via_rows[0])
+        assert list(native[1]) == list(via_rows[1])
+        assert native[2] == via_rows[2]
+    # Everything else delegates to the wrapped trace.
+    assert adapter.count("msh.change") == 2
